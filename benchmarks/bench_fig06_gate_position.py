@@ -1,0 +1,76 @@
+"""Figure 6 — Hellinger fidelity vs X-gate position inside a 28.44 us window.
+
+The paper's single-qubit micro-benchmark (H + delay + X + H, measured in the
+X basis) sweeps the position of the X pulse from ALAP to ASAP across a
+28.44 us idle window and finds that fidelity peaks when the pulse sits near
+the centre of the window (the Hahn-echo condition).  This benchmark repeats
+that sweep on the fake device.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import fake_casablanca
+from repro.circuits import hahn_echo_microbenchmark
+from repro.metrics import hellinger_fidelity
+from repro.simulators import NoiseModel, NoisySimulator
+from repro.transpiler import transpile
+
+from vaqem_shared import print_table, save_results
+
+#: The paper's window: 799 identity gates of ~35.56 ns each.
+PAPER_WINDOW_NS = 28440.0
+
+
+def _position_sweep(num_positions: int = 21):
+    device = fake_casablanca()
+    simulator = NoisySimulator(NoiseModel.from_device(device), seed=1)
+    positions = np.linspace(0.0, 1.0, num_positions)
+    ideal = {"0": 1.0}
+
+    fidelities = []
+    for position in positions:
+        circuit = hahn_echo_microbenchmark(delay_ns=PAPER_WINDOW_NS, echo_position=float(position))
+        compiled = transpile(circuit, device)
+        probs, _ = simulator.measured_probabilities(compiled.scheduled)
+        fidelities.append(hellinger_fidelity({"0": probs[0], "1": probs[1]}, ideal))
+
+    no_echo = hahn_echo_microbenchmark(delay_ns=PAPER_WINDOW_NS, include_echo=False)
+    compiled = transpile(no_echo, device)
+    probs, _ = simulator.measured_probabilities(compiled.scheduled)
+    baseline = hellinger_fidelity({"0": probs[0], "1": probs[1]}, ideal)
+    return positions.tolist(), fidelities, baseline
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_gate_position_sweep(benchmark):
+    positions, fidelities, no_echo = benchmark.pedantic(_position_sweep, rounds=1, iterations=1)
+    rows = [[f"{p:.2f}", f"{f:.4f}"] for p, f in zip(positions, fidelities)]
+    rows.append(["no echo", f"{no_echo:.4f}"])
+    print_table(
+        "Fig. 6: Hellinger fidelity vs X-gate position (0 = ASAP, 1 = ALAP)",
+        ["position", "fidelity"],
+        rows,
+    )
+    save_results(
+        "fig06_gate_position.json",
+        {"positions": positions, "fidelities": fidelities, "no_echo": no_echo},
+    )
+    best_index = int(np.argmax(fidelities))
+    best_position = positions[best_index]
+    centre_index = len(positions) // 2
+    # Shape checks: the best placement is in the interior of the window (not
+    # the ALAP/ASAP extremes), the mid-window echo beats both extremes and the
+    # echo-free reference, and the position visibly matters.  (With a ~28 us
+    # window the accumulated phase wraps several times, so the curve oscillates
+    # exactly as in the paper's figure; the envelope still favours the middle.)
+    assert 0.0 < best_position < 1.0
+    assert fidelities[centre_index] > fidelities[0]
+    assert fidelities[centre_index] > fidelities[-1]
+    assert fidelities[centre_index] > no_echo
+    assert max(fidelities) - min(fidelities) > 0.05
+    benchmark.extra_info["best_position"] = best_position
+    benchmark.extra_info["best_fidelity"] = fidelities[best_index]
+    benchmark.extra_info["no_echo_fidelity"] = no_echo

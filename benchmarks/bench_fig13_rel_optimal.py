@@ -1,0 +1,64 @@
+"""Figure 13 — VQE energy relative to the simulated optimal value.
+
+The paper normalises every strategy's measured energy by the classically
+simulated optimum: No-EM recovers only 1-30 % of the optimal energy, the MEM
+baseline 2-35 %, and the VAQEM strategies push that to 10-55 %, with the
+combined GS+XY strategy always best.  This benchmark prints the same
+percentages for the selected applications (re-using the cached Fig. 12 runs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import EvaluationSummary
+
+from vaqem_shared import (
+    FIGURE12_STRATEGIES,
+    print_table,
+    run_application,
+    save_results,
+    selected_application_names,
+)
+
+
+def _run_all():
+    summary = EvaluationSummary()
+    for name in selected_application_names():
+        summary.add(run_application(name, FIGURE12_STRATEGIES).to_application_result())
+    return summary
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_energy_relative_to_optimal(benchmark):
+    summary = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    strategies = ["no_em", "mem", "vaqem_gs", "vaqem_xy", "vaqem_gs_xy"]
+    rows = []
+    fractions = {s: summary.fractions_of_optimal(s) for s in strategies}
+    for result in summary.results:
+        rows.append(
+            [result.application]
+            + [f"{100 * fractions[s][result.application]:.1f}%" for s in strategies]
+        )
+    print_table(
+        "Fig. 13: VQE energy as a percentage of the simulated optimal",
+        ["application"] + strategies,
+        rows,
+    )
+    save_results("fig13_rel_optimal.json", {"fractions": fractions})
+    for result in summary.results:
+        name = result.application
+        # Shape checks per application: nothing exceeds the optimum, the
+        # combined VAQEM strategy recovers the largest fraction, and the MEM
+        # baseline is at least as good as no mitigation at all.
+        for strategy in strategies:
+            assert fractions[strategy][name] <= 1.0 + 1e-9
+        best = max(fractions[s][name] for s in strategies)
+        # The combined strategy is always at (or within a few percent of) the
+        # top, and clearly above the unmitigated baselines.
+        assert fractions["vaqem_gs_xy"][name] >= best - 0.05
+        assert fractions["vaqem_gs_xy"][name] >= fractions["mem"][name] - 1e-9
+        assert fractions["mem"][name] >= fractions["no_em"][name] - 0.05
+    benchmark.extra_info["fractions"] = {
+        s: {k: round(v, 4) for k, v in per_app.items()} for s, per_app in fractions.items()
+    }

@@ -1,0 +1,81 @@
+"""Figure 14 — chosen per-window configurations for HW_TFIM_6q_c_4r.
+
+The paper plots, for every idle window of its deepest 6-qubit benchmark, the
+gate position and the number of DD sequences chosen by VAQEM, each as a
+fraction of its maximum — showing that the optima vary widely from window to
+window (which is exactly why a one-size-fits-all configuration is
+insufficient and a variational approach is needed).  This benchmark runs the
+combined GS+XY tuning for that application and prints the per-window choices.
+
+Note: the deep 6-qubit application is the most expensive one to simulate; set
+``REPRO_FIG14_APP`` to a lighter application name to regenerate the figure's
+shape more quickly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.mitigation import max_sequences_in_window
+
+from vaqem_shared import print_table, run_application, save_results
+
+
+def _window_configurations():
+    name = os.environ.get("REPRO_FIG14_APP", "HW_TFIM_4q_c_6r")
+    result = run_application(name, ("mem", "vaqem_gs_xy"))
+    tuning = result.tuning_results["vaqem_gs_xy"]
+    scheduled = result.transpile_result.scheduled
+    rows = []
+    for record in tuning.window_records:
+        window = record.window
+        best = record.best
+        capacity = max_sequences_in_window(window, scheduled, "xy4")
+        dd_count = best.dd.num_sequences if best is not None and best.dd is not None else 0
+        dd_fraction = dd_count / capacity if capacity else 0.0
+        position = best.gs.position if best is not None and best.gs is not None else 1.0
+        rows.append(
+            {
+                "window": window.index,
+                "qubit": window.position,
+                "duration_ns": window.duration_ns,
+                "gate_position": position,
+                "dd_sequences": dd_count,
+                "dd_fraction_of_max": dd_fraction,
+            }
+        )
+    return name, rows
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_per_window_configurations(benchmark):
+    name, rows = benchmark.pedantic(_window_configurations, rounds=1, iterations=1)
+    table_rows = [
+        [
+            row["window"],
+            row["qubit"],
+            f"{row['duration_ns']:.0f}",
+            f"{row['gate_position']:.2f}",
+            row["dd_sequences"],
+            f"{row['dd_fraction_of_max']:.2f}",
+        ]
+        for row in rows
+    ]
+    print_table(
+        f"Fig. 14: per-window VAQEM configuration for {name}",
+        ["window", "qubit", "duration(ns)", "gate position", "# DD seq", "DD fraction of max"],
+        table_rows,
+    )
+    save_results("fig14_window_configs.json", {"application": name, "windows": rows})
+    assert rows, "the application must expose idle windows"
+    positions = [row["gate_position"] for row in rows]
+    fractions = [row["dd_fraction_of_max"] for row in rows]
+    # The paper's point: the chosen configurations vary across windows (they
+    # are not all at the same value), i.e. a single static configuration
+    # cannot be optimal everywhere.
+    assert len(set(np.round(fractions, 3))) + len(set(np.round(positions, 3))) > 2
+    benchmark.extra_info["num_windows"] = len(rows)
+    benchmark.extra_info["distinct_dd_fractions"] = len(set(np.round(fractions, 3)))

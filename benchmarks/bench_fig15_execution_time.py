@@ -1,0 +1,90 @@
+"""Figure 15 — end-to-end execution-time breakdown per application.
+
+The paper decomposes the wall-clock cost of each application into angle
+tuning (simulation or Qiskit Runtime), error-mitigation tuning and queueing,
+and observes that (a) simulation-based angle tuning is much faster than
+Runtime, (b) queueing dominates everything, and (c) the added EM-tuning time
+is modest (under an hour).  This benchmark evaluates the reproduction's
+execution-time model with each application's measured evaluation counts and
+prints the same four components in minutes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mitigation import max_sequences_in_window
+from repro.runtime import ExecutionTimeModel
+from repro.transpiler import transpile
+from repro.vaqem import TuningBudget
+from repro.vqe import build_applications
+
+from vaqem_shared import print_table, save_results
+
+
+def _time_breakdowns(angle_iterations: int = 300):
+    model = ExecutionTimeModel()
+    budget = TuningBudget(dd_resolution=6, gs_resolution=5)
+    breakdowns = []
+    rng = np.random.default_rng(1)
+    for application in build_applications():
+        bound = application.ansatz.bind_parameters(
+            rng.uniform(-np.pi, np.pi, application.num_parameters)
+        )
+        bound.measure_all()
+        compiled = transpile(bound, application.device())
+        # Per-window sweep size: DD counts plus gate positions (paper §VI-C),
+        # capped by what actually fits in each window.
+        em_evaluations = 0
+        for window in compiled.idle_windows:
+            capacity = max_sequences_in_window(window, compiled.scheduled, "xy4")
+            em_evaluations += min(budget.dd_resolution, capacity + 1) + budget.gs_resolution
+        angle_evaluations = 1 + 3 * angle_iterations  # SPSA cost model
+        breakdown = model.breakdown(
+            application=application.name,
+            device_name=application.device().name,
+            uses_runtime=application.uses_runtime,
+            angle_tuning_evaluations=angle_evaluations,
+            em_tuning_evaluations=em_evaluations,
+            num_job_submissions=4,
+        )
+        breakdowns.append(breakdown)
+    return breakdowns
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_execution_time_breakdown(benchmark):
+    breakdowns = benchmark.pedantic(_time_breakdowns, rounds=1, iterations=1)
+    rows = []
+    for b in breakdowns:
+        d = b.as_dict()
+        rows.append(
+            [b.application]
+            + [f"{d[k]:.1f}" for k in ("Tuning Angles - Sim", "Tuning Angles - QR", "Tuning EM", "Avg Queuing")]
+            + [f"{b.total_min:.1f}"]
+        )
+    print_table(
+        "Fig. 15: execution time breakdown (minutes)",
+        ["application", "Angles-Sim", "Angles-QR", "Tuning EM", "Queuing", "Total"],
+        rows,
+    )
+    save_results(
+        "fig15_execution_time.json",
+        {b.application: b.as_dict() for b in breakdowns},
+    )
+    sim_apps = [b for b in breakdowns if b.angle_tuning_simulation_min > 0]
+    runtime_apps = [b for b in breakdowns if b.angle_tuning_runtime_min > 0]
+    # Shape checks from the paper's discussion of Fig. 15.
+    assert len(runtime_apps) == 2, "the two chemistry applications use Runtime"
+    assert min(b.angle_tuning_runtime_min for b in runtime_apps) > max(
+        b.angle_tuning_simulation_min for b in sim_apps
+    ), "simulation-based angle tuning is much faster than Runtime"
+    for b in breakdowns:
+        assert b.queueing_min > b.em_tuning_min, "queueing dominates the actual tuning time"
+        tuning = b.angle_tuning_simulation_min + b.angle_tuning_runtime_min
+        # The paper reports EM tuning roughly matching the original tuning time
+        # and staying around/under an hour; allow the deepest benchmarks a bit
+        # more head-room since the sweep size scales with the window count.
+        assert b.em_tuning_min < max(100.0, 2.0 * tuning), "EM tuning time stays modest"
+    benchmark.extra_info["totals"] = {b.application: b.total_min for b in breakdowns}

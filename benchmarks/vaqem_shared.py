@@ -1,0 +1,92 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the corresponding rows/series.  The heavy evaluation experiments (Figs. 12,
+13, 14) share a cached VAQEM run per application so that running the whole
+``benchmarks/`` directory does not repeat work.
+
+Two knobs control the fidelity/cost trade-off:
+
+* ``REPRO_BENCH_APPS`` — comma-separated application names, or ``all``
+  (default: a representative 3-application subset so the full benchmark suite
+  completes in minutes; set to ``all`` to sweep every Table-I benchmark).
+* ``REPRO_BENCH_FULL`` — set to ``1`` to use the full per-window sweep budget
+  instead of the reduced default.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.vaqem import TuningBudget, VAQEMConfig, VAQEMPipeline, VAQEMRunResult
+from repro.vqe import VQAApplication, build_applications, get_application
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Strategies evaluated for Figs. 12/13, in the paper's bar order.
+FIGURE12_STRATEGIES = (
+    "no_em",
+    "mem",
+    "dd_xx",
+    "dd_xy4",
+    "vaqem_gs",
+    "vaqem_xx",
+    "vaqem_xy",
+    "vaqem_gs_xy",
+)
+
+_DEFAULT_APPS = ("HW_TFIM_4q_c_6r", "HW_TFIM_4q_f_6r", "UCCSD_H2")
+
+_RUN_CACHE: Dict[str, VAQEMRunResult] = {}
+
+
+def selected_application_names() -> List[str]:
+    """Applications selected via ``REPRO_BENCH_APPS`` (default: fast subset)."""
+    raw = os.environ.get("REPRO_BENCH_APPS", "").strip()
+    if not raw:
+        return list(_DEFAULT_APPS)
+    if raw.lower() == "all":
+        return [app.name for app in build_applications()]
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def benchmark_config(seed: int = 11) -> VAQEMConfig:
+    """The VAQEM configuration used by the evaluation benchmarks."""
+    if os.environ.get("REPRO_BENCH_FULL", "0") == "1":
+        budget = TuningBudget(dd_resolution=6, gs_resolution=5, max_windows=None)
+    else:
+        budget = TuningBudget(dd_resolution=4, gs_resolution=4, max_windows=10)
+    return VAQEMConfig(angle_tuning_iterations=250, budget=budget, seed=seed)
+
+
+def run_application(name: str, strategies: Sequence[str] = FIGURE12_STRATEGIES) -> VAQEMRunResult:
+    """Run (or fetch from cache) the full VAQEM evaluation of one application."""
+    key = f"{name}:{','.join(strategies)}:{os.environ.get('REPRO_BENCH_FULL', '0')}"
+    if key not in _RUN_CACHE:
+        application = get_application(name)
+        pipeline = VAQEMPipeline(application, benchmark_config())
+        _RUN_CACHE[key] = pipeline.run(strategies=strategies)
+    return _RUN_CACHE[key]
+
+
+def save_results(filename: str, payload) -> Path:
+    """Persist benchmark output under ``benchmarks/results`` for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / filename
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path
+
+
+def print_table(title: str, header: Sequence[str], rows: Sequence[Sequence[str]]) -> None:
+    """Print an aligned text table (the benchmark's stdout deliverable)."""
+    rows = [list(map(str, header))] + [list(map(str, row)) for row in rows]
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    print(f"\n=== {title} ===")
+    for index, row in enumerate(rows):
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            print("  ".join("-" * widths[i] for i in range(len(header))))

@@ -1,0 +1,94 @@
+"""Exploring idle-time error mitigation on micro-benchmarks (Figs. 5 and 6).
+
+This example uses the low-level API directly (no VQE involved) to show the
+two physical effects VAQEM exploits:
+
+* the *Hahn-echo position* effect — sweeping an X pulse across a long idle
+  window changes the measured fidelity, peaking near the window centre;
+* the *DD sequence count* effect — inserting more XY4 sequences into an idle
+  window first recovers fidelity and then loses it again, with the optimum
+  depending on the (unknown a-priori) noise realisation.
+
+It also contrasts the "calibration" noise model with the full device model to
+show why these effects cannot be tuned in simulation (Fig. 9).
+
+Run with::
+
+    python examples/dd_exploration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    DDConfig,
+    NoiseModel,
+    NoisySimulator,
+    StatevectorSimulator,
+    fake_casablanca,
+    hellinger_fidelity,
+    idle_window_microbenchmark,
+    insert_dd_sequences,
+    transpile,
+)
+from repro.circuits import hahn_echo_microbenchmark
+from repro.mitigation import max_sequences_in_window
+
+
+def echo_position_sweep(device) -> None:
+    print("=== X-gate position inside a 28.44 us idle window (Fig. 6) ===")
+    simulator = NoisySimulator(NoiseModel.from_device(device), seed=0)
+    calibration = NoisySimulator(NoiseModel.from_calibration(device), seed=0)
+    for position in np.linspace(0.0, 1.0, 9):
+        circuit = hahn_echo_microbenchmark(delay_ns=28440.0, echo_position=float(position))
+        compiled = transpile(circuit, device)
+        device_probs, _ = simulator.measured_probabilities(compiled.scheduled)
+        calib_probs, _ = calibration.measured_probabilities(compiled.scheduled)
+        bar = "#" * int(40 * device_probs[0])
+        print(
+            f"  position {position:4.2f} | device P(0) = {device_probs[0]:.3f} "
+            f"| calibration P(0) = {calib_probs[0]:.3f} | {bar}"
+        )
+    print("  -> the device model peaks mid-window; the calibration model is flat (Fig. 9).\n")
+
+
+def dd_count_sweep(device) -> None:
+    print("=== Number of XY4 sequences in one idle window (Fig. 5) ===")
+    circuit = idle_window_microbenchmark(idle_ns=12000.0)
+    compiled = transpile(circuit, device)
+    window = max(compiled.idle_windows, key=lambda w: w.duration_ns)
+    capacity = max_sequences_in_window(window, compiled.scheduled, "xy4")
+    ideal_probs = StatevectorSimulator().probabilities(circuit.remove_final_measurements())
+    ideal = {format(i, "02b"): p for i, p in enumerate(ideal_probs) if p > 1e-12}
+    simulator = NoisySimulator(NoiseModel.from_device(device), seed=0)
+
+    best_count, best_fidelity = 0, 0.0
+    for count in range(0, min(capacity, 12) + 1):
+        schedule = (
+            insert_dd_sequences(compiled.scheduled, window, DDConfig("xy4", count))
+            if count
+            else compiled.scheduled
+        )
+        probs, _ = simulator.measured_probabilities(schedule)
+        fidelity = hellinger_fidelity(probs, ideal)
+        if fidelity > best_fidelity:
+            best_count, best_fidelity = count, fidelity
+        bar = "#" * int(40 * fidelity)
+        print(f"  {count:2d} sequences | fidelity = {fidelity:.3f} | {bar}")
+    print(
+        f"  -> the optimum here is {best_count} sequences (fidelity {best_fidelity:.3f}); "
+        "it depends on the window length and the qubit's noise, which is exactly\n"
+        "     why VAQEM tunes it variationally per window.\n"
+    )
+
+
+def main() -> None:
+    device = fake_casablanca()
+    print(f"Device: {device.name} ({device.num_qubits} qubits)\n")
+    echo_position_sweep(device)
+    dd_count_sweep(device)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Molecular chemistry example: H2 with a UCCSD-style ansatz through Runtime.
+
+The paper's two chemistry applications (H2 and Li+) tuned their angles through
+IBM Qiskit Runtime, which at the time only supported SPSA, capped sessions at
+five hours and was available on a single machine.  This example reproduces
+that workflow on the fake 27-qubit Montreal device:
+
+* the angle-tuning objective is executed on the noisy device model and wrapped
+  in a :class:`RuntimeSession` that charges wall-clock time per evaluation and
+  enforces the SPSA-only / 5-hour constraints,
+* error mitigation (gate scheduling + DD) is then tuned per idle window with
+  the independent-window tuner, exactly as in the feasible flow.
+
+Run with::
+
+    python examples/h2_chemistry_runtime.py
+"""
+
+from __future__ import annotations
+
+from repro import TuningBudget, VAQEMConfig, VAQEMPipeline, get_application
+from repro.optimizers import SPSA
+from repro.runtime import CircuitTimingModel, RuntimeSession
+from repro.vqe import VQE
+
+
+def main() -> None:
+    application = get_application("UCCSD_H2")
+    device = application.device()
+    exact = application.exact_ground_energy()
+    print(f"Application : {application.name} ({application.description})")
+    print(f"Device      : {device.name}")
+    print(f"Exact E0    : {exact:.4f} Ha (electronic energy, classical reference)")
+
+    # --- Stage 1: angle tuning inside a Runtime session --------------------
+    vqe = VQE(application.ansatz, application.hamiltonian, seed=3)
+    objective = vqe.noisy_objective_factory(device, shots=None, use_mem=True)
+    timing = CircuitTimingModel(shots=4096, num_measurement_groups=5, circuit_duration_us=25.0)
+    session = RuntimeSession(objective, timing=timing, machine_name=device.name)
+    optimizer = SPSA(maxiter=25, seed=3)
+
+    print("\nStage 1 — angle tuning through the Runtime session (SPSA only)")
+    result = session.run_program(optimizer, vqe.initial_point())
+    print(f"  evaluations          : {session.num_evaluations}")
+    print(f"  session time used    : {session.elapsed_hours:.2f} h of "
+          f"{session.constraints.max_session_hours:.1f} h")
+    print(f"  tuned noisy objective: {result.optimal_value:.4f} Ha")
+
+    # --- Stage 2: mitigation tuning on the machine model -------------------
+    config = VAQEMConfig(
+        angle_tuning_iterations=60,
+        budget=TuningBudget(dd_resolution=4, gs_resolution=4, max_windows=8),
+        seed=3,
+    )
+    pipeline = VAQEMPipeline(application, config, device=device)
+    # Reuse the Runtime-tuned parameters instead of re-tuning in simulation.
+    from repro.vqe.vqe import VQEResult
+    import numpy as np
+
+    pipeline._angle_result = VQEResult(
+        optimal_parameters=np.asarray(result.optimal_parameters),
+        optimal_value=float(result.optimal_value),
+        history=list(result.history),
+        num_evaluations=result.num_evaluations,
+        execution_mode="runtime",
+    )
+
+    print("\nStage 2 — per-window mitigation tuning (GS + XY4)")
+    run = pipeline.run(strategies=("mem", "dd_xy4", "vaqem_gs_xy"))
+    for strategy in ("mem", "dd_xy4", "vaqem_gs_xy"):
+        energy = run.energies[strategy]
+        print(f"  {strategy:12s} energy = {energy: .4f} Ha ({100 * energy / exact:.1f}% of optimal)")
+    print(f"\nVAQEM GS+XY4 vs MEM baseline: {run.improvement('vaqem_gs_xy'):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

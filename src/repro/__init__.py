@@ -1,0 +1,109 @@
+"""repro — a full reproduction of VAQEM (HPCA 2022).
+
+VAQEM tunes features of idle-time error-mitigation techniques (dynamical
+decoupling sequence counts and single-qubit gate positions) inside the
+variational loop of a VQA, against the VQA's own objective function.  This
+package provides every substrate that reproduction needs — circuit IR,
+transpiler, device models, noisy schedule-aware simulation, VQE stack — plus
+the VAQEM framework itself and a benchmark harness regenerating each table
+and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import get_application, VAQEMPipeline, VAQEMConfig
+
+    app = get_application("HW_TFIM_4q_c_6r")
+    pipeline = VAQEMPipeline(app, VAQEMConfig())
+    result = pipeline.run(strategies=("mem", "vaqem_gs_xy"))
+    print(result.improvement("vaqem_gs_xy"))
+"""
+
+from .exceptions import (
+    BackendError,
+    CircuitError,
+    MitigationError,
+    NoiseModelError,
+    OptimizerError,
+    ParameterError,
+    ReproError,
+    RuntimeSessionError,
+    SimulationError,
+    TranspilerError,
+    VAQEMError,
+    VQEError,
+)
+from .circuits import (
+    Parameter,
+    ParameterVector,
+    QuantumCircuit,
+    efficient_su2,
+    hahn_echo_microbenchmark,
+    idle_window_microbenchmark,
+    uccsd_like_ansatz,
+)
+from .operators import (
+    PauliString,
+    PauliSum,
+    h2_hamiltonian,
+    lithium_ion_hamiltonian,
+    tfim_hamiltonian,
+)
+from .backends import (
+    CalibrationDrift,
+    DeviceModel,
+    fake_casablanca,
+    fake_guadalupe,
+    fake_jakarta,
+    fake_montreal,
+    get_device,
+)
+from .simulators import DensityMatrix, NoiseModel, NoisySimulator, StatevectorSimulator
+from .transpiler import ScheduledCircuit, TranspileResult, find_idle_windows, transpile
+from .mitigation import DDConfig, GSConfig, MeasurementMitigator, insert_dd_sequences, uniform_dd
+from .optimizers import COBYLA, SPSA, NelderMead
+from .vqe import VQE, ExpectationEstimator, VQAApplication, build_applications, get_application
+from .vaqem import (
+    STANDARD_STRATEGIES,
+    IndependentWindowTuner,
+    TuningBudget,
+    VAQEMConfig,
+    VAQEMPipeline,
+    VAQEMRunResult,
+)
+from .metrics import geometric_mean, hellinger_fidelity
+from .analysis import ApplicationResult, EvaluationSummary, fraction_of_optimal, improvement_over_baseline
+from .runtime import ExecutionTimeModel, QueueModel, RuntimeSession
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError", "CircuitError", "ParameterError", "SimulationError", "NoiseModelError",
+    "TranspilerError", "BackendError", "MitigationError", "OptimizerError", "VQEError",
+    "VAQEMError", "RuntimeSessionError",
+    # circuits
+    "QuantumCircuit", "Parameter", "ParameterVector", "efficient_su2", "uccsd_like_ansatz",
+    "hahn_echo_microbenchmark", "idle_window_microbenchmark",
+    # operators
+    "PauliString", "PauliSum", "tfim_hamiltonian", "h2_hamiltonian", "lithium_ion_hamiltonian",
+    # backends
+    "DeviceModel", "CalibrationDrift", "fake_casablanca", "fake_jakarta", "fake_guadalupe",
+    "fake_montreal", "get_device",
+    # simulators
+    "StatevectorSimulator", "NoisySimulator", "NoiseModel", "DensityMatrix",
+    # transpiler
+    "transpile", "TranspileResult", "ScheduledCircuit", "find_idle_windows",
+    # mitigation
+    "DDConfig", "GSConfig", "insert_dd_sequences", "uniform_dd", "MeasurementMitigator",
+    # optimizers
+    "SPSA", "NelderMead", "COBYLA",
+    # vqe
+    "VQE", "ExpectationEstimator", "VQAApplication", "build_applications", "get_application",
+    # vaqem
+    "VAQEMPipeline", "VAQEMRunResult", "VAQEMConfig", "TuningBudget", "IndependentWindowTuner",
+    "STANDARD_STRATEGIES",
+    # metrics / analysis / runtime
+    "hellinger_fidelity", "geometric_mean", "fraction_of_optimal", "improvement_over_baseline",
+    "ApplicationResult", "EvaluationSummary", "RuntimeSession", "QueueModel", "ExecutionTimeModel",
+]

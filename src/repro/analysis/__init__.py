@@ -1,0 +1,17 @@
+"""Result aggregation and the paper's comparison metrics."""
+
+from .results import (
+    ApplicationResult,
+    EvaluationSummary,
+    StrategyOutcome,
+    fraction_of_optimal,
+    improvement_over_baseline,
+)
+
+__all__ = [
+    "fraction_of_optimal",
+    "improvement_over_baseline",
+    "StrategyOutcome",
+    "ApplicationResult",
+    "EvaluationSummary",
+]

@@ -1,0 +1,27 @@
+"""Fake device models, calibration data and temporal drift."""
+
+from .device import DeviceModel, GateProperties, QubitProperties
+from .drift import CalibrationDrift
+from .fake import (
+    SINGLE_QUBIT_GATE_NS,
+    available_devices,
+    fake_casablanca,
+    fake_guadalupe,
+    fake_jakarta,
+    fake_montreal,
+    get_device,
+)
+
+__all__ = [
+    "DeviceModel",
+    "QubitProperties",
+    "GateProperties",
+    "CalibrationDrift",
+    "fake_casablanca",
+    "fake_jakarta",
+    "fake_guadalupe",
+    "fake_montreal",
+    "get_device",
+    "available_devices",
+    "SINGLE_QUBIT_GATE_NS",
+]

@@ -1,0 +1,128 @@
+"""Temporal variability of device characteristics (paper §IX-D, Fig. 16).
+
+Real machines drift between (and within) calibration cycles: T1/T2 fluctuate,
+residual detunings move, readout errors change.  The paper shows (Fig. 16)
+that the measured VQE objective for a *fixed* set of parameters varies by
+10-20 % of the ideal objective over 24 hours, and that a re-calibration event
+visibly shifts the distribution.
+
+:class:`CalibrationDrift` produces time-shifted copies of a base
+:class:`DeviceModel`:
+
+* within a calibration cycle, qubit detunings and coherence times follow a
+  bounded random walk (small, correlated changes hour to hour);
+* at each calibration boundary the detunings are re-drawn (calibration nulls
+  part of the coherent error but leaves a new residual) and coherence times
+  jump to a new neighbourhood.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import List
+
+import numpy as np
+
+from .device import DeviceModel, QubitProperties
+
+
+class CalibrationDrift:
+    """Generates drifted snapshots of a device over wall-clock time.
+
+    Parameters
+    ----------
+    device:
+        The base device model (time 0 snapshot).
+    calibration_period_hours:
+        Hours between re-calibration events (IBM machines calibrate roughly
+        daily; the paper's Fig. 16 crosses one boundary in 24 h).
+    detuning_walk_fraction:
+        Per-hour random-walk step of the detuning, as a fraction of its
+        calibration-time magnitude.
+    coherence_walk_fraction:
+        Per-hour fractional random-walk step of T1/T2.
+    seed:
+        RNG seed; snapshots are deterministic in (seed, time).
+    """
+
+    def __init__(
+        self,
+        device: DeviceModel,
+        calibration_period_hours: float = 12.0,
+        detuning_walk_fraction: float = 0.08,
+        coherence_walk_fraction: float = 0.03,
+        readout_walk_fraction: float = 0.05,
+        seed: int = 99,
+    ):
+        self.device = device
+        self.calibration_period_hours = float(calibration_period_hours)
+        self.detuning_walk_fraction = float(detuning_walk_fraction)
+        self.coherence_walk_fraction = float(coherence_walk_fraction)
+        self.readout_walk_fraction = float(readout_walk_fraction)
+        self.seed = int(seed)
+
+    def calibration_cycle(self, time_hours: float) -> int:
+        """Index of the calibration cycle containing ``time_hours``."""
+        return int(time_hours // self.calibration_period_hours)
+
+    def snapshot(self, time_hours: float) -> DeviceModel:
+        """Return a drifted copy of the device as it would look at ``time_hours``."""
+        cycle = self.calibration_cycle(time_hours)
+        hours_into_cycle = time_hours - cycle * self.calibration_period_hours
+        qubits: List[QubitProperties] = []
+        for index, base in enumerate(self.device.qubits):
+            rng = np.random.default_rng((self.seed, cycle, index))
+            # Re-calibration re-draws the residual detuning around a fraction of
+            # the original magnitude (calibration cancels most, not all, of it).
+            scale = abs(base.static_detuning) if base.static_detuning else 1e-4
+            cycle_detuning = float(rng.normal(0.0, scale)) if cycle > 0 else base.static_detuning
+            cycle_t1 = base.t1_ns * float(rng.uniform(0.85, 1.15)) if cycle > 0 else base.t1_ns
+            cycle_t2 = min(base.t2_ns * float(rng.uniform(0.85, 1.15)), 1.95 * cycle_t1)
+            cycle_r01 = base.readout_error_01 * float(rng.uniform(0.8, 1.3)) if cycle > 0 else base.readout_error_01
+            cycle_r10 = base.readout_error_10 * float(rng.uniform(0.8, 1.3)) if cycle > 0 else base.readout_error_10
+
+            # Intra-cycle bounded random walk, deterministic in the hour index.
+            steps = int(hours_into_cycle)
+            walk_rng = np.random.default_rng((self.seed, cycle, index, 1))
+            detuning = cycle_detuning
+            t1, t2 = cycle_t1, cycle_t2
+            r01, r10 = cycle_r01, cycle_r10
+            for _ in range(steps):
+                detuning += float(walk_rng.normal(0.0, self.detuning_walk_fraction * scale))
+                t1 *= 1.0 + float(walk_rng.normal(0.0, self.coherence_walk_fraction))
+                t2 *= 1.0 + float(walk_rng.normal(0.0, self.coherence_walk_fraction))
+                r01 *= 1.0 + float(walk_rng.normal(0.0, self.readout_walk_fraction))
+                r10 *= 1.0 + float(walk_rng.normal(0.0, self.readout_walk_fraction))
+            t1 = max(10000.0, t1)
+            t2 = float(min(max(5000.0, t2), 1.95 * t1))
+            r01 = float(min(0.45, max(1e-4, r01)))
+            r10 = float(min(0.45, max(1e-4, r10)))
+
+            qubits.append(
+                replace(
+                    base,
+                    t1_ns=t1,
+                    t2_ns=t2,
+                    readout_error_01=r01,
+                    readout_error_10=r10,
+                    static_detuning=detuning,
+                )
+            )
+        return DeviceModel(
+            name=f"{self.device.name}@{time_hours:.1f}h",
+            num_qubits=self.device.num_qubits,
+            coupling_edges=self.device.coupling_edges,
+            qubit_properties=qubits,
+            single_qubit_gate=self.device.single_qubit_gate,
+            two_qubit_gates=self.device.two_qubit_gates,
+            readout_duration_ns=self.device.readout_duration_ns,
+            zz_crosstalk_rad_per_ns=self.device.zz_crosstalk,
+            dt_ns=self.device.dt_ns,
+            basis_gates=self.device.basis_gates,
+        )
+
+    def timeline(self, hours: float, step_hours: float = 1.0) -> List[DeviceModel]:
+        """Snapshots at regular intervals across ``hours`` of wall-clock time."""
+        count = int(math.floor(hours / step_hours)) + 1
+        return [self.snapshot(i * step_hours) for i in range(count)]

@@ -1,0 +1,36 @@
+"""Circuit intermediate representation, gate library and ansatz builders."""
+
+from .parameter import Parameter, ParameterExpression, ParameterVector
+from .gates import Barrier, Delay, Gate, Measure, standard_gate, IBM_BASIS, VIRTUAL_GATES
+from .circuit import Instruction, QuantumCircuit
+from .library import (
+    bell_circuit,
+    efficient_su2,
+    ghz_circuit,
+    hahn_echo_microbenchmark,
+    idle_window_microbenchmark,
+    two_local,
+    uccsd_like_ansatz,
+)
+
+__all__ = [
+    "Parameter",
+    "ParameterExpression",
+    "ParameterVector",
+    "Gate",
+    "Barrier",
+    "Delay",
+    "Measure",
+    "standard_gate",
+    "IBM_BASIS",
+    "VIRTUAL_GATES",
+    "Instruction",
+    "QuantumCircuit",
+    "efficient_su2",
+    "two_local",
+    "uccsd_like_ansatz",
+    "hahn_echo_microbenchmark",
+    "idle_window_microbenchmark",
+    "ghz_circuit",
+    "bell_circuit",
+]

@@ -1,0 +1,264 @@
+"""Circuit library: ansatz used by the paper and idle-time micro-benchmarks.
+
+The paper's VQE applications use two families of ansatz:
+
+* the hardware-efficient ``EfficientSU2`` ansatz (Ry/Rz layers + CX
+  entanglers, with ``full`` or ``circular`` entanglement and a configurable
+  number of repetitions), used for the TFIM and Li+ benchmarks, and
+* a UCCSD-style chemistry ansatz, used for the H2 benchmark.
+
+It also provides the two micro-benchmark circuits used by Figs. 5, 6 and 9:
+a single-qubit Hahn-echo (``H + delay + X + H``) circuit and a two-qubit
+circuit containing one large idle window.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import CircuitError
+from .circuit import QuantumCircuit
+from .parameter import Parameter, ParameterVector
+
+
+def _entangler_pairs(num_qubits: int, entanglement: str) -> List[Tuple[int, int]]:
+    """Pairs of qubits coupled by the entangling layer."""
+    if num_qubits < 2:
+        return []
+    if entanglement == "linear":
+        return [(i, i + 1) for i in range(num_qubits - 1)]
+    if entanglement == "circular":
+        pairs = [(i, i + 1) for i in range(num_qubits - 1)]
+        pairs.append((num_qubits - 1, 0))
+        return pairs
+    if entanglement == "full":
+        return [(i, j) for i in range(num_qubits) for j in range(i + 1, num_qubits)]
+    raise CircuitError(f"unknown entanglement pattern '{entanglement}'")
+
+
+def efficient_su2(
+    num_qubits: int,
+    reps: int = 2,
+    entanglement: str = "full",
+    parameter_prefix: str = "theta",
+    skip_final_rotation_layer: bool = False,
+    name: Optional[str] = None,
+) -> QuantumCircuit:
+    """Hardware-efficient SU2 ansatz (Ry + Rz rotation layers, CX entanglers).
+
+    The structure mirrors Qiskit's ``EfficientSU2``: ``reps`` blocks, each a
+    rotation layer (Ry then Rz on every qubit) followed by an entangling layer
+    of CX gates in the requested pattern, plus a final rotation layer.  The
+    parameter count is ``2 * num_qubits * (reps + 1)`` (or ``2*n*reps`` when
+    the final rotation layer is skipped).
+    """
+    if num_qubits < 1:
+        raise CircuitError("efficient_su2 requires at least one qubit")
+    if reps < 1:
+        raise CircuitError("efficient_su2 requires reps >= 1")
+    layers = reps if skip_final_rotation_layer else reps + 1
+    params = ParameterVector(parameter_prefix, 2 * num_qubits * layers)
+    circuit = QuantumCircuit(num_qubits, name=name or f"su2_{num_qubits}q_{entanglement}_{reps}r")
+    pairs = _entangler_pairs(num_qubits, entanglement)
+
+    idx = 0
+
+    def rotation_layer():
+        nonlocal idx
+        for q in range(num_qubits):
+            circuit.ry(params[idx], q)
+            idx += 1
+        for q in range(num_qubits):
+            circuit.rz(params[idx], q)
+            idx += 1
+
+    for _ in range(reps):
+        rotation_layer()
+        for a, b in pairs:
+            circuit.cx(a, b)
+    if not skip_final_rotation_layer:
+        rotation_layer()
+
+    circuit.metadata.update(
+        {
+            "ansatz": "efficient_su2",
+            "reps": reps,
+            "entanglement": entanglement,
+            "num_parameters": 2 * num_qubits * layers,
+        }
+    )
+    return circuit
+
+
+def two_local(
+    num_qubits: int,
+    rotation_gates: Sequence[str] = ("ry",),
+    entanglement_gate: str = "cx",
+    reps: int = 1,
+    entanglement: str = "linear",
+    parameter_prefix: str = "phi",
+) -> QuantumCircuit:
+    """Generic two-local ansatz: alternating rotation and entanglement layers."""
+    if entanglement_gate not in ("cx", "cz"):
+        raise CircuitError("entanglement_gate must be 'cx' or 'cz'")
+    num_rot_params = len(rotation_gates) * num_qubits * (reps + 1)
+    params = ParameterVector(parameter_prefix, num_rot_params)
+    circuit = QuantumCircuit(num_qubits, name=f"two_local_{num_qubits}q_{reps}r")
+    pairs = _entangler_pairs(num_qubits, entanglement)
+    idx = 0
+
+    def rotation_layer():
+        nonlocal idx
+        for gate in rotation_gates:
+            for q in range(num_qubits):
+                getattr(circuit, gate)(params[idx], q)
+                idx += 1
+
+    for _ in range(reps):
+        rotation_layer()
+        for a, b in pairs:
+            getattr(circuit, entanglement_gate)(a, b)
+    rotation_layer()
+    circuit.metadata.update({"ansatz": "two_local", "reps": reps, "entanglement": entanglement})
+    return circuit
+
+
+def uccsd_like_ansatz(num_qubits: int = 4, name: str = "uccsd_h2") -> QuantumCircuit:
+    """A UCCSD-style ansatz for the 4-qubit H2 problem.
+
+    The paper uses Qiskit's UCCSD with a Hartree–Fock initial state, parity
+    mapping and no two-qubit reduction, which produces a deep 4-qubit circuit.
+    We implement the standard exponentiated single- and double-excitation
+    structure:
+
+    * Hartree–Fock reference ``|0101>`` prepared with X gates,
+    * two single-excitation rotations implemented as Givens-style ``CX - Ry -
+      CX`` blocks, and
+    * one double-excitation rotation implemented with the canonical CX-ladder
+      ``exp(-i theta/2 * X X X Y)``-type construction.
+
+    Three variational parameters in total (t1_0, t1_1, t2_0) — the same
+    parameter structure as the textbook H2 UCCSD circuit.
+    """
+    if num_qubits != 4:
+        raise CircuitError("the UCCSD-like ansatz is defined for 4 qubits (H2)")
+    t1_0 = Parameter("t1_0")
+    t1_1 = Parameter("t1_1")
+    t2_0 = Parameter("t2_0")
+    circuit = QuantumCircuit(4, name=name)
+
+    # Hartree-Fock reference state: occupy the two "lower" spin orbitals.
+    circuit.x(0)
+    circuit.x(1)
+
+    def single_excitation(theta, occupied: int, virtual: int):
+        """Givens rotation between an occupied and a virtual spin orbital."""
+        circuit.cx(virtual, occupied)
+        circuit.cry(theta, occupied, virtual)
+        circuit.cx(virtual, occupied)
+
+    single_excitation(t1_0, 0, 2)
+    single_excitation(t1_1, 1, 3)
+
+    # Double excitation: exp(-i t/2 Y0 X1 X2 X3)-style CX ladder construction.
+    circuit.h(1)
+    circuit.h(2)
+    circuit.h(3)
+    circuit.rx(math.pi / 2, 0)
+    circuit.cx(0, 1)
+    circuit.cx(1, 2)
+    circuit.cx(2, 3)
+    circuit.rz(t2_0, 3)
+    circuit.cx(2, 3)
+    circuit.cx(1, 2)
+    circuit.cx(0, 1)
+    circuit.rx(-math.pi / 2, 0)
+    circuit.h(1)
+    circuit.h(2)
+    circuit.h(3)
+
+    circuit.metadata.update({"ansatz": "uccsd_like", "num_parameters": 3})
+    return circuit
+
+
+def hahn_echo_microbenchmark(
+    delay_ns: float = 28440.0,
+    echo_position: float = 0.5,
+    include_echo: bool = True,
+    name: str = "hahn_echo",
+) -> QuantumCircuit:
+    """The paper's Fig. 6 micro-benchmark: ``H + delay + X + delay + H``.
+
+    A qubit is put in superposition, left idle for ``delay_ns`` nanoseconds
+    (28.44 us in the paper, created there with 799 identity gates), an ``X``
+    gate is placed at the fractional ``echo_position`` of the window (0 =
+    as soon as possible, 1 = as late as possible), and a final ``H`` rotates
+    into the X basis so that measurement reveals the residual dephasing.
+    """
+    if not 0.0 <= echo_position <= 1.0:
+        raise CircuitError("echo_position must lie in [0, 1]")
+    circuit = QuantumCircuit(1, name=name)
+    circuit.h(0)
+    if include_echo:
+        before = delay_ns * echo_position
+        after = delay_ns * (1.0 - echo_position)
+        if before > 0:
+            circuit.delay(before, 0)
+        circuit.x(0)
+        if after > 0:
+            circuit.delay(after, 0)
+    else:
+        circuit.delay(delay_ns, 0)
+    circuit.h(0)
+    circuit.measure(0, 0)
+    circuit.metadata.update(
+        {"microbenchmark": "hahn_echo", "delay_ns": delay_ns, "echo_position": echo_position}
+    )
+    return circuit
+
+
+def idle_window_microbenchmark(
+    idle_ns: float = 10000.0,
+    theta: float = math.pi / 3,
+    name: str = "idle_window_2q",
+) -> QuantumCircuit:
+    """A two-qubit circuit with one large idle window (Figs. 5 and 9).
+
+    Qubit 0 is prepared in a phase-sensitive superposition and then sits idle
+    while its partner qubit 1 spends a long time "busy" (modelled with an
+    excitation followed by a delay — a stand-in for the long routed
+    communication chains that create idle windows in real compiled circuits).
+    After the wait both qubits are rotated back so the ideal outcome is
+    ``|00>``.  The idle window on qubit 0 is where DD sequences / gate
+    rescheduling are applied; the partner waits in a Z-basis state so the
+    window's fidelity loss is attributable to qubit 0's idle errors (plus the
+    always-on ZZ coupling between the pair, which DD also refocuses).
+    """
+    circuit = QuantumCircuit(2, name=name)
+    circuit.ry(theta, 0)
+    circuit.x(1)
+    # Qubit 1 is "busy" for idle_ns; qubit 0 has a matching idle window that
+    # the scheduler will expose.  The delay is placed explicitly on qubit 1 so
+    # that qubit 0's idleness is implicit (discovered by idle-window analysis).
+    circuit.delay(idle_ns, 1)
+    circuit.barrier()
+    circuit.ry(-theta, 0)
+    circuit.x(1)
+    circuit.measure_all()
+    circuit.metadata.update({"microbenchmark": "idle_window_2q", "idle_ns": idle_ns, "theta": theta})
+    return circuit
+
+
+def ghz_circuit(num_qubits: int) -> QuantumCircuit:
+    """A GHZ state preparation circuit (used in tests and examples)."""
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for q in range(num_qubits - 1):
+        circuit.cx(q, q + 1)
+    return circuit
+
+
+def bell_circuit() -> QuantumCircuit:
+    """The 2-qubit Bell state preparation circuit."""
+    return ghz_circuit(2)

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that a
+caller can catch library failures without also swallowing programming errors
+such as :class:`TypeError` raised by misuse of the Python API itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or invalid circuit operations."""
+
+
+class ParameterError(CircuitError):
+    """Raised when binding or resolving circuit parameters fails."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator cannot execute the requested circuit."""
+
+
+class NoiseModelError(SimulationError):
+    """Raised when a noise model is inconsistent or incomplete."""
+
+
+class TranspilerError(ReproError):
+    """Raised when compilation (layout, routing, scheduling) fails."""
+
+
+class BackendError(ReproError):
+    """Raised when a device model is queried for missing properties."""
+
+
+class MitigationError(ReproError):
+    """Raised when an error-mitigation pass cannot be applied."""
+
+
+class OptimizerError(ReproError):
+    """Raised when a classical optimizer is misconfigured."""
+
+
+class VQEError(ReproError):
+    """Raised when a VQE problem definition or execution is invalid."""
+
+
+class VAQEMError(ReproError):
+    """Raised when the VAQEM tuning framework is misconfigured."""
+
+
+class RuntimeSessionError(ReproError):
+    """Raised when a runtime session violates its constraints (e.g. time cap)."""

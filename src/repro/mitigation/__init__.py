@@ -1,0 +1,45 @@
+"""Error-mitigation techniques: DD insertion, gate scheduling, MEM and ZNE."""
+
+from .dd import (
+    DD_SEQUENCES,
+    DDConfig,
+    apply_dd_configuration,
+    insert_dd_sequences,
+    max_sequences_in_window,
+    uniform_dd,
+)
+from .gate_scheduling import (
+    GSConfig,
+    apply_gs_configuration,
+    movable_gate,
+    position_sweep_values,
+    reschedule_gate,
+    tunable_windows,
+)
+from .mem import MeasurementMitigator
+from .zne import (
+    fold_circuit_global,
+    linear_extrapolate,
+    richardson_extrapolate,
+    zne_expectation,
+)
+
+__all__ = [
+    "DD_SEQUENCES",
+    "DDConfig",
+    "insert_dd_sequences",
+    "apply_dd_configuration",
+    "uniform_dd",
+    "max_sequences_in_window",
+    "GSConfig",
+    "reschedule_gate",
+    "apply_gs_configuration",
+    "movable_gate",
+    "tunable_windows",
+    "position_sweep_values",
+    "MeasurementMitigator",
+    "fold_circuit_global",
+    "richardson_extrapolate",
+    "linear_extrapolate",
+    "zne_expectation",
+]

@@ -1,0 +1,23 @@
+"""Pauli operators and the paper's problem Hamiltonians."""
+
+from .pauli import MeasurementGroup, PauliString, PauliSum
+from .hamiltonians import (
+    h2_exact_ground_energy,
+    h2_hamiltonian,
+    lithium_ion_exact_ground_energy,
+    lithium_ion_hamiltonian,
+    tfim_exact_ground_energy,
+    tfim_hamiltonian,
+)
+
+__all__ = [
+    "PauliString",
+    "PauliSum",
+    "MeasurementGroup",
+    "tfim_hamiltonian",
+    "tfim_exact_ground_energy",
+    "h2_hamiltonian",
+    "h2_exact_ground_energy",
+    "lithium_ion_hamiltonian",
+    "lithium_ion_exact_ground_energy",
+]

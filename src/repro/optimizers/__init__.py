@@ -1,0 +1,15 @@
+"""Classical optimizers for variational parameter tuning."""
+
+from .base import OptimizationResult, Optimizer, TrackingObjective
+from .scipy_optimizers import COBYLA, NelderMead, ScipyOptimizer
+from .spsa import SPSA
+
+__all__ = [
+    "Optimizer",
+    "OptimizationResult",
+    "TrackingObjective",
+    "SPSA",
+    "ScipyOptimizer",
+    "NelderMead",
+    "COBYLA",
+]

@@ -1,0 +1,81 @@
+"""Classical optimizer interfaces.
+
+All optimizers expose the same :meth:`Optimizer.minimize` signature so the
+VQE driver can switch between them; the result record keeps the full
+objective-value history, which is what the paper's convergence plots (Fig. 8)
+are drawn from.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import OptimizerError
+
+Objective = Callable[[np.ndarray], float]
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of a classical minimisation run."""
+
+    optimal_parameters: np.ndarray
+    optimal_value: float
+    num_evaluations: int
+    history: List[float] = field(default_factory=list)
+    parameter_history: List[np.ndarray] = field(default_factory=list)
+    converged: bool = True
+    message: str = ""
+
+    def __repr__(self):
+        return (
+            f"OptimizationResult(value={self.optimal_value:.6f}, "
+            f"evals={self.num_evaluations}, converged={self.converged})"
+        )
+
+
+class Optimizer(ABC):
+    """Base class for classical parameter optimizers."""
+
+    name = "optimizer"
+
+    @abstractmethod
+    def minimize(self, objective: Objective, initial_point: Sequence[float]) -> OptimizationResult:
+        """Minimise ``objective`` starting from ``initial_point``."""
+
+    @staticmethod
+    def _validate_initial_point(initial_point: Sequence[float]) -> np.ndarray:
+        point = np.asarray(initial_point, dtype=float).reshape(-1)
+        if point.size == 0:
+            raise OptimizerError("the initial point must contain at least one parameter")
+        return point
+
+
+class TrackingObjective:
+    """Wraps an objective to record every evaluation (value and parameters)."""
+
+    def __init__(self, objective: Objective):
+        self._objective = objective
+        self.values: List[float] = []
+        self.points: List[np.ndarray] = []
+
+    def __call__(self, parameters: np.ndarray) -> float:
+        value = float(self._objective(np.asarray(parameters, dtype=float)))
+        self.values.append(value)
+        self.points.append(np.asarray(parameters, dtype=float).copy())
+        return value
+
+    @property
+    def num_evaluations(self) -> int:
+        return len(self.values)
+
+    def best(self) -> tuple:
+        """(best_parameters, best_value) over every evaluation seen so far."""
+        if not self.values:
+            raise OptimizerError("no evaluations recorded")
+        index = int(np.argmin(self.values))
+        return self.points[index], self.values[index]

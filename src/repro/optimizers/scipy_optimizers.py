@@ -1,0 +1,71 @@
+"""Scipy-backed optimizers (Nelder-Mead, COBYLA, Powell).
+
+The paper's "ideal flow" (Fig. 11) anticipates Runtime eventually allowing an
+*optimal classical tuner* rather than SPSA only; these wrappers let the
+reproduction's benchmarks compare SPSA against stronger derivative-free
+optimizers when angle tuning runs in simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy import optimize as scipy_optimize
+
+from ..exceptions import OptimizerError
+from .base import Objective, OptimizationResult, Optimizer, TrackingObjective
+
+
+class ScipyOptimizer(Optimizer):
+    """Thin wrapper around :func:`scipy.optimize.minimize` with history tracking."""
+
+    name = "scipy"
+    _ALLOWED = ("Nelder-Mead", "COBYLA", "Powell", "BFGS", "SLSQP")
+
+    def __init__(self, method: str = "COBYLA", maxiter: int = 200, tol: Optional[float] = None):
+        if method not in self._ALLOWED:
+            raise OptimizerError(f"unsupported scipy method '{method}'; options: {self._ALLOWED}")
+        if maxiter < 1:
+            raise OptimizerError("maxiter must be at least 1")
+        self.method = method
+        self.maxiter = maxiter
+        self.tol = tol
+
+    def minimize(self, objective: Objective, initial_point: Sequence[float]) -> OptimizationResult:
+        tracked = TrackingObjective(objective)
+        point = self._validate_initial_point(initial_point)
+        options = {"maxiter": self.maxiter}
+        if self.method == "Nelder-Mead":
+            options["maxfev"] = 20 * self.maxiter
+        result = scipy_optimize.minimize(
+            tracked, point, method=self.method, tol=self.tol, options=options
+        )
+        best_point, best_value = tracked.best()
+        return OptimizationResult(
+            optimal_parameters=np.asarray(best_point, dtype=float),
+            optimal_value=float(best_value),
+            num_evaluations=tracked.num_evaluations,
+            history=tracked.values,
+            parameter_history=tracked.points,
+            converged=bool(result.success) if hasattr(result, "success") else True,
+            message=str(getattr(result, "message", "")),
+        )
+
+
+class NelderMead(ScipyOptimizer):
+    """Nelder-Mead simplex optimizer."""
+
+    name = "nelder-mead"
+
+    def __init__(self, maxiter: int = 200, tol: Optional[float] = None):
+        super().__init__("Nelder-Mead", maxiter=maxiter, tol=tol)
+
+
+class COBYLA(ScipyOptimizer):
+    """Constrained optimization by linear approximation."""
+
+    name = "cobyla"
+
+    def __init__(self, maxiter: int = 200, tol: Optional[float] = None):
+        super().__init__("COBYLA", maxiter=maxiter, tol=tol)

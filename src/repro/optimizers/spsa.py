@@ -1,0 +1,103 @@
+"""Simultaneous Perturbation Stochastic Approximation (SPSA).
+
+SPSA is the only tuner Qiskit Runtime supported at the time of the paper
+(§VI-A constraint 2), so it is the optimizer used for all angle tuning in the
+reproduction.  Each iteration estimates the gradient from just two objective
+evaluations with a random simultaneous perturbation of all parameters, which
+makes it well suited to noisy objective functions.
+
+The gain schedules follow Spall's standard recommendations:
+``a_k = a / (k + 1 + A)^alpha`` and ``c_k = c / (k + 1)^gamma``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import OptimizerError
+from .base import Objective, OptimizationResult, Optimizer, TrackingObjective
+
+
+class SPSA(Optimizer):
+    """Spall's SPSA optimizer with optional parameter blocking and averaging."""
+
+    name = "spsa"
+
+    def __init__(
+        self,
+        maxiter: int = 100,
+        learning_rate: float = 0.2,
+        perturbation: float = 0.15,
+        alpha: float = 0.602,
+        gamma: float = 0.101,
+        stability_constant: Optional[float] = None,
+        resamplings: int = 1,
+        blocking: bool = False,
+        allowed_increase: float = 0.5,
+        seed: Optional[int] = None,
+        callback: Optional[Callable[[int, np.ndarray, float], None]] = None,
+    ):
+        if maxiter < 1:
+            raise OptimizerError("maxiter must be at least 1")
+        if resamplings < 1:
+            raise OptimizerError("resamplings must be at least 1")
+        self.maxiter = maxiter
+        self.learning_rate = learning_rate
+        self.perturbation = perturbation
+        self.alpha = alpha
+        self.gamma = gamma
+        self.stability_constant = (
+            stability_constant if stability_constant is not None else 0.1 * maxiter
+        )
+        self.resamplings = resamplings
+        self.blocking = blocking
+        self.allowed_increase = allowed_increase
+        self.seed = seed
+        self.callback = callback
+
+    def _gains(self, iteration: int) -> tuple:
+        a_k = self.learning_rate / ((iteration + 1 + self.stability_constant) ** self.alpha)
+        c_k = self.perturbation / ((iteration + 1) ** self.gamma)
+        return a_k, c_k
+
+    def minimize(self, objective: Objective, initial_point: Sequence[float]) -> OptimizationResult:
+        rng = np.random.default_rng(self.seed)
+        tracked = TrackingObjective(objective)
+        point = self._validate_initial_point(initial_point)
+        current_value = tracked(point)
+        iteration_values = [current_value]
+
+        for iteration in range(self.maxiter):
+            a_k, c_k = self._gains(iteration)
+            gradient = np.zeros_like(point)
+            for _ in range(self.resamplings):
+                delta = rng.choice([-1.0, 1.0], size=point.size)
+                value_plus = tracked(point + c_k * delta)
+                value_minus = tracked(point - c_k * delta)
+                gradient += (value_plus - value_minus) / (2.0 * c_k) * delta
+            gradient /= self.resamplings
+
+            candidate = point - a_k * gradient
+            candidate_value = tracked(candidate)
+            if self.blocking and candidate_value > current_value + self.allowed_increase:
+                # Reject the step but keep annealing the gains.
+                iteration_values.append(current_value)
+            else:
+                point = candidate
+                current_value = candidate_value
+                iteration_values.append(current_value)
+            if self.callback is not None:
+                self.callback(iteration, point.copy(), current_value)
+
+        best_point, best_value = tracked.best()
+        return OptimizationResult(
+            optimal_parameters=best_point,
+            optimal_value=best_value,
+            num_evaluations=tracked.num_evaluations,
+            history=iteration_values,
+            parameter_history=tracked.points,
+            converged=True,
+            message=f"SPSA finished {self.maxiter} iterations",
+        )

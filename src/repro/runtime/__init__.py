@@ -1,0 +1,16 @@
+"""Cloud-execution modelling: Runtime sessions, queueing and timing."""
+
+from .queue_model import DEFAULT_PROFILES, QueueModel, QueueProfile
+from .session import CircuitTimingModel, RuntimeConstraints, RuntimeSession
+from .timing import ExecutionTimeModel, TimeBreakdown
+
+__all__ = [
+    "RuntimeSession",
+    "RuntimeConstraints",
+    "CircuitTimingModel",
+    "QueueModel",
+    "QueueProfile",
+    "DEFAULT_PROFILES",
+    "ExecutionTimeModel",
+    "TimeBreakdown",
+]

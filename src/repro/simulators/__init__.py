@@ -1,0 +1,46 @@
+"""Ideal and noisy simulators, noise channels and noise models."""
+
+from .channels import (
+    amplitude_damping_kraus,
+    bit_flip_kraus,
+    coherent_z_kraus,
+    coherent_zz_kraus,
+    compose_channels,
+    depolarizing_kraus,
+    identity_kraus,
+    is_valid_channel,
+    phase_damping_kraus,
+    thermal_relaxation_kraus,
+)
+from .density_matrix import DensityMatrix
+from .noise_model import ChannelOp, NoiseModel
+from .noisy_simulator import NoisySimulator
+from .readout import (
+    apply_readout_error,
+    counts_to_probabilities,
+    probabilities_to_counts,
+    tensor_confusion_matrix,
+)
+from .statevector import StatevectorSimulator
+
+__all__ = [
+    "StatevectorSimulator",
+    "DensityMatrix",
+    "NoisySimulator",
+    "NoiseModel",
+    "ChannelOp",
+    "identity_kraus",
+    "amplitude_damping_kraus",
+    "phase_damping_kraus",
+    "thermal_relaxation_kraus",
+    "depolarizing_kraus",
+    "coherent_z_kraus",
+    "coherent_zz_kraus",
+    "bit_flip_kraus",
+    "compose_channels",
+    "is_valid_channel",
+    "apply_readout_error",
+    "tensor_confusion_matrix",
+    "probabilities_to_counts",
+    "counts_to_probabilities",
+]

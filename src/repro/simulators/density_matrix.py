@@ -1,0 +1,179 @@
+"""Density-matrix state representation and channel application.
+
+The noisy simulator tracks the full density matrix of the circuit's qubits
+(at most 7 in the paper's experiments, i.e. 128x128), applying unitary gates
+and Kraus channels in schedule order.  :class:`DensityMatrix` provides the
+linear-algebra primitives; the schedule walking lives in
+:mod:`repro.simulators.noisy_simulator`.
+
+Big-endian convention throughout: qubit 0 is the most-significant bit of the
+basis index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import SimulationError
+
+
+class DensityMatrix:
+    """A mutable n-qubit density matrix."""
+
+    def __init__(self, num_qubits: int, data: Optional[np.ndarray] = None):
+        if num_qubits < 1:
+            raise SimulationError("a density matrix needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        dim = 2 ** self.num_qubits
+        if data is None:
+            self.data = np.zeros((dim, dim), dtype=complex)
+            self.data[0, 0] = 1.0
+        else:
+            data = np.asarray(data, dtype=complex)
+            if data.shape != (dim, dim):
+                raise SimulationError(f"expected a {dim}x{dim} matrix, got {data.shape}")
+            self.data = data.copy()
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_statevector(cls, statevector: np.ndarray) -> "DensityMatrix":
+        vec = np.asarray(statevector, dtype=complex).reshape(-1)
+        num_qubits = int(np.log2(vec.size))
+        if 2 ** num_qubits != vec.size:
+            raise SimulationError("statevector length is not a power of two")
+        out = cls(num_qubits)
+        out.data = np.outer(vec, vec.conj())
+        return out
+
+    def copy(self) -> "DensityMatrix":
+        return DensityMatrix(self.num_qubits, self.data)
+
+    # -- basic properties -----------------------------------------------------
+    def trace(self) -> float:
+        return float(np.real(np.trace(self.data)))
+
+    def purity(self) -> float:
+        """``Tr[rho^2]`` — 1 for pure states, 1/d for the maximally mixed state."""
+        return float(np.real(np.trace(self.data @ self.data)))
+
+    def is_physical(self, atol: float = 1e-7) -> bool:
+        """Hermitian, unit trace, positive semidefinite (up to tolerance)."""
+        if not np.allclose(self.data, self.data.conj().T, atol=atol):
+            return False
+        if abs(self.trace() - 1.0) > 1e-6:
+            return False
+        eigvals = np.linalg.eigvalsh(self.data)
+        return bool(eigvals.min() > -atol)
+
+    # -- index helpers -----------------------------------------------------------
+    def _contract(self, data: np.ndarray, matrix: np.ndarray, axes: Sequence[int]) -> np.ndarray:
+        """Contract ``matrix`` (a k-qubit operator) into the given tensor axes.
+
+        ``data`` is the density matrix viewed as a rank-2n tensor (row axes
+        0..n-1, column axes n..2n-1); ``axes`` names the tensor axes the
+        operator's input indices act on.  The operator's output indices are
+        moved back into the same positions, so repeated contractions compose
+        like ordinary matrix products.
+        """
+        n = self.num_qubits
+        k = len(axes)
+        tensor = data.reshape([2] * (2 * n))
+        op = matrix.reshape([2] * (2 * k))
+        out = np.tensordot(op, tensor, axes=(list(range(k, 2 * k)), list(axes)))
+        # tensordot puts the operator's output indices first; move every axis
+        # back to its canonical position.
+        remaining = [axis for axis in range(2 * n) if axis not in axes]
+        position = {}
+        for index, axis in enumerate(axes):
+            position[axis] = index
+        for index, axis in enumerate(remaining):
+            position[axis] = k + index
+        out = np.transpose(out, [position[axis] for axis in range(2 * n)])
+        return out.reshape(2 ** n, 2 ** n)
+
+    def _check_operator(self, matrix: np.ndarray, qubits: Sequence[int]) -> np.ndarray:
+        matrix = np.asarray(matrix, dtype=complex)
+        k = len(qubits)
+        if matrix.shape != (2 ** k, 2 ** k):
+            raise SimulationError("operator dimension does not match the number of target qubits")
+        if len(set(qubits)) != k or any(not 0 <= q < self.num_qubits for q in qubits):
+            raise SimulationError(f"invalid target qubits {tuple(qubits)}")
+        return matrix
+
+    # -- evolution ----------------------------------------------------------------
+    def apply_unitary(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        """Apply a unitary acting on ``qubits``: rho -> U rho U^dagger."""
+        matrix = self._check_operator(matrix, qubits)
+        n = self.num_qubits
+        data = self._contract(self.data, matrix, list(qubits))
+        self.data = self._contract(data, matrix.conj(), [n + q for q in qubits])
+
+    def apply_kraus(self, kraus: Iterable[np.ndarray], qubits: Sequence[int]) -> None:
+        """Apply a Kraus channel acting on ``qubits``."""
+        n = self.num_qubits
+        new = np.zeros_like(self.data)
+        for k in kraus:
+            matrix = self._check_operator(k, qubits)
+            term = self._contract(self.data, matrix, list(qubits))
+            new += self._contract(term, matrix.conj(), [n + q for q in qubits])
+        self.data = new
+
+    # -- measurement -----------------------------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        """Computational-basis probabilities (the diagonal, clipped at 0)."""
+        probs = np.real(np.diag(self.data)).copy()
+        probs[probs < 0] = 0.0
+        total = probs.sum()
+        if total <= 0:
+            raise SimulationError("density matrix has no probability mass")
+        return probs / total
+
+    def marginal_probabilities(self, qubits: Sequence[int]) -> np.ndarray:
+        """Probabilities of outcomes on a subset of qubits (in the given order)."""
+        probs = self.probabilities()
+        n = self.num_qubits
+        k = len(qubits)
+        out = np.zeros(2 ** k)
+        for index, p in enumerate(probs):
+            if p == 0.0:
+                continue
+            key = 0
+            for q in qubits:
+                bit = (index >> (n - 1 - q)) & 1
+                key = (key << 1) | bit
+            out[key] += p
+        return out
+
+    def sample_counts(
+        self,
+        shots: int,
+        qubits: Optional[Sequence[int]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Dict[str, int]:
+        """Sample ``shots`` measurement outcomes on ``qubits`` (all by default)."""
+        rng = rng or np.random.default_rng()
+        qubits = list(qubits) if qubits is not None else list(range(self.num_qubits))
+        probs = self.marginal_probabilities(qubits)
+        outcomes = rng.multinomial(shots, probs)
+        counts: Dict[str, int] = {}
+        width = len(qubits)
+        for index, count in enumerate(outcomes):
+            if count:
+                counts[format(index, f"0{width}b")] = int(count)
+        return counts
+
+    def expectation(self, observable_matrix: np.ndarray) -> float:
+        """``Tr[O rho]`` for a Hermitian operator ``O`` on the full register."""
+        observable_matrix = np.asarray(observable_matrix, dtype=complex)
+        if observable_matrix.shape != self.data.shape:
+            raise SimulationError("observable dimension does not match the density matrix")
+        return float(np.real(np.trace(observable_matrix @ self.data)))
+
+    def fidelity_with_pure_state(self, statevector: np.ndarray) -> float:
+        """``<psi| rho |psi>`` against a pure reference state."""
+        vec = np.asarray(statevector, dtype=complex).reshape(-1)
+        if vec.size != self.data.shape[0]:
+            raise SimulationError("reference state dimension mismatch")
+        return float(np.real(vec.conj() @ self.data @ vec))

@@ -1,0 +1,110 @@
+"""Ideal statevector simulation.
+
+This is the "Ideal Simulation" backend of the paper's feasible flow: gate
+rotation angles are tuned against noise-free expectation values before error
+mitigation is tuned on the (noisy) machine.
+
+Qubit 0 is the most-significant bit of the computational-basis index
+(big-endian), consistently with :meth:`QuantumCircuit.to_unitary` and the
+Pauli-string labelling in :mod:`repro.operators`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..exceptions import SimulationError
+from ..operators.pauli import PauliSum
+
+
+def _apply_single_qubit(state: np.ndarray, matrix: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
+    """Apply a 2x2 unitary to ``qubit`` of a big-endian statevector."""
+    tensor = state.reshape([2] * num_qubits)
+    tensor = np.moveaxis(tensor, qubit, 0)
+    shape = tensor.shape
+    tensor = matrix @ tensor.reshape(2, -1)
+    tensor = tensor.reshape(shape)
+    tensor = np.moveaxis(tensor, 0, qubit)
+    return tensor.reshape(-1)
+
+
+def _apply_two_qubit(
+    state: np.ndarray, matrix: np.ndarray, qubit_a: int, qubit_b: int, num_qubits: int
+) -> np.ndarray:
+    """Apply a 4x4 unitary to ``(qubit_a, qubit_b)`` of a big-endian statevector."""
+    tensor = state.reshape([2] * num_qubits)
+    tensor = np.moveaxis(tensor, (qubit_a, qubit_b), (0, 1))
+    shape = tensor.shape
+    tensor = matrix @ tensor.reshape(4, -1)
+    tensor = tensor.reshape(shape)
+    tensor = np.moveaxis(tensor, (0, 1), (qubit_a, qubit_b))
+    return tensor.reshape(-1)
+
+
+class StatevectorSimulator:
+    """Exact, noise-free simulator for circuits of up to ~20 qubits."""
+
+    def __init__(self, seed: Optional[int] = None):
+        self._rng = np.random.default_rng(seed)
+
+    # -- state evolution ---------------------------------------------------
+    def run_statevector(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Return the final statevector of ``circuit`` (measurements ignored)."""
+        if circuit.parameters:
+            raise SimulationError("circuit still contains unbound parameters")
+        num_qubits = circuit.num_qubits
+        state = np.zeros(2 ** num_qubits, dtype=complex)
+        state[0] = 1.0
+        for inst in circuit.instructions:
+            name = inst.name
+            if name in ("barrier", "delay", "id", "measure"):
+                continue
+            matrix = inst.gate.matrix()
+            if len(inst.qubits) == 1:
+                state = _apply_single_qubit(state, matrix, inst.qubits[0], num_qubits)
+            elif len(inst.qubits) == 2:
+                state = _apply_two_qubit(state, matrix, inst.qubits[0], inst.qubits[1], num_qubits)
+            else:
+                raise SimulationError(f"unsupported gate arity for '{name}'")
+        return state
+
+    # -- measurement --------------------------------------------------------
+    def probabilities(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Computational-basis outcome probabilities of the final state."""
+        state = self.run_statevector(circuit)
+        return np.abs(state) ** 2
+
+    def counts(self, circuit: QuantumCircuit, shots: int = 4096) -> Dict[str, int]:
+        """Sample measurement counts.
+
+        Only qubits that are explicitly measured contribute to the returned
+        bitstrings; bit *i* of the key corresponds to classical bit *i*.
+        Circuits without measurements are measured on all qubits.
+        """
+        probs = self.probabilities(circuit)
+        num_qubits = circuit.num_qubits
+        measured = circuit.measured_qubits() or [(q, q) for q in range(num_qubits)]
+        outcomes = self._rng.choice(len(probs), size=shots, p=probs)
+        counts: Dict[str, int] = {}
+        num_clbits = max(c for _, c in measured) + 1
+        for outcome in outcomes:
+            bits = ["0"] * num_clbits
+            for qubit, clbit in measured:
+                bits[clbit] = str((outcome >> (num_qubits - 1 - qubit)) & 1)
+            key = "".join(bits)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # -- observables ---------------------------------------------------------
+    def expectation(self, circuit: QuantumCircuit, observable: PauliSum) -> float:
+        """Exact expectation value ``<psi|H|psi>`` of ``observable``."""
+        bare = circuit.remove_final_measurements()
+        if bare.num_qubits != observable.num_qubits:
+            raise SimulationError(
+                f"observable acts on {observable.num_qubits} qubits, circuit has {bare.num_qubits}"
+            )
+        state = self.run_statevector(bare)
+        return observable.expectation_from_statevector(state)

@@ -1,0 +1,32 @@
+"""Compilation: layout, routing, basis translation, scheduling, idle windows."""
+
+from .basis import single_qubit_sequence, translate_to_basis, unitaries_equal_up_to_phase, zyz_angles
+from .coupling import CouplingMap
+from .idle_windows import IdleWindow, adjacent_single_qubit_gate, find_idle_windows, total_idle_time, windows_by_qubit
+from .layout import Layout, noise_aware_layout, select_qubit_subset
+from .pipeline import TranspileResult, transpile
+from .routing import count_added_swaps, route_circuit
+from .scheduling import ScheduledCircuit, TimedInstruction, schedule_circuit
+
+__all__ = [
+    "CouplingMap",
+    "Layout",
+    "noise_aware_layout",
+    "select_qubit_subset",
+    "route_circuit",
+    "count_added_swaps",
+    "translate_to_basis",
+    "single_qubit_sequence",
+    "zyz_angles",
+    "unitaries_equal_up_to_phase",
+    "ScheduledCircuit",
+    "TimedInstruction",
+    "schedule_circuit",
+    "IdleWindow",
+    "find_idle_windows",
+    "adjacent_single_qubit_gate",
+    "total_idle_time",
+    "windows_by_qubit",
+    "TranspileResult",
+    "transpile",
+]

@@ -1,0 +1,178 @@
+"""Basis translation to the IBM hardware gate set ``{rz, sx, x, cx}``.
+
+Single-qubit gates are decomposed through their ZYZ Euler angles and the
+identity ``Ry(theta) ~ SX . RZ(pi - theta) . SX . RZ(pi)`` (up to global
+phase), yielding the standard ``RZ - SX - RZ - SX - RZ`` hardware sequence.
+Two-qubit gates are rewritten onto CX plus single-qubit corrections.
+
+Global phases are irrelevant for every consumer in this library (density
+matrices, expectation values, sampling), so the translation only guarantees
+equality of the circuit unitary up to a global phase — this is asserted by
+the test-suite via :func:`unitaries_equal_up_to_phase`.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate
+from ..exceptions import TranspilerError
+
+_ATOL = 1e-9
+
+
+def zyz_angles(matrix: np.ndarray) -> Tuple[float, float, float]:
+    """Euler angles (theta, phi, lam) with ``U ~ Rz(phi) Ry(theta) Rz(lam)``.
+
+    The result is defined up to global phase.  ``theta`` lies in [0, pi].
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise TranspilerError("zyz_angles expects a single-qubit matrix")
+    # Normalise to SU(2).
+    det = np.linalg.det(matrix)
+    su2 = matrix / cmath.sqrt(det)
+    # su2 = [[cos(t/2) e^{-i(phi+lam)/2}, -sin(t/2) e^{-i(phi-lam)/2}],
+    #        [sin(t/2) e^{ i(phi-lam)/2},  cos(t/2) e^{ i(phi+lam)/2}]]
+    cos_half = abs(su2[0, 0])
+    sin_half = abs(su2[1, 0])
+    theta = 2.0 * math.atan2(sin_half, cos_half)
+    if sin_half < _ATOL:
+        # Diagonal: only phi + lam is defined.
+        phi_plus_lam = 2.0 * cmath.phase(su2[1, 1])
+        return 0.0, phi_plus_lam, 0.0
+    if cos_half < _ATOL:
+        # Anti-diagonal: only phi - lam is defined.
+        phi_minus_lam = 2.0 * cmath.phase(su2[1, 0])
+        return math.pi, phi_minus_lam, 0.0
+    phi_plus_lam = 2.0 * cmath.phase(su2[1, 1])
+    phi_minus_lam = 2.0 * cmath.phase(su2[1, 0])
+    phi = 0.5 * (phi_plus_lam + phi_minus_lam)
+    lam = 0.5 * (phi_plus_lam - phi_minus_lam)
+    return theta, phi, lam
+
+
+def _wrap(angle: float) -> float:
+    """Wrap an angle into (-pi, pi]."""
+    wrapped = math.fmod(angle + math.pi, 2.0 * math.pi)
+    if wrapped <= 0:
+        wrapped += 2.0 * math.pi
+    return wrapped - math.pi
+
+
+def single_qubit_sequence(matrix: np.ndarray) -> List[Tuple[str, Tuple[float, ...]]]:
+    """Hardware sequence (circuit order) implementing a 1-qubit unitary.
+
+    Returns a list of ``(gate_name, params)`` drawn from {rz, sx, x}.  Pure Z
+    rotations collapse to a single ``rz``; X-like gates collapse to ``x``.
+    """
+    theta, phi, lam = zyz_angles(matrix)
+    theta, phi, lam = _wrap(theta), _wrap(phi), _wrap(lam)
+    if abs(theta) < _ATOL:
+        total = _wrap(phi + lam)
+        return [] if abs(total) < _ATOL else [("rz", (total,))]
+    # Circuit order (first applied first):
+    #   rz(lam + pi), sx, rz(pi - theta), sx, rz(phi)   ~   Rz(phi) Ry(theta) Rz(lam)
+    sequence: List[Tuple[str, Tuple[float, ...]]] = []
+    first = _wrap(lam + math.pi)
+    middle = _wrap(math.pi - theta)
+    last = _wrap(phi)
+    if abs(first) > _ATOL:
+        sequence.append(("rz", (first,)))
+    sequence.append(("sx", ()))
+    if abs(middle) > _ATOL:
+        sequence.append(("rz", (middle,)))
+    sequence.append(("sx", ()))
+    if abs(last) > _ATOL:
+        sequence.append(("rz", (last,)))
+    return sequence
+
+
+def unitaries_equal_up_to_phase(a: np.ndarray, b: np.ndarray, atol: float = 1e-7) -> bool:
+    """True when two unitaries differ only by a global phase."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    product = a @ b.conj().T
+    phase = product[0, 0]
+    if abs(abs(phase) - 1.0) > atol:
+        return False
+    return bool(np.allclose(product, phase * np.eye(a.shape[0]), atol=atol))
+
+
+_NATIVE_SINGLE = {"rz", "sx", "x", "id"}
+_PASSTHROUGH = {"cx", "measure", "barrier", "delay"}
+
+
+def translate_to_basis(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite a circuit onto the {rz, sx, x, cx} basis.
+
+    Parameters must already be bound (the paper also binds angles before the
+    mitigation-tuning stage, so this is not a practical restriction).
+    """
+    if circuit.parameters:
+        raise TranspilerError("bind all parameters before basis translation")
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, name=f"{circuit.name}_basis")
+    out.metadata = dict(circuit.metadata)
+
+    def emit_single(matrix: np.ndarray, qubit: int) -> None:
+        for name, params in single_qubit_sequence(matrix):
+            out.append(Gate(name, 1, params), [qubit])
+
+    for inst in circuit.instructions:
+        name = inst.name
+        qubits = inst.qubits
+        if name in _PASSTHROUGH:
+            out.append(inst.gate, qubits, inst.clbits)
+            continue
+        if name in _NATIVE_SINGLE:
+            if name == "id":
+                continue
+            out.append(inst.gate, qubits, inst.clbits)
+            continue
+        if len(qubits) == 1:
+            emit_single(inst.gate.matrix(), qubits[0])
+            continue
+        # Two-qubit decompositions onto CX.
+        if name == "cz":
+            a, b = qubits
+            emit_single(Gate("h", 1).matrix(), b)
+            out.cx(a, b)
+            emit_single(Gate("h", 1).matrix(), b)
+        elif name == "swap":
+            a, b = qubits
+            out.cx(a, b)
+            out.cx(b, a)
+            out.cx(a, b)
+        elif name == "rzz":
+            a, b = qubits
+            (theta,) = inst.gate.params
+            out.cx(a, b)
+            out.append(Gate("rz", 1, (float(theta),)), [b])
+            out.cx(a, b)
+        elif name == "rxx":
+            a, b = qubits
+            (theta,) = inst.gate.params
+            emit_single(Gate("h", 1).matrix(), a)
+            emit_single(Gate("h", 1).matrix(), b)
+            out.cx(a, b)
+            out.append(Gate("rz", 1, (float(theta),)), [b])
+            out.cx(a, b)
+            emit_single(Gate("h", 1).matrix(), a)
+            emit_single(Gate("h", 1).matrix(), b)
+        elif name == "cry":
+            a, b = qubits
+            (theta,) = inst.gate.params
+            emit_single(Gate("ry", 1, (float(theta) / 2.0,)).matrix(), b)
+            out.cx(a, b)
+            emit_single(Gate("ry", 1, (-float(theta) / 2.0,)).matrix(), b)
+            out.cx(a, b)
+        else:
+            raise TranspilerError(f"no basis decomposition for gate '{name}'")
+    return out

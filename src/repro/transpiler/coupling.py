@@ -1,0 +1,96 @@
+"""Coupling-map utilities built on :mod:`networkx`."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..exceptions import TranspilerError
+
+
+class CouplingMap:
+    """Undirected connectivity graph of a device's physical qubits."""
+
+    def __init__(self, edges: Iterable[Tuple[int, int]], num_qubits: Optional[int] = None):
+        self.graph = nx.Graph()
+        edges = [(int(a), int(b)) for a, b in edges]
+        if num_qubits is None:
+            num_qubits = max((max(a, b) for a, b in edges), default=-1) + 1
+        self.num_qubits = int(num_qubits)
+        self.graph.add_nodes_from(range(self.num_qubits))
+        for a, b in edges:
+            if a == b or not (0 <= a < self.num_qubits and 0 <= b < self.num_qubits):
+                raise TranspilerError(f"invalid coupling edge ({a}, {b})")
+            self.graph.add_edge(a, b)
+
+    @classmethod
+    def from_device(cls, device) -> "CouplingMap":
+        return cls(device.coupling_edges, num_qubits=device.num_qubits)
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        return [(min(a, b), max(a, b)) for a, b in self.graph.edges()]
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def neighbors(self, qubit: int) -> List[int]:
+        return sorted(self.graph.neighbors(qubit))
+
+    def distance(self, a: int, b: int) -> int:
+        try:
+            return nx.shortest_path_length(self.graph, a, b)
+        except nx.NetworkXNoPath:
+            raise TranspilerError(f"qubits {a} and {b} are not connected") from None
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        try:
+            return nx.shortest_path(self.graph, a, b)
+        except nx.NetworkXNoPath:
+            raise TranspilerError(f"qubits {a} and {b} are not connected") from None
+
+    def is_connected(self, qubits: Optional[Sequence[int]] = None) -> bool:
+        graph = self.graph if qubits is None else self.graph.subgraph(qubits)
+        if graph.number_of_nodes() == 0:
+            return False
+        return nx.is_connected(graph)
+
+    def subgraph(self, qubits: Sequence[int]) -> "CouplingMap":
+        """Coupling map induced on a subset of physical qubits, re-indexed 0..k-1.
+
+        The i-th entry of ``qubits`` becomes node ``i`` of the returned map.
+        """
+        index = {q: i for i, q in enumerate(qubits)}
+        edges = [
+            (index[a], index[b])
+            for a, b in self.graph.edges()
+            if a in index and b in index
+        ]
+        return CouplingMap(edges, num_qubits=len(qubits))
+
+    def connected_subsets(self, size: int) -> List[Tuple[int, ...]]:
+        """All connected subsets of physical qubits of the given size.
+
+        Only used on small devices / sizes (the evaluation needs at most 6 of
+        27 qubits); enumeration is breadth-limited to keep it tractable.
+        """
+        if size <= 0 or size > self.num_qubits:
+            raise TranspilerError("invalid subset size")
+        found = set()
+        frontier = {frozenset((q,)) for q in self.graph.nodes()}
+        for _ in range(size - 1):
+            next_frontier = set()
+            for subset in frontier:
+                for node in subset:
+                    for neighbor in self.graph.neighbors(node):
+                        if neighbor not in subset:
+                            next_frontier.add(subset | {neighbor})
+            frontier = next_frontier
+        for subset in frontier:
+            found.add(tuple(sorted(subset)))
+        return sorted(found)
+
+    def __repr__(self):
+        return f"CouplingMap({self.num_qubits} qubits, {self.graph.number_of_edges()} edges)"

@@ -1,0 +1,142 @@
+"""Initial layout selection (noise-aware mapping of virtual to physical qubits).
+
+The paper's baseline compilation uses noise-aware mapping [Murali et al.]:
+pick the connected set of physical qubits with the best aggregate quality
+(coherence, readout and CX error), then assign virtual qubits so that heavily
+interacting pairs sit on the best CX edges.  We implement a greedy version
+that is deterministic and adequate for the <= 6 qubit circuits evaluated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..backends.device import DeviceModel
+from ..circuits.circuit import QuantumCircuit
+from ..exceptions import TranspilerError
+from .coupling import CouplingMap
+
+
+class Layout:
+    """A bijective mapping between virtual circuit qubits and physical qubits."""
+
+    def __init__(self, virtual_to_physical: Dict[int, int]):
+        self.v2p: Dict[int, int] = dict(virtual_to_physical)
+        self.p2v: Dict[int, int] = {p: v for v, p in self.v2p.items()}
+        if len(self.p2v) != len(self.v2p):
+            raise TranspilerError("layout is not bijective")
+
+    def physical(self, virtual: int) -> int:
+        return self.v2p[virtual]
+
+    def virtual(self, physical: int) -> int:
+        return self.p2v[physical]
+
+    def physical_qubits(self) -> List[int]:
+        """Physical qubits in virtual-qubit order."""
+        return [self.v2p[v] for v in sorted(self.v2p)]
+
+    def swap_physical(self, phys_a: int, phys_b: int) -> None:
+        """Update the layout after a SWAP between two physical qubits."""
+        va = self.p2v.get(phys_a)
+        vb = self.p2v.get(phys_b)
+        if va is not None:
+            self.v2p[va] = phys_b
+        if vb is not None:
+            self.v2p[vb] = phys_a
+        self.p2v = {p: v for v, p in self.v2p.items()}
+
+    def copy(self) -> "Layout":
+        return Layout(dict(self.v2p))
+
+    def __repr__(self):
+        return f"Layout({self.v2p})"
+
+
+def _interaction_weights(circuit: QuantumCircuit) -> Dict[Tuple[int, int], int]:
+    """How many two-qubit gates act on each virtual pair."""
+    weights: Dict[Tuple[int, int], int] = {}
+    for inst in circuit.instructions:
+        if len(inst.qubits) == 2:
+            key = tuple(sorted(inst.qubits))
+            weights[key] = weights.get(key, 0) + 1
+    return weights
+
+
+def select_qubit_subset(device: DeviceModel, size: int) -> List[int]:
+    """Greedy selection of a connected, high-quality set of physical qubits.
+
+    Start from the best qubit and repeatedly add the best-quality neighbour of
+    the current set until ``size`` qubits are selected.
+    """
+    if size > device.num_qubits:
+        raise TranspilerError(
+            f"circuit needs {size} qubits but {device.name} has only {device.num_qubits}"
+        )
+    coupling = CouplingMap.from_device(device)
+    best_start = max(range(device.num_qubits), key=device.qubit_quality)
+    selected = [best_start]
+    while len(selected) < size:
+        frontier = set()
+        for q in selected:
+            frontier.update(coupling.neighbors(q))
+        frontier -= set(selected)
+        if not frontier:
+            raise TranspilerError("device connectivity cannot host the requested circuit size")
+        selected.append(max(frontier, key=device.qubit_quality))
+    return sorted(selected)
+
+
+def noise_aware_layout(
+    circuit: QuantumCircuit,
+    device: DeviceModel,
+    physical_qubits: Optional[Sequence[int]] = None,
+) -> Tuple[Layout, List[int]]:
+    """Pick physical qubits and an initial virtual->physical assignment.
+
+    Returns the layout plus the sorted list of physical qubits in use (the
+    "active subgraph" over which routing is allowed).
+    """
+    size = circuit.num_qubits
+    if physical_qubits is None:
+        physical_qubits = select_qubit_subset(device, size)
+    else:
+        physical_qubits = sorted(int(q) for q in physical_qubits)
+        if len(physical_qubits) != size:
+            raise TranspilerError("physical_qubits must match the circuit width")
+    coupling = CouplingMap.from_device(device)
+    if not coupling.is_connected(physical_qubits):
+        raise TranspilerError("the selected physical qubits are not connected")
+
+    # Assign the most-interacting virtual qubit to the physical qubit with the
+    # highest degree inside the active subgraph, then grow greedily so that
+    # interacting partners land on adjacent physical qubits when possible.
+    weights = _interaction_weights(circuit)
+    interaction_degree = {v: 0 for v in range(size)}
+    for (a, b), w in weights.items():
+        interaction_degree[a] += w
+        interaction_degree[b] += w
+
+    sub = coupling.graph.subgraph(physical_qubits)
+    free_physical = set(physical_qubits)
+    assignment: Dict[int, int] = {}
+
+    virtual_order = sorted(range(size), key=lambda v: -interaction_degree[v])
+    for v in virtual_order:
+        # Prefer a free physical qubit adjacent to already-placed partners.
+        partners = [
+            assignment[u]
+            for (a, b) in weights
+            for u in ((b,) if a == v else (a,) if b == v else ())
+            if u in assignment
+        ]
+        candidates = set()
+        for p in partners:
+            candidates.update(set(sub.neighbors(p)) & free_physical)
+        if not candidates:
+            candidates = free_physical
+        chosen = max(candidates, key=lambda p: (device.qubit_quality(p), -p))
+        assignment[v] = chosen
+        free_physical.discard(chosen)
+
+    return Layout(assignment), list(physical_qubits)

@@ -1,0 +1,29 @@
+"""VAQEM: variational tuning of error-mitigation features."""
+
+from .config import TuningBudget, VAQEMConfig, WindowConfiguration
+from .framework import STANDARD_STRATEGIES, VAQEMPipeline, VAQEMRunResult
+from .soundness import (
+    DEFAULT_TOLERANCE,
+    check_energy_soundness,
+    energy_gap_to_optimal,
+    mixed_state_energy_bound,
+    pure_state_energy_bound,
+)
+from .window_tuner import IndependentWindowTuner, TuningResult, WindowSweepRecord
+
+__all__ = [
+    "VAQEMConfig",
+    "TuningBudget",
+    "WindowConfiguration",
+    "IndependentWindowTuner",
+    "TuningResult",
+    "WindowSweepRecord",
+    "VAQEMPipeline",
+    "VAQEMRunResult",
+    "STANDARD_STRATEGIES",
+    "pure_state_energy_bound",
+    "mixed_state_energy_bound",
+    "check_energy_soundness",
+    "energy_gap_to_optimal",
+    "DEFAULT_TOLERANCE",
+]

@@ -1,0 +1,85 @@
+"""Configuration objects for the VAQEM tuning framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..exceptions import VAQEMError
+from ..mitigation.dd import DD_SEQUENCES, DDConfig
+from ..mitigation.gate_scheduling import GSConfig
+
+
+@dataclass(frozen=True)
+class WindowConfiguration:
+    """The tuned mitigation configuration of one idle window."""
+
+    window_index: int
+    dd: Optional[DDConfig] = None
+    gs: Optional[GSConfig] = None
+
+    def is_baseline(self) -> bool:
+        dd_off = self.dd is None or self.dd.num_sequences == 0
+        gs_off = self.gs is None or self.gs.position == 1.0
+        return dd_off and gs_off
+
+
+@dataclass
+class TuningBudget:
+    """How finely each window is swept (paper §VI-C: resolution is bounded by
+    the available execution budget on the cloud)."""
+
+    #: Number of DD sequence counts evaluated per window (spread between 0 and
+    #: the maximum number that fits).
+    dd_resolution: int = 6
+    #: Number of gate positions evaluated per window (spread over [0, 1]).
+    gs_resolution: int = 5
+    #: Cap on the number of windows tuned (largest windows first); ``None``
+    #: tunes every window, matching the paper.
+    max_windows: Optional[int] = None
+
+    def __post_init__(self):
+        if self.dd_resolution < 2:
+            raise VAQEMError("dd_resolution must be at least 2 (baseline + one candidate)")
+        if self.gs_resolution < 2:
+            raise VAQEMError("gs_resolution must be at least 2")
+        if self.max_windows is not None and self.max_windows < 1:
+            raise VAQEMError("max_windows must be positive when given")
+
+
+@dataclass
+class VAQEMConfig:
+    """Top-level configuration of a VAQEM run."""
+
+    #: Whether single-qubit gate scheduling is tuned.
+    tune_gate_scheduling: bool = True
+    #: Whether DD insertion is tuned.
+    tune_dd: bool = True
+    #: Base DD sequence ("xy4" is the paper's best performer, "xx" the simplest).
+    dd_sequence: str = "xy4"
+    #: Sweep budget per window.
+    budget: TuningBudget = field(default_factory=TuningBudget)
+    #: Shots per objective evaluation (None = exact expectation, i.e. the
+    #: infinite-shot limit; the paper uses shot-based estimates on hardware).
+    shots: Optional[int] = None
+    #: Whether measurement error mitigation is applied (the paper's baseline
+    #: always includes MEM; it is orthogonal to VAQEM).
+    use_mem: bool = True
+    #: SPSA iterations for the angle-tuning stage.
+    angle_tuning_iterations: int = 200
+    #: Random seed for the whole flow.
+    seed: int = 11
+
+    def __post_init__(self):
+        if self.dd_sequence not in DD_SEQUENCES:
+            raise VAQEMError(f"unknown DD sequence '{self.dd_sequence}'")
+        if not (self.tune_gate_scheduling or self.tune_dd):
+            raise VAQEMError("at least one mitigation technique must be tuned")
+
+    def describe(self) -> str:
+        parts = []
+        if self.tune_gate_scheduling:
+            parts.append("GS")
+        if self.tune_dd:
+            parts.append(self.dd_sequence.upper())
+        return "VAQEM:" + "+".join(parts)

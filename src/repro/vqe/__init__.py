@@ -1,0 +1,17 @@
+"""VQE: expectation estimation, the driver and the paper's applications."""
+
+from .applications import VQAApplication, application_names, build_applications, get_application
+from .expectation import ExpectationEstimator, ExpectationResult, ideal_expectation
+from .vqe import VQE, VQEResult
+
+__all__ = [
+    "VQE",
+    "VQEResult",
+    "ExpectationEstimator",
+    "ExpectationResult",
+    "ideal_expectation",
+    "VQAApplication",
+    "build_applications",
+    "get_application",
+    "application_names",
+]

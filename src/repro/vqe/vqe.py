@@ -1,0 +1,165 @@
+"""The VQE driver.
+
+Ties together an ansatz, a Hamiltonian, a classical optimizer and an execution
+backend (ideal statevector or noisy scheduled simulation).  The paper's
+feasible flow tunes gate-rotation angles against the *ideal* simulator (or
+Qiskit Runtime for the chemistry problems) and only then moves to the machine
+for mitigation tuning; both execution modes are provided here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..backends.device import DeviceModel
+from ..circuits.circuit import QuantumCircuit
+from ..exceptions import VQEError
+from ..mitigation.mem import MeasurementMitigator
+from ..operators.pauli import PauliSum
+from ..optimizers.base import OptimizationResult, Optimizer
+from ..optimizers.spsa import SPSA
+from ..simulators.noise_model import NoiseModel
+from ..simulators.statevector import StatevectorSimulator
+from ..transpiler.pipeline import TranspileResult, transpile
+from .expectation import ExpectationEstimator
+
+
+@dataclass
+class VQEResult:
+    """Result of a VQE angle-tuning run."""
+
+    optimal_parameters: np.ndarray
+    optimal_value: float
+    history: List[float] = field(default_factory=list)
+    num_evaluations: int = 0
+    execution_mode: str = "ideal"
+
+    def __repr__(self):
+        return (
+            f"VQEResult(value={self.optimal_value:.6f}, evals={self.num_evaluations}, "
+            f"mode={self.execution_mode})"
+        )
+
+
+class VQE:
+    """Variational Quantum Eigensolver over a parameterised ansatz."""
+
+    def __init__(
+        self,
+        ansatz: QuantumCircuit,
+        hamiltonian: PauliSum,
+        optimizer: Optional[Optimizer] = None,
+        seed: int = 7,
+    ):
+        if ansatz.num_qubits != hamiltonian.num_qubits:
+            raise VQEError(
+                f"ansatz has {ansatz.num_qubits} qubits but the Hamiltonian needs "
+                f"{hamiltonian.num_qubits}"
+            )
+        self.ansatz = ansatz
+        self.hamiltonian = hamiltonian
+        self.optimizer = optimizer or SPSA(maxiter=80, seed=seed)
+        self.seed = seed
+        self._statevector = StatevectorSimulator(seed=seed)
+
+    # ------------------------------------------------------------------
+    # Objective functions
+    # ------------------------------------------------------------------
+    def num_parameters(self) -> int:
+        return self.ansatz.num_parameters
+
+    def initial_point(self, scale: float = 0.1) -> np.ndarray:
+        """A reproducible small-angle starting point."""
+        rng = np.random.default_rng(self.seed)
+        return rng.uniform(-scale * np.pi, scale * np.pi, self.num_parameters())
+
+    def bind(self, parameters: Sequence[float]) -> QuantumCircuit:
+        """The ansatz with numeric angles bound (no measurements)."""
+        return self.ansatz.bind_parameters(list(parameters))
+
+    def ideal_objective(self, parameters: Sequence[float]) -> float:
+        """Noise-free ``<H>`` for a parameter vector."""
+        return self._statevector.expectation(self.bind(parameters), self.hamiltonian)
+
+    def noisy_objective_factory(
+        self,
+        device: DeviceModel,
+        noise_model: Optional[NoiseModel] = None,
+        shots: Optional[int] = None,
+        use_mem: bool = False,
+        physical_qubits: Optional[Sequence[int]] = None,
+    ) -> Callable[[Sequence[float]], float]:
+        """Build an objective that executes on the noisy scheduled simulator.
+
+        Every call transpiles the bound ansatz, so this is the expensive mode;
+        it is what the "machine execution" curves of Fig. 8 use.
+        """
+        noise_model = noise_model or NoiseModel.from_device(device)
+
+        def objective(parameters: Sequence[float]) -> float:
+            circuit = self.bind(parameters)
+            circuit.measure_all()
+            result = transpile(circuit, device, physical_qubits=physical_qubits)
+            mitigator = None
+            if use_mem:
+                measured = result.scheduled.measured_positions()
+                ordered = [pos for pos, _ in sorted(measured, key=lambda pair: pair[1])]
+                mitigator = MeasurementMitigator.from_device(
+                    device, [result.scheduled.physical_qubit(pos) for pos in ordered]
+                )
+            estimator = ExpectationEstimator(noise_model, shots=shots, mitigator=mitigator, seed=self.seed)
+            return estimator.estimate(result.scheduled, self.hamiltonian).value
+
+        return objective
+
+    # ------------------------------------------------------------------
+    # Drivers
+    # ------------------------------------------------------------------
+    def run_ideal(self, initial_point: Optional[Sequence[float]] = None) -> VQEResult:
+        """Tune angles against the ideal simulator (the paper's default)."""
+        point = np.asarray(initial_point, dtype=float) if initial_point is not None else self.initial_point()
+        result = self.optimizer.minimize(self.ideal_objective, point)
+        return self._to_vqe_result(result, "ideal")
+
+    def run_noisy(
+        self,
+        device: DeviceModel,
+        noise_model: Optional[NoiseModel] = None,
+        shots: Optional[int] = None,
+        use_mem: bool = False,
+        initial_point: Optional[Sequence[float]] = None,
+    ) -> VQEResult:
+        """Tune angles directly against the noisy machine model."""
+        objective = self.noisy_objective_factory(device, noise_model, shots, use_mem)
+        point = np.asarray(initial_point, dtype=float) if initial_point is not None else self.initial_point()
+        result = self.optimizer.minimize(objective, point)
+        return self._to_vqe_result(result, "noisy")
+
+    def evaluate_trajectory_ideal(self, parameter_history: Sequence[np.ndarray]) -> List[float]:
+        """Ideal objective along a parameter trajectory (Fig. 8 top panel)."""
+        return [self.ideal_objective(p) for p in parameter_history]
+
+    def evaluate_trajectory_noisy(
+        self,
+        parameter_history: Sequence[np.ndarray],
+        device: DeviceModel,
+        noise_model: Optional[NoiseModel] = None,
+        shots: Optional[int] = None,
+        use_mem: bool = True,
+    ) -> List[float]:
+        """Noisy objective along a parameter trajectory (Fig. 8 bottom panel)."""
+        objective = self.noisy_objective_factory(device, noise_model, shots, use_mem)
+        return [float(objective(p)) for p in parameter_history]
+
+    @staticmethod
+    def _to_vqe_result(result: OptimizationResult, mode: str) -> VQEResult:
+        return VQEResult(
+            optimal_parameters=np.asarray(result.optimal_parameters, dtype=float),
+            optimal_value=float(result.optimal_value),
+            history=list(result.history),
+            num_evaluations=result.num_evaluations,
+            execution_mode=mode,
+        )

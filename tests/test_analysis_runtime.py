@@ -1,0 +1,196 @@
+"""Tests for result analysis and the runtime/cloud models."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ApplicationResult,
+    EvaluationSummary,
+    StrategyOutcome,
+    fraction_of_optimal,
+    improvement_over_baseline,
+)
+from repro.exceptions import ReproError, RuntimeSessionError
+from repro.optimizers import COBYLA, SPSA
+from repro.runtime import (
+    CircuitTimingModel,
+    ExecutionTimeModel,
+    QueueModel,
+    RuntimeConstraints,
+    RuntimeSession,
+)
+
+
+class TestAnalysisMetrics:
+    def test_fraction_of_optimal(self):
+        assert fraction_of_optimal(-2.5, -5.0) == pytest.approx(0.5)
+        assert fraction_of_optimal(-5.0, -5.0) == pytest.approx(1.0)
+
+    def test_fraction_clipped_for_wrong_sign(self):
+        assert fraction_of_optimal(0.3, -5.0) == pytest.approx(1e-3)
+
+    def test_fraction_requires_negative_optimum(self):
+        with pytest.raises(ReproError):
+            fraction_of_optimal(-1.0, 2.0)
+
+    def test_improvement_over_baseline(self):
+        assert improvement_over_baseline(-3.0, -1.5, -5.0) == pytest.approx(2.0)
+        assert improvement_over_baseline(-1.5, -1.5, -5.0) == pytest.approx(1.0)
+
+    def test_improvement_degrades_gracefully_for_positive_energy(self):
+        value = improvement_over_baseline(-1.0, 0.2, -5.0)
+        assert value > 1.0
+
+
+class TestApplicationResult:
+    def _result(self):
+        result = ApplicationResult(application="demo", optimal_energy=-4.0)
+        result.add(StrategyOutcome("mem", -1.0))
+        result.add(StrategyOutcome("vaqem_gs_xy", -3.0))
+        return result
+
+    def test_energy_lookup(self):
+        result = self._result()
+        assert result.energy("mem") == -1.0
+        with pytest.raises(ReproError):
+            result.energy("zne")
+
+    def test_fraction_and_improvement(self):
+        result = self._result()
+        assert result.fraction_of_optimal("vaqem_gs_xy") == pytest.approx(0.75)
+        assert result.improvement("vaqem_gs_xy") == pytest.approx(3.0)
+
+    def test_strategies_sorted(self):
+        assert self._result().strategies() == ["mem", "vaqem_gs_xy"]
+
+
+class TestEvaluationSummary:
+    def _summary(self):
+        summary = EvaluationSummary()
+        for name, mem, vaqem in [("a", -1.0, -2.0), ("b", -1.0, -3.0)]:
+            result = ApplicationResult(application=name, optimal_energy=-4.0)
+            result.add(StrategyOutcome("mem", mem))
+            result.add(StrategyOutcome("vaqem_gs_xy", vaqem))
+            summary.add(result)
+        return summary
+
+    def test_geomean_improvement(self):
+        summary = self._summary()
+        assert summary.geomean_improvement("vaqem_gs_xy") == pytest.approx(np.sqrt(2.0 * 3.0))
+
+    def test_improvements_per_application(self):
+        improvements = self._summary().improvements("vaqem_gs_xy")
+        assert improvements == {"a": pytest.approx(2.0), "b": pytest.approx(3.0)}
+
+    def test_fractions_of_optimal(self):
+        fractions = self._summary().fractions_of_optimal("mem")
+        assert fractions["a"] == pytest.approx(0.25)
+
+    def test_table_contains_geomean_row(self):
+        table = self._summary().table(["vaqem_gs_xy"])
+        assert "GeoMean" in table and "2.45" in table
+
+
+class TestRuntimeSession:
+    def test_spsa_is_allowed_and_others_rejected(self):
+        constraints = RuntimeConstraints()
+        constraints.check_optimizer(SPSA(maxiter=5))
+        with pytest.raises(RuntimeSessionError):
+            constraints.check_optimizer(COBYLA())
+
+    def test_session_charges_time(self):
+        session = RuntimeSession(lambda params: 0.0, timing=CircuitTimingModel(shots=1024))
+        session.evaluate(np.zeros(2))
+        assert session.num_evaluations == 1
+        assert session.elapsed_seconds > 0
+
+    def test_session_enforces_five_hour_cap(self):
+        timing = CircuitTimingModel(shots=4096, per_job_overhead_s=3600.0)
+        session = RuntimeSession(lambda params: 0.0, timing=timing)
+        with pytest.raises(RuntimeSessionError):
+            for _ in range(10):
+                session.evaluate(np.zeros(1))
+
+    def test_run_program_with_spsa(self):
+        session = RuntimeSession(lambda params: float(np.sum(params ** 2)))
+        result = session.run_program(SPSA(maxiter=10, seed=0), [1.0])
+        assert session.num_evaluations == result.num_evaluations
+        assert session.history
+
+    def test_run_program_rejects_non_spsa(self):
+        session = RuntimeSession(lambda params: 0.0)
+        with pytest.raises(RuntimeSessionError):
+            session.run_program(COBYLA(), [0.0])
+
+    def test_max_evaluations_within_cap(self):
+        session = RuntimeSession(lambda params: 0.0)
+        assert session.max_evaluations_within_cap() > 0
+
+
+class TestQueueModel:
+    def test_deterministic_samples(self):
+        model = QueueModel(seed=1)
+        assert model.sample_wait_minutes("fake_jakarta", 0) == model.sample_wait_minutes("fake_jakarta", 0)
+
+    def test_accepts_paper_device_names(self):
+        model = QueueModel(seed=1)
+        assert model.sample_wait_minutes("ibmq_montreal", 0) > 0
+
+    def test_unknown_device(self):
+        with pytest.raises(ReproError):
+            QueueModel().profile("fake_unknown")
+
+    def test_runtime_machine_queues_longest_on_average(self):
+        model = QueueModel(seed=2)
+        assert model.expected_wait_minutes("fake_montreal") > model.expected_wait_minutes("fake_jakarta")
+
+    def test_average_wait_requires_jobs(self):
+        with pytest.raises(ReproError):
+            QueueModel().average_wait_minutes("fake_jakarta", 0)
+
+
+class TestExecutionTimeModel:
+    def test_breakdown_components(self):
+        model = ExecutionTimeModel()
+        breakdown = model.breakdown(
+            application="HW_TFIM_6q_c_4r",
+            device_name="fake_casablanca",
+            uses_runtime=False,
+            angle_tuning_evaluations=600,
+            em_tuning_evaluations=200,
+        )
+        assert breakdown.angle_tuning_simulation_min > 0
+        assert breakdown.angle_tuning_runtime_min == 0.0
+        assert breakdown.em_tuning_min > 0
+        assert breakdown.queueing_min > 0
+        assert breakdown.total_min == pytest.approx(
+            sum(breakdown.as_dict().values())
+        )
+
+    def test_runtime_application_uses_runtime_component(self):
+        model = ExecutionTimeModel()
+        breakdown = model.breakdown(
+            application="UCCSD_H2",
+            device_name="fake_montreal",
+            uses_runtime=True,
+            angle_tuning_evaluations=300,
+            em_tuning_evaluations=100,
+        )
+        assert breakdown.angle_tuning_runtime_min > 0
+        assert breakdown.angle_tuning_simulation_min == 0.0
+
+    def test_simulation_is_faster_than_runtime(self):
+        model = ExecutionTimeModel()
+        assert model.angle_tuning_simulation_minutes(500) < model.angle_tuning_runtime_minutes(500)
+
+    def test_queueing_dwarfs_tuning(self):
+        """The paper's observation: queue waits exceed the actual tuning time."""
+        model = ExecutionTimeModel()
+        breakdown = model.breakdown(
+            application="HW_TFIM_4q_c_6r",
+            device_name="fake_guadalupe",
+            uses_runtime=False,
+            angle_tuning_evaluations=600,
+            em_tuning_evaluations=150,
+        )
+        assert breakdown.queueing_min > breakdown.angle_tuning_simulation_min + breakdown.em_tuning_min

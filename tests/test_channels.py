@@ -1,0 +1,148 @@
+"""Tests for Kraus channels (validity, limiting cases, composition)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import NoiseModelError
+from repro.simulators import (
+    amplitude_damping_kraus,
+    bit_flip_kraus,
+    coherent_z_kraus,
+    coherent_zz_kraus,
+    compose_channels,
+    depolarizing_kraus,
+    identity_kraus,
+    is_valid_channel,
+    phase_damping_kraus,
+    thermal_relaxation_kraus,
+)
+from repro.simulators.channels import channel_fidelity_on_state
+
+_prob = st.floats(0.0, 1.0, allow_nan=False)
+
+
+class TestChannelValidity:
+    @given(gamma=_prob)
+    def test_amplitude_damping_trace_preserving(self, gamma):
+        assert is_valid_channel(amplitude_damping_kraus(gamma))
+
+    @given(lam=_prob)
+    def test_phase_damping_trace_preserving(self, lam):
+        assert is_valid_channel(phase_damping_kraus(lam))
+
+    @given(p=st.floats(0.0, 0.99, allow_nan=False))
+    def test_depolarizing_trace_preserving(self, p):
+        assert is_valid_channel(depolarizing_kraus(p))
+        assert is_valid_channel(depolarizing_kraus(p, num_qubits=2))
+
+    @given(angle=st.floats(-10, 10, allow_nan=False))
+    def test_coherent_channels_unitary(self, angle):
+        assert is_valid_channel(coherent_z_kraus(angle))
+        assert is_valid_channel(coherent_zz_kraus(angle))
+
+    @given(duration=st.floats(0.0, 1e5, allow_nan=False))
+    def test_thermal_relaxation_trace_preserving(self, duration):
+        assert is_valid_channel(thermal_relaxation_kraus(duration, t1_ns=8e4, t2_ns=6e4))
+
+    def test_identity(self):
+        assert is_valid_channel(identity_kraus())
+        assert is_valid_channel(identity_kraus(2))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(NoiseModelError):
+            amplitude_damping_kraus(1.5)
+        with pytest.raises(NoiseModelError):
+            phase_damping_kraus(-0.1)
+        with pytest.raises(NoiseModelError):
+            depolarizing_kraus(1.0)
+        with pytest.raises(NoiseModelError):
+            depolarizing_kraus(0.1, num_qubits=3)
+        with pytest.raises(NoiseModelError):
+            thermal_relaxation_kraus(-1.0, 1e5, 1e5)
+        with pytest.raises(NoiseModelError):
+            bit_flip_kraus(2.0)
+
+    def test_is_valid_channel_rejects_nontp(self):
+        assert not is_valid_channel([np.eye(2) * 0.5])
+        assert not is_valid_channel([])
+
+
+class TestChannelBehaviour:
+    def test_amplitude_damping_decays_one(self):
+        kraus = amplitude_damping_kraus(0.3)
+        rho_one = np.diag([0.0, 1.0]).astype(complex)
+        out = sum(k @ rho_one @ k.conj().T for k in kraus)
+        assert out[0, 0].real == pytest.approx(0.3)
+        assert out[1, 1].real == pytest.approx(0.7)
+
+    def test_amplitude_damping_preserves_zero(self):
+        kraus = amplitude_damping_kraus(0.8)
+        rho_zero = np.diag([1.0, 0.0]).astype(complex)
+        out = sum(k @ rho_zero @ k.conj().T for k in kraus)
+        assert np.allclose(out, rho_zero)
+
+    def test_phase_damping_kills_coherence_not_population(self):
+        kraus = phase_damping_kraus(1.0)
+        plus = 0.5 * np.ones((2, 2), dtype=complex)
+        out = sum(k @ plus @ k.conj().T for k in kraus)
+        assert out[0, 1] == pytest.approx(0.0)
+        assert out[0, 0].real == pytest.approx(0.5)
+
+    def test_depolarizing_average_fidelity(self):
+        error = 0.01
+        kraus = depolarizing_kraus(error)
+        # Average over the six cardinal states approximates 1 - error.
+        states = [
+            np.array([1, 0]), np.array([0, 1]),
+            np.array([1, 1]) / math.sqrt(2), np.array([1, -1]) / math.sqrt(2),
+            np.array([1, 1j]) / math.sqrt(2), np.array([1, -1j]) / math.sqrt(2),
+        ]
+        fidelities = [channel_fidelity_on_state(kraus, s) for s in states]
+        assert np.mean(fidelities) == pytest.approx(1 - error, abs=2e-3)
+
+    def test_thermal_relaxation_zero_duration_is_identity(self):
+        kraus = thermal_relaxation_kraus(0.0, 1e5, 1e5)
+        assert len(kraus) == 1
+        assert np.allclose(kraus[0], np.eye(2))
+
+    def test_thermal_relaxation_long_duration_decays(self):
+        kraus = thermal_relaxation_kraus(1e6, t1_ns=1e4, t2_ns=1e4)
+        rho_one = np.diag([0.0, 1.0]).astype(complex)
+        out = sum(k @ rho_one @ k.conj().T for k in kraus)
+        assert out[0, 0].real > 0.99
+
+    def test_coherent_z_phase(self):
+        kraus = coherent_z_kraus(math.pi)
+        plus = np.array([1, 1]) / math.sqrt(2)
+        rotated = kraus[0] @ plus
+        minus = np.array([1, -1]) / math.sqrt(2)
+        assert abs(np.vdot(minus, rotated)) == pytest.approx(1.0)
+
+    def test_coherent_zz_is_diagonal(self):
+        kraus = coherent_zz_kraus(0.5)
+        assert np.allclose(kraus[0], np.diag(np.diag(kraus[0])))
+
+    def test_compose_channels_order(self):
+        # Full damping then bit flip leaves the qubit in |1>.
+        composed = compose_channels(amplitude_damping_kraus(1.0), bit_flip_kraus(1.0))
+        rho_one = np.diag([0.0, 1.0]).astype(complex)
+        out = sum(k @ rho_one @ k.conj().T for k in composed)
+        assert out[1, 1].real == pytest.approx(1.0)
+        assert is_valid_channel(composed)
+
+    @settings(max_examples=20, deadline=None)
+    @given(gamma=_prob, lam=_prob)
+    def test_composition_remains_trace_preserving(self, gamma, lam):
+        composed = compose_channels(amplitude_damping_kraus(gamma), phase_damping_kraus(lam))
+        assert is_valid_channel(composed)
+
+    def test_echo_refocuses_coherent_z(self):
+        """An X between two equal coherent-Z segments cancels the net phase."""
+        x_gate = np.array([[0, 1], [1, 0]], dtype=complex)
+        phase = coherent_z_kraus(0.8)[0]
+        net = x_gate @ phase @ x_gate @ phase
+        plus = np.array([1, 1]) / math.sqrt(2)
+        assert abs(np.vdot(plus, net @ plus)) == pytest.approx(1.0)

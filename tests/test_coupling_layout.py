@@ -1,0 +1,122 @@
+"""Tests for the coupling map and layout selection."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit, efficient_su2
+from repro.exceptions import TranspilerError
+from repro.transpiler import CouplingMap, Layout, noise_aware_layout, select_qubit_subset
+
+
+class TestCouplingMap:
+    def test_from_device(self, device):
+        coupling = CouplingMap.from_device(device)
+        assert coupling.num_qubits == 7
+        assert coupling.are_adjacent(1, 3)
+        assert not coupling.are_adjacent(0, 6)
+
+    def test_distance_and_path(self, device):
+        coupling = CouplingMap.from_device(device)
+        assert coupling.distance(0, 1) == 1
+        path = coupling.shortest_path(0, 6)
+        assert path[0] == 0 and path[-1] == 6
+        assert len(path) - 1 == coupling.distance(0, 6)
+
+    def test_disconnected_pair_raises(self):
+        coupling = CouplingMap([(0, 1)], num_qubits=3)
+        with pytest.raises(TranspilerError):
+            coupling.distance(0, 2)
+
+    def test_invalid_edge(self):
+        with pytest.raises(TranspilerError):
+            CouplingMap([(0, 0)])
+
+    def test_is_connected_subsets(self, device):
+        coupling = CouplingMap.from_device(device)
+        assert coupling.is_connected([0, 1, 2])
+        assert not coupling.is_connected([0, 6])
+
+    def test_subgraph_reindexes(self, device):
+        coupling = CouplingMap.from_device(device)
+        sub = coupling.subgraph([1, 3, 5])
+        assert sub.num_qubits == 3
+        assert sub.are_adjacent(0, 1)  # physical 1-3
+        assert sub.are_adjacent(1, 2)  # physical 3-5
+
+    def test_connected_subsets_enumeration(self, device):
+        coupling = CouplingMap.from_device(device)
+        subsets = coupling.connected_subsets(3)
+        assert all(len(s) == 3 for s in subsets)
+        assert all(coupling.is_connected(s) for s in subsets)
+        assert (0, 1, 2) in subsets
+
+    def test_connected_subsets_invalid_size(self, device):
+        coupling = CouplingMap.from_device(device)
+        with pytest.raises(TranspilerError):
+            coupling.connected_subsets(0)
+
+
+class TestLayout:
+    def test_bijective(self):
+        with pytest.raises(TranspilerError):
+            Layout({0: 1, 1: 1})
+
+    def test_lookup_and_swap(self):
+        layout = Layout({0: 2, 1: 5})
+        assert layout.physical(0) == 2
+        assert layout.virtual(5) == 1
+        layout.swap_physical(2, 5)
+        assert layout.physical(0) == 5
+        assert layout.physical(1) == 2
+
+    def test_swap_with_unmapped_physical(self):
+        layout = Layout({0: 2})
+        layout.swap_physical(2, 3)
+        assert layout.physical(0) == 3
+
+    def test_physical_qubits_in_virtual_order(self):
+        layout = Layout({1: 0, 0: 4})
+        assert layout.physical_qubits() == [4, 0]
+
+
+class TestSelection:
+    def test_select_subset_is_connected(self, device):
+        from repro.transpiler import CouplingMap
+
+        subset = select_qubit_subset(device, 4)
+        assert len(subset) == 4
+        assert CouplingMap.from_device(device).is_connected(subset)
+
+    def test_select_subset_too_large(self, device):
+        with pytest.raises(TranspilerError):
+            select_qubit_subset(device, 8)
+
+    def test_noise_aware_layout_width(self, device):
+        ansatz = efficient_su2(4, reps=1, entanglement="circular")
+        bound = ansatz.bind_parameters([0.1] * ansatz.num_parameters)
+        layout, active = noise_aware_layout(bound, device)
+        assert len(active) == 4
+        assert sorted(layout.v2p.keys()) == [0, 1, 2, 3]
+        assert set(layout.physical_qubits()) == set(active)
+
+    def test_noise_aware_layout_explicit_qubits(self, device):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        layout, active = noise_aware_layout(circuit, device, physical_qubits=[1, 3, 5])
+        assert active == [1, 3, 5]
+
+    def test_explicit_qubits_wrong_width(self, device):
+        circuit = QuantumCircuit(3)
+        with pytest.raises(TranspilerError):
+            noise_aware_layout(circuit, device, physical_qubits=[0, 1])
+
+    def test_disconnected_explicit_qubits_rejected(self, device):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(TranspilerError):
+            noise_aware_layout(circuit, device, physical_qubits=[0, 6])
+
+    def test_interacting_pairs_prefer_adjacency(self, device):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        layout, _ = noise_aware_layout(circuit, device)
+        assert device.is_coupled(layout.physical(0), layout.physical(1))

@@ -1,0 +1,155 @@
+"""Tests for dynamical-decoupling insertion."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import MitigationError
+from repro.mitigation import (
+    DD_SEQUENCES,
+    DDConfig,
+    apply_dd_configuration,
+    insert_dd_sequences,
+    max_sequences_in_window,
+    uniform_dd,
+)
+from repro.simulators import NoiseModel, NoisySimulator
+from repro.transpiler import find_idle_windows, schedule_circuit
+
+
+@pytest.fixture
+def windowed_schedule(device):
+    """A 1-qubit schedule with one 2000 ns idle window."""
+    circuit = QuantumCircuit(1)
+    circuit.sx(0)
+    circuit.delay(2000.0, 0)
+    circuit.sx(0)
+    circuit.measure(0, 0)
+    scheduled = schedule_circuit(circuit, device)
+    windows = find_idle_windows(scheduled)
+    assert len(windows) == 1
+    return scheduled, windows[0]
+
+
+class TestDDConfig:
+    def test_invalid_sequence(self):
+        with pytest.raises(MitigationError):
+            DDConfig("zz", 1)
+
+    def test_negative_count(self):
+        with pytest.raises(MitigationError):
+            DDConfig("xx", -1)
+
+    def test_pulse_count(self):
+        assert DDConfig("xy4", 3).num_pulses == 12
+        assert DDConfig("xx", 2).num_pulses == 4
+
+    def test_known_sequences_are_identity(self):
+        from repro.circuits.gates import standard_gate
+
+        for name, pulses in DD_SEQUENCES.items():
+            product = np.eye(2, dtype=complex)
+            for pulse in pulses:
+                product = standard_gate(pulse).matrix() @ product
+            assert np.allclose(np.abs(product), np.eye(2), atol=1e-12), name
+
+
+class TestCapacity:
+    def test_max_sequences(self, windowed_schedule):
+        scheduled, window = windowed_schedule
+        # 2000 ns window, 35.56 ns pulses: 14 XY4 sequences (4 pulses each) fit.
+        assert max_sequences_in_window(window, scheduled, "xy4") == 14
+        assert max_sequences_in_window(window, scheduled, "xx") == 28
+
+    def test_unknown_sequence(self, windowed_schedule):
+        scheduled, window = windowed_schedule
+        with pytest.raises(MitigationError):
+            max_sequences_in_window(window, scheduled, "abc")
+
+
+class TestInsertion:
+    def test_zero_sequences_is_a_copy(self, windowed_schedule):
+        scheduled, window = windowed_schedule
+        out = insert_dd_sequences(scheduled, window, DDConfig("xy4", 0))
+        assert len(out.timed_instructions) == len(scheduled.timed_instructions)
+        assert out is not scheduled
+
+    def test_pulse_count_and_names(self, windowed_schedule):
+        scheduled, window = windowed_schedule
+        out = insert_dd_sequences(scheduled, window, DDConfig("xy4", 2))
+        added = [t for t in out.timed_instructions if t.name in ("x", "y")]
+        assert len(added) == 8
+        assert [t.name for t in sorted(added, key=lambda t: t.start_ns)] == ["x", "y"] * 4
+
+    def test_pulses_stay_inside_window(self, windowed_schedule):
+        scheduled, window = windowed_schedule
+        out = insert_dd_sequences(scheduled, window, DDConfig("xx", 5))
+        added = [t for t in out.timed_instructions if t.name == "x"]
+        assert all(t.start_ns >= window.start_ns - 1e-9 for t in added)
+        assert all(t.end_ns <= window.end_ns + 1e-9 for t in added)
+        assert out.validate_no_overlap()
+
+    def test_periodic_spacing_is_uniform(self, windowed_schedule):
+        scheduled, window = windowed_schedule
+        out = insert_dd_sequences(scheduled, window, DDConfig("xx", 1))
+        added = sorted([t for t in out.timed_instructions if t.name == "x"], key=lambda t: t.start_ns)
+        first_gap = added[0].start_ns - window.start_ns
+        middle_gap = added[1].start_ns - added[0].end_ns
+        last_gap = window.end_ns - added[1].end_ns
+        assert first_gap == pytest.approx(middle_gap)
+        assert middle_gap == pytest.approx(last_gap)
+
+    def test_overfull_window_rejected(self, windowed_schedule):
+        scheduled, window = windowed_schedule
+        with pytest.raises(MitigationError):
+            insert_dd_sequences(scheduled, window, DDConfig("xy4", 100))
+
+    def test_original_schedule_untouched(self, windowed_schedule):
+        scheduled, window = windowed_schedule
+        count = len(scheduled.timed_instructions)
+        insert_dd_sequences(scheduled, window, DDConfig("xy4", 3))
+        assert len(scheduled.timed_instructions) == count
+
+    def test_metadata_records_configuration(self, windowed_schedule):
+        scheduled, window = windowed_schedule
+        out = insert_dd_sequences(scheduled, window, DDConfig("xy4", 2))
+        assert out.metadata["dd_windows"][window.index] == ("xy4", 2)
+
+
+class TestBulkApplication:
+    def test_apply_configuration_respects_indices(self, scheduled_su2_4q):
+        scheduled = scheduled_su2_4q.scheduled
+        windows = scheduled_su2_4q.idle_windows
+        target = max(windows, key=lambda w: w.duration_ns)
+        configs = {target.index: DDConfig("xx", 1)}
+        out = apply_dd_configuration(scheduled, windows, configs)
+        added = len(out.timed_instructions) - len(scheduled.timed_instructions)
+        assert added == 2
+
+    def test_uniform_dd_adds_to_every_feasible_window(self, scheduled_su2_4q):
+        scheduled = scheduled_su2_4q.scheduled
+        windows = scheduled_su2_4q.idle_windows
+        out = uniform_dd(scheduled, windows, sequence="xx", num_sequences=1)
+        feasible = [w for w in windows if max_sequences_in_window(w, scheduled, "xx") >= 1]
+        added = len(out.timed_instructions) - len(scheduled.timed_instructions)
+        assert added == 2 * len(feasible)
+        assert out.validate_no_overlap()
+
+    def test_dd_refocuses_detuning_in_simulation(self, device, windowed_schedule):
+        """A full XY4 round recovers fidelity lost to coherent idle dephasing."""
+        scheduled, window = windowed_schedule
+        noise = NoiseModel(
+            device,
+            include_coherent_errors=True,
+            include_crosstalk=False,
+            include_readout_error=False,
+            include_gate_error=False,
+            include_relaxation=False,
+        )
+        sim = NoisySimulator(noise)
+        baseline, _ = sim.measured_probabilities(scheduled)
+        mitigated, _ = sim.measured_probabilities(
+            insert_dd_sequences(scheduled, window, DDConfig("xy4", 8))
+        )
+        # Ideal outcome of sx-idle-sx is |1>; DD must move probability toward it.
+        assert mitigated[1] > baseline[1]

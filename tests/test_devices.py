@@ -1,0 +1,193 @@
+"""Tests for device models, fake devices and calibration drift."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    CalibrationDrift,
+    DeviceModel,
+    GateProperties,
+    QubitProperties,
+    available_devices,
+    fake_casablanca,
+    fake_guadalupe,
+    fake_jakarta,
+    fake_montreal,
+    get_device,
+)
+from repro.exceptions import BackendError
+
+
+class TestQubitProperties:
+    def test_t2_bounded_by_twice_t1(self):
+        with pytest.raises(BackendError):
+            QubitProperties(t1_ns=100.0, t2_ns=300.0, readout_error_01=0.01, readout_error_10=0.01)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(BackendError):
+            QubitProperties(t1_ns=-1.0, t2_ns=1.0, readout_error_01=0.01, readout_error_10=0.01)
+
+    def test_readout_error_range(self):
+        with pytest.raises(BackendError):
+            QubitProperties(t1_ns=1e5, t2_ns=1e5, readout_error_01=0.7, readout_error_10=0.01)
+
+    def test_pure_dephasing_time(self):
+        props = QubitProperties(t1_ns=100e3, t2_ns=100e3, readout_error_01=0.01, readout_error_10=0.01)
+        # 1/Tphi = 1/T2 - 1/(2 T1) = 1/(2 T1) here.
+        assert props.t_phi_ns == pytest.approx(200e3)
+
+    def test_t1_limited_qubit_has_infinite_tphi(self):
+        props = QubitProperties(t1_ns=100e3, t2_ns=199e3, readout_error_01=0.01, readout_error_10=0.01)
+        assert props.t_phi_ns > 1e7
+
+    def test_integrated_detuning_static(self):
+        props = QubitProperties(
+            t1_ns=1e5, t2_ns=1e5, readout_error_01=0.01, readout_error_10=0.01,
+            static_detuning=1e-3,
+        )
+        assert props.integrated_detuning(0.0, 1000.0) == pytest.approx(1.0)
+
+    def test_integrated_detuning_matches_numeric_integral(self):
+        props = QubitProperties(
+            t1_ns=1e5, t2_ns=1e5, readout_error_01=0.01, readout_error_10=0.01,
+            static_detuning=5e-4, drift_amplitude=3e-4, drift_period_ns=20000.0, drift_phase=0.3,
+        )
+        start, end = 100.0, 9100.0
+        grid = np.linspace(start, end, 20001)
+        numeric = np.trapezoid([props.detuning_at(t) for t in grid], grid)
+        assert props.integrated_detuning(start, end) == pytest.approx(numeric, rel=1e-4)
+
+    def test_integrated_detuning_empty_interval(self):
+        props = QubitProperties(t1_ns=1e5, t2_ns=1e5, readout_error_01=0.01, readout_error_10=0.01)
+        assert props.integrated_detuning(50.0, 50.0) == 0.0
+
+
+class TestDeviceModel:
+    def test_fake_casablanca_shape(self, device):
+        assert device.num_qubits == 7
+        assert len(device.coupling_edges) == 6
+
+    def test_neighbors(self, device):
+        assert 1 in device.neighbors(0)
+        assert device.is_coupled(1, 3)
+        assert not device.is_coupled(0, 6)
+
+    def test_gate_duration_lookup(self, device):
+        assert device.gate_duration("sx", [0]) == pytest.approx(35.56)
+        assert device.gate_duration("rz", [0]) == 0.0
+        assert device.gate_duration("cx", [0, 1]) > 100.0
+        assert device.gate_duration("measure", [0]) == pytest.approx(3200.0)
+
+    def test_swap_is_three_cx(self, device):
+        assert device.gate_duration("swap", [0, 1]) == pytest.approx(3 * device.gate_duration("cx", [0, 1]))
+
+    def test_missing_two_qubit_gate(self, device):
+        with pytest.raises(BackendError):
+            device.gate_duration("cx", [0, 6])
+
+    def test_gate_error_lookup(self, device):
+        assert 0 < device.gate_error("cx", [0, 1]) < 0.05
+        assert device.gate_error("rz", [0]) == 0.0
+        assert 0 < device.gate_error("measure", [0]) < 0.1
+
+    def test_readout_confusion_columns_sum_to_one(self, device):
+        for q in range(device.num_qubits):
+            matrix = device.readout_confusion_matrix(q)
+            assert np.allclose(matrix.sum(axis=0), 1.0)
+
+    def test_qubit_quality_positive(self, device):
+        assert all(device.qubit_quality(q) > 0 for q in range(device.num_qubits))
+
+    def test_best_qubits_sorted_by_quality(self, device):
+        best = device.best_qubits(3)
+        qualities = [device.qubit_quality(q) for q in best]
+        assert qualities == sorted(qualities, reverse=True)
+
+    def test_best_qubits_too_many(self, device):
+        with pytest.raises(BackendError):
+            device.best_qubits(10)
+
+    def test_invalid_coupling_edge(self):
+        qubit = QubitProperties(t1_ns=1e5, t2_ns=1e5, readout_error_01=0.01, readout_error_10=0.01)
+        with pytest.raises(BackendError):
+            DeviceModel(
+                name="bad", num_qubits=2, coupling_edges=[(0, 5)],
+                qubit_properties=[qubit, qubit],
+                single_qubit_gate=GateProperties(35.0, 1e-4),
+                two_qubit_gates={},
+            )
+
+
+class TestFakeDevices:
+    @pytest.mark.parametrize("factory,size", [
+        (fake_casablanca, 7), (fake_jakarta, 7), (fake_guadalupe, 16), (fake_montreal, 27),
+    ])
+    def test_sizes(self, factory, size):
+        assert factory().num_qubits == size
+
+    def test_deterministic(self):
+        a, b = fake_casablanca(), fake_casablanca()
+        assert a.qubits[0].t1_ns == b.qubits[0].t1_ns
+        assert a.qubits[3].static_detuning == b.qubits[3].static_detuning
+
+    def test_different_seed_changes_calibration(self):
+        assert fake_casablanca(seed=1).qubits[0].t1_ns != fake_casablanca(seed=2).qubits[0].t1_ns
+
+    def test_every_qubit_has_nonzero_detuning(self, device):
+        assert all(abs(q.static_detuning) > 0 for q in device.qubits)
+
+    def test_every_edge_has_cx_calibration(self, device):
+        for a, b in device.coupling_edges:
+            assert device.gate_duration("cx", [a, b]) > 0
+
+    def test_registry_accepts_paper_names(self):
+        assert get_device("ibmq_casablanca").num_qubits == 7
+        assert get_device("FAKE_MONTREAL").num_qubits == 27
+
+    def test_registry_unknown(self):
+        with pytest.raises(BackendError):
+            get_device("ibmq_tokyo")
+
+    def test_available_devices_list(self):
+        names = available_devices()
+        assert "fake_casablanca" in names and len(names) == 4
+
+
+class TestCalibrationDrift:
+    def test_snapshot_at_time_zero_matches_base(self, device):
+        drift = CalibrationDrift(device, seed=1)
+        snap = drift.snapshot(0.0)
+        assert snap.qubits[0].static_detuning == pytest.approx(device.qubits[0].static_detuning)
+        assert snap.qubits[0].t1_ns == pytest.approx(device.qubits[0].t1_ns)
+
+    def test_snapshots_are_deterministic(self, device):
+        drift = CalibrationDrift(device, seed=1)
+        a = drift.snapshot(5.0)
+        b = drift.snapshot(5.0)
+        assert a.qubits[2].static_detuning == b.qubits[2].static_detuning
+
+    def test_detuning_drifts_within_cycle(self, device):
+        drift = CalibrationDrift(device, seed=1)
+        later = drift.snapshot(6.0)
+        assert later.qubits[0].static_detuning != device.qubits[0].static_detuning
+
+    def test_recalibration_changes_distribution(self, device):
+        drift = CalibrationDrift(device, calibration_period_hours=12.0, seed=1)
+        before = drift.snapshot(11.0)
+        after = drift.snapshot(13.0)
+        assert drift.calibration_cycle(11.0) == 0
+        assert drift.calibration_cycle(13.0) == 1
+        assert before.qubits[0].static_detuning != after.qubits[0].static_detuning
+
+    def test_snapshots_remain_physical(self, device):
+        drift = CalibrationDrift(device, seed=3)
+        for snap in drift.timeline(24.0, step_hours=6.0):
+            for q in snap.qubits:
+                assert q.t2_ns <= 2 * q.t1_ns + 1e-6
+                assert 0 <= q.readout_error_01 < 0.5
+
+    def test_timeline_length(self, device):
+        drift = CalibrationDrift(device, seed=3)
+        assert len(drift.timeline(24.0, step_hours=1.0)) == 25

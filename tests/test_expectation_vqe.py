@@ -1,0 +1,188 @@
+"""Tests for expectation estimation and the VQE driver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, efficient_su2
+from repro.exceptions import VQEError
+from repro.mitigation import MeasurementMitigator
+from repro.operators import PauliSum, h2_hamiltonian, tfim_hamiltonian
+from repro.optimizers import SPSA, COBYLA
+from repro.simulators import NoiseModel, StatevectorSimulator
+from repro.transpiler import transpile
+from repro.vqe import (
+    VQE,
+    ExpectationEstimator,
+    application_names,
+    build_applications,
+    get_application,
+    ideal_expectation,
+)
+
+
+@pytest.fixture
+def measured_bell(device):
+    circuit = QuantumCircuit(2, name="bell")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.measure_all()
+    return transpile(circuit, device)
+
+
+class TestExpectationEstimator:
+    def test_ideal_noise_matches_statevector(self, device, ideal_noise, measured_bell):
+        ham = PauliSum({"ZZ": 1.0, "XX": 0.5, "ZI": -0.3})
+        estimator = ExpectationEstimator(ideal_noise)
+        value = estimator.estimate(measured_bell.scheduled, ham).value
+        bell = QuantumCircuit(2)
+        bell.h(0)
+        bell.cx(0, 1)
+        assert value == pytest.approx(StatevectorSimulator().expectation(bell, ham), abs=1e-9)
+
+    def test_identity_term_added(self, device, ideal_noise, measured_bell):
+        ham = PauliSum({"II": -2.5, "ZZ": 1.0})
+        value = ExpectationEstimator(ideal_noise).estimate(measured_bell.scheduled, ham).value
+        assert value == pytest.approx(-1.5, abs=1e-9)
+
+    def test_y_basis_rotation(self, device, ideal_noise):
+        """<Y> of the state (|0> + i|1>)/sqrt(2) is +1."""
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.s(0)
+        circuit.measure(0, 0)
+        compiled = transpile(circuit, device)
+        value = ExpectationEstimator(ideal_noise).estimate(compiled.scheduled, PauliSum({"Y": 1.0})).value
+        assert value == pytest.approx(1.0, abs=1e-9)
+
+    def test_group_values_sum_to_total(self, device, device_noise, measured_bell, tfim4):
+        ham = tfim_hamiltonian(2)
+        result = ExpectationEstimator(device_noise).estimate(measured_bell.scheduled, ham)
+        assert result.value == pytest.approx(sum(result.group_values) + ham.identity_coefficient())
+
+    def test_noise_raises_energy_above_ideal(self, device, device_noise, scheduled_su2_4q, tfim4):
+        noisy = ExpectationEstimator(device_noise).estimate(scheduled_su2_4q.scheduled, tfim4).value
+        assert noisy >= tfim4.ground_energy() - 1e-6
+
+    def test_shots_add_statistical_noise_but_agree_on_average(self, device, ideal_noise, measured_bell):
+        ham = PauliSum({"ZZ": 1.0})
+        exact = ExpectationEstimator(ideal_noise).estimate(measured_bell.scheduled, ham).value
+        sampled = ExpectationEstimator(ideal_noise, shots=4096, seed=5).estimate(
+            measured_bell.scheduled, ham
+        ).value
+        assert sampled == pytest.approx(exact, abs=0.05)
+
+    def test_mem_corrects_readout_error(self, device, measured_bell):
+        readout_only = NoiseModel(
+            device,
+            include_coherent_errors=False,
+            include_crosstalk=False,
+            include_gate_error=False,
+            include_relaxation=False,
+            include_readout_error=True,
+        )
+        ham = PauliSum({"ZZ": 1.0})
+        raw = ExpectationEstimator(readout_only).estimate(measured_bell.scheduled, ham).value
+        ordered = [pos for pos, _ in sorted(measured_bell.scheduled.measured_positions(), key=lambda p: p[1])]
+        mitigator = MeasurementMitigator.from_device(
+            device, [measured_bell.scheduled.physical_qubit(p) for p in ordered]
+        )
+        mitigated = ExpectationEstimator(readout_only, mitigator=mitigator).estimate(
+            measured_bell.scheduled, ham
+        ).value
+        assert abs(mitigated - 1.0) < abs(raw - 1.0)
+        assert mitigated == pytest.approx(1.0, abs=1e-6)
+
+    def test_unmeasured_hamiltonian_qubit_rejected(self, device, ideal_noise):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        compiled = transpile(circuit, device)
+        with pytest.raises(VQEError):
+            ExpectationEstimator(ideal_noise).estimate(compiled.scheduled, PauliSum({"ZZ": 1.0}))
+
+    def test_ideal_expectation_helper(self, bound_su2_4q, tfim4):
+        assert ideal_expectation(bound_su2_4q, tfim4) == pytest.approx(
+            StatevectorSimulator().expectation(bound_su2_4q, tfim4)
+        )
+
+
+class TestVQE:
+    def test_width_mismatch(self):
+        with pytest.raises(VQEError):
+            VQE(efficient_su2(4, reps=1), tfim_hamiltonian(6))
+
+    def test_ideal_run_improves_over_initial_point(self):
+        ansatz = efficient_su2(4, reps=2, entanglement="circular")
+        vqe = VQE(ansatz, tfim_hamiltonian(4), SPSA(maxiter=60, seed=2), seed=2)
+        initial_value = vqe.ideal_objective(vqe.initial_point())
+        result = vqe.run_ideal()
+        assert result.optimal_value < initial_value
+        assert result.execution_mode == "ideal"
+        assert result.num_evaluations > 60
+
+    def test_ideal_run_respects_variational_bound(self):
+        ansatz = efficient_su2(4, reps=2, entanglement="circular")
+        ham = tfim_hamiltonian(4)
+        result = VQE(ansatz, ham, COBYLA(maxiter=150), seed=3).run_ideal()
+        assert result.optimal_value >= ham.ground_energy() - 1e-9
+
+    def test_h2_vqe_reaches_chemical_vicinity(self):
+        """The UCCSD-style ansatz recovers most of the H2 correlation energy."""
+        from repro.circuits import uccsd_like_ansatz
+
+        ham = h2_hamiltonian()
+        vqe = VQE(uccsd_like_ansatz(), ham, COBYLA(maxiter=200), seed=1)
+        result = vqe.run_ideal(initial_point=[0.0, 0.0, 0.0])
+        assert result.optimal_value == pytest.approx(ham.ground_energy(), abs=0.01)
+
+    def test_initial_point_reproducible(self):
+        ansatz = efficient_su2(4, reps=1)
+        vqe = VQE(ansatz, tfim_hamiltonian(4), seed=9)
+        assert np.allclose(vqe.initial_point(), vqe.initial_point())
+
+    def test_evaluate_trajectory_ideal(self):
+        ansatz = efficient_su2(4, reps=1, entanglement="circular")
+        vqe = VQE(ansatz, tfim_hamiltonian(4), SPSA(maxiter=5, seed=1), seed=1)
+        result = vqe.run_ideal()
+        trajectory = vqe.evaluate_trajectory_ideal([result.optimal_parameters])
+        assert trajectory[0] == pytest.approx(result.optimal_value, abs=1e-9)
+
+    def test_noisy_objective_factory(self, device):
+        ansatz = efficient_su2(2, reps=1, entanglement="linear")
+        vqe = VQE(ansatz, tfim_hamiltonian(2), seed=4)
+        objective = vqe.noisy_objective_factory(device)
+        value = objective(vqe.initial_point())
+        assert value >= tfim_hamiltonian(2).ground_energy() - 1e-6
+
+
+class TestApplications:
+    def test_seven_applications(self):
+        apps = build_applications()
+        assert len(apps) == 7
+        assert application_names()[0] == "HW_TFIM_6q_f_2r"
+
+    def test_lookup_case_insensitive(self):
+        assert get_application("uccsd_h2").name == "UCCSD_H2"
+
+    def test_unknown_application(self):
+        with pytest.raises(VQEError):
+            get_application("does_not_exist")
+
+    def test_ansatz_and_hamiltonian_widths_agree(self):
+        for app in build_applications():
+            assert app.ansatz.num_qubits == app.hamiltonian.num_qubits
+
+    def test_runtime_flags(self):
+        apps = {a.name: a for a in build_applications()}
+        assert apps["HW_Li+"].uses_runtime and apps["UCCSD_H2"].uses_runtime
+        assert not apps["HW_TFIM_6q_f_2r"].uses_runtime
+
+    def test_devices_are_large_enough(self):
+        for app in build_applications():
+            assert app.device().num_qubits >= app.num_qubits
+
+    def test_exact_ground_energy_negative(self):
+        for app in build_applications():
+            assert app.exact_ground_energy() < 0

@@ -1,0 +1,147 @@
+"""Tests for the single-qubit gate-scheduling mitigation pass."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit, hahn_echo_microbenchmark
+from repro.exceptions import MitigationError
+from repro.mitigation import (
+    GSConfig,
+    apply_gs_configuration,
+    movable_gate,
+    position_sweep_values,
+    reschedule_gate,
+    tunable_windows,
+)
+from repro.simulators import NoiseModel, NoisySimulator
+from repro.transpiler import find_idle_windows, schedule_circuit, transpile
+
+
+@pytest.fixture
+def echo_schedule(device):
+    """sx - [window] - sx - measure, with the second sx ALAP at the window end."""
+    circuit = QuantumCircuit(1)
+    circuit.sx(0)
+    circuit.delay(3000.0, 0)
+    circuit.sx(0)
+    circuit.measure(0, 0)
+    scheduled = schedule_circuit(circuit, device)
+    window = find_idle_windows(scheduled)[0]
+    return scheduled, window
+
+
+class TestGSConfig:
+    def test_position_bounds(self):
+        with pytest.raises(MitigationError):
+            GSConfig(position=1.5)
+        with pytest.raises(MitigationError):
+            GSConfig(position=-0.1)
+
+    def test_default_is_alap(self):
+        assert GSConfig().position == 1.0
+
+    def test_sweep_values(self):
+        values = position_sweep_values(5)
+        assert values == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])
+        with pytest.raises(MitigationError):
+            position_sweep_values(1)
+
+
+class TestMovableGate:
+    def test_movable_gate_found(self, echo_schedule):
+        scheduled, window = echo_schedule
+        gate = movable_gate(scheduled, window)
+        assert gate is not None and gate.name == "sx"
+
+    def test_no_movable_gate_between_cx(self, device):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.delay(2000.0, 0)
+        circuit.delay(2000.0, 1)
+        circuit.cx(0, 1)
+        circuit.measure_all()
+        scheduled = schedule_circuit(circuit, device)
+        windows = find_idle_windows(scheduled)
+        assert all(movable_gate(scheduled, w) is None for w in windows)
+        assert tunable_windows(scheduled, windows) == []
+
+    def test_tunable_windows_subset(self, scheduled_su2_4q):
+        scheduled = scheduled_su2_4q.scheduled
+        windows = scheduled_su2_4q.idle_windows
+        tunable = tunable_windows(scheduled, windows)
+        assert set(w.index for w in tunable) <= set(w.index for w in windows)
+
+
+class TestReschedule:
+    def test_position_zero_moves_to_window_start(self, echo_schedule):
+        scheduled, window = echo_schedule
+        out = reschedule_gate(scheduled, window, GSConfig(0.0))
+        moved = [t for t in out.timed_instructions if t.name == "sx"][1]
+        assert moved.start_ns == pytest.approx(window.start_ns)
+        assert out.validate_no_overlap()
+
+    def test_position_half_centres_the_gate(self, echo_schedule):
+        scheduled, window = echo_schedule
+        out = reschedule_gate(scheduled, window, GSConfig(0.5))
+        moved = sorted([t for t in out.timed_instructions if t.name == "sx"], key=lambda t: t.start_ns)[1]
+        centre = window.start_ns + 0.5 * (window.duration_ns - moved.duration_ns)
+        assert moved.start_ns == pytest.approx(centre)
+
+    def test_position_one_stays_inside_window(self, echo_schedule):
+        scheduled, window = echo_schedule
+        out = reschedule_gate(scheduled, window, GSConfig(1.0))
+        assert out.validate_no_overlap()
+
+    def test_gate_count_unchanged(self, echo_schedule):
+        scheduled, window = echo_schedule
+        out = reschedule_gate(scheduled, window, GSConfig(0.3))
+        assert out.count_ops() == scheduled.count_ops()
+
+    def test_window_without_gate_is_untouched(self, device):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.delay(2000.0, 0)
+        circuit.delay(2000.0, 1)
+        circuit.cx(0, 1)
+        circuit.measure_all()
+        scheduled = schedule_circuit(circuit, device)
+        window = find_idle_windows(scheduled)[0]
+        out = reschedule_gate(scheduled, window, GSConfig(0.5))
+        assert [t.start_ns for t in out.sorted_instructions()] == [
+            t.start_ns for t in scheduled.sorted_instructions()
+        ]
+
+    def test_original_schedule_untouched(self, echo_schedule):
+        scheduled, window = echo_schedule
+        starts_before = [t.start_ns for t in scheduled.sorted_instructions()]
+        reschedule_gate(scheduled, window, GSConfig(0.0))
+        assert [t.start_ns for t in scheduled.sorted_instructions()] == starts_before
+
+    def test_apply_configuration_multiple_windows(self, scheduled_su2_4q):
+        scheduled = scheduled_su2_4q.scheduled
+        windows = scheduled_su2_4q.idle_windows
+        tunable = tunable_windows(scheduled, windows)
+        if not tunable:
+            pytest.skip("no tunable windows in this schedule")
+        configs = {w.index: GSConfig(0.5) for w in tunable[:2]}
+        out = apply_gs_configuration(scheduled, windows, configs)
+        assert out.validate_no_overlap()
+        assert out.count_ops() == scheduled.count_ops()
+
+    def test_metadata_records_position(self, echo_schedule):
+        scheduled, window = echo_schedule
+        out = reschedule_gate(scheduled, window, GSConfig(0.25))
+        assert out.metadata["gs_windows"][window.index] == 0.25
+
+
+class TestPhysicalEffect:
+    def test_gate_position_changes_measured_fidelity(self, device, device_noise):
+        """Different echo positions give measurably different outcomes (Fig. 6)."""
+        sim = NoisySimulator(device_noise)
+        values = []
+        for position in (0.0, 0.5, 1.0):
+            compiled = transpile(hahn_echo_microbenchmark(delay_ns=20000.0, echo_position=0.5), device)
+            window = max(compiled.idle_windows, key=lambda w: w.duration_ns)
+            moved = reschedule_gate(compiled.scheduled, window, GSConfig(position))
+            probs, _ = sim.measured_probabilities(moved)
+            values.append(probs[0])
+        assert max(values) - min(values) > 0.005

@@ -1,0 +1,160 @@
+"""Unit tests for the gate library."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuits.gates import (
+    Barrier,
+    Delay,
+    GATE_ARITY,
+    Gate,
+    Measure,
+    standard_gate,
+)
+from repro.circuits.parameter import Parameter
+from repro.exceptions import CircuitError, ParameterError
+
+_MATRIX_GATES = [
+    ("id", ()), ("x", ()), ("y", ()), ("z", ()), ("h", ()), ("s", ()), ("sdg", ()),
+    ("t", ()), ("tdg", ()), ("sx", ()), ("sxdg", ()),
+    ("rx", (0.3,)), ("ry", (1.2,)), ("rz", (-0.7,)), ("p", (0.4,)),
+    ("u3", (0.5, 1.1, -0.2,)),
+    ("cx", ()), ("cz", ()), ("swap", ()), ("rzz", (0.8,)), ("rxx", (0.8,)), ("cry", (0.6,)),
+]
+
+
+class TestMatrices:
+    @pytest.mark.parametrize("name,params", _MATRIX_GATES)
+    def test_matrices_are_unitary(self, name, params):
+        matrix = standard_gate(name, *params).matrix()
+        dim = matrix.shape[0]
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-12)
+
+    @pytest.mark.parametrize("name,params", _MATRIX_GATES)
+    def test_matrix_dimension_matches_arity(self, name, params):
+        gate = standard_gate(name, *params)
+        assert gate.matrix().shape == (2 ** gate.num_qubits,) * 2
+
+    def test_x_matrix(self):
+        assert np.allclose(standard_gate("x").matrix(), [[0, 1], [1, 0]])
+
+    def test_h_squares_to_identity(self):
+        h = standard_gate("h").matrix()
+        assert np.allclose(h @ h, np.eye(2), atol=1e-12)
+
+    def test_sx_squares_to_x(self):
+        sx = standard_gate("sx").matrix()
+        assert np.allclose(sx @ sx, standard_gate("x").matrix(), atol=1e-12)
+
+    def test_cx_flips_target_when_control_set(self):
+        cx = standard_gate("cx").matrix()
+        # |10> -> |11> in big-endian ordering (control is qubit 0).
+        state = np.zeros(4)
+        state[2] = 1.0
+        assert np.allclose(cx @ state, np.eye(4)[3])
+
+    def test_rz_is_diagonal(self):
+        rz = standard_gate("rz", 0.7).matrix()
+        assert rz[0, 1] == 0 and rz[1, 0] == 0
+
+    @given(theta=st.floats(-2 * math.pi, 2 * math.pi, allow_nan=False))
+    def test_rotation_composition(self, theta):
+        half = standard_gate("ry", theta / 2).matrix()
+        full = standard_gate("ry", theta).matrix()
+        assert np.allclose(half @ half, full, atol=1e-9)
+
+    def test_rzz_diagonal_phases(self):
+        theta = 0.9
+        rzz = standard_gate("rzz", theta).matrix()
+        assert np.allclose(np.diag(rzz), [
+            np.exp(-1j * theta / 2), np.exp(1j * theta / 2),
+            np.exp(1j * theta / 2), np.exp(-1j * theta / 2),
+        ])
+
+
+class TestInverse:
+    @pytest.mark.parametrize("name,params", _MATRIX_GATES)
+    def test_inverse_matrix(self, name, params):
+        gate = standard_gate(name, *params)
+        inverse = gate.inverse()
+        product = inverse.matrix() @ gate.matrix()
+        assert np.allclose(product, np.eye(product.shape[0]), atol=1e-12)
+
+    def test_s_inverse_is_sdg(self):
+        assert standard_gate("s").inverse().name == "sdg"
+
+    def test_rotation_inverse_negates_angle(self):
+        gate = standard_gate("rx", 0.5).inverse()
+        assert gate.params == (-0.5,)
+
+    def test_measure_has_no_inverse(self):
+        with pytest.raises(CircuitError):
+            Measure().inverse()
+
+
+class TestParameterizedGates:
+    def test_symbolic_gate_has_parameters(self):
+        theta = Parameter("theta")
+        gate = standard_gate("ry", theta)
+        assert gate.is_parameterized()
+        assert gate.parameters == frozenset({theta})
+
+    def test_symbolic_matrix_raises(self):
+        theta = Parameter("theta")
+        with pytest.raises(ParameterError):
+            standard_gate("ry", theta).matrix()
+
+    def test_bind_produces_numeric_gate(self):
+        theta = Parameter("theta")
+        gate = standard_gate("ry", theta).bind({theta: 0.25})
+        assert not gate.is_parameterized()
+        assert gate.params == (0.25,)
+
+    def test_bind_expression(self):
+        theta = Parameter("theta")
+        gate = standard_gate("rz", 2 * theta + 1).bind({theta: 0.5})
+        assert gate.params[0] == pytest.approx(2.0)
+
+
+class TestSpecialInstructions:
+    def test_delay_duration(self):
+        delay = Delay(120.0)
+        assert delay.duration == 120.0
+        assert np.allclose(delay.matrix(), np.eye(2))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(CircuitError):
+            Delay(-1.0)
+
+    def test_barrier_identity(self):
+        barrier = Barrier(3)
+        assert barrier.num_qubits == 3
+        assert np.allclose(barrier.matrix(), np.eye(8))
+
+    def test_measure_has_no_matrix(self):
+        with pytest.raises(CircuitError):
+            Measure().matrix()
+
+
+class TestStandardGateFactory:
+    def test_unknown_gate(self):
+        with pytest.raises(CircuitError):
+            standard_gate("foo")
+
+    def test_wrong_parameter_count(self):
+        with pytest.raises(CircuitError):
+            standard_gate("rx")
+        with pytest.raises(CircuitError):
+            standard_gate("x", 0.5)
+
+    def test_arity_table_consistency(self):
+        for name, params in _MATRIX_GATES:
+            assert standard_gate(name, *params).num_qubits == GATE_ARITY[name]
+
+    def test_equality_and_hash(self):
+        assert standard_gate("rx", 0.5) == standard_gate("rx", 0.5)
+        assert standard_gate("rx", 0.5) != standard_gate("rx", 0.6)
+        assert len({standard_gate("x"), standard_gate("x")}) == 1

@@ -1,0 +1,114 @@
+"""Tests for the paper's problem Hamiltonians."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import VQEError
+from repro.operators import (
+    h2_exact_ground_energy,
+    h2_hamiltonian,
+    lithium_ion_exact_ground_energy,
+    lithium_ion_hamiltonian,
+    tfim_exact_ground_energy,
+    tfim_hamiltonian,
+)
+
+
+class TestTFIM:
+    def test_term_count_periodic(self):
+        ham = tfim_hamiltonian(4, periodic=True)
+        # 4 X terms + 4 ZZ bonds.
+        assert ham.num_terms == 8
+
+    def test_term_count_open(self):
+        ham = tfim_hamiltonian(4, periodic=False)
+        assert ham.num_terms == 7
+
+    def test_minimum_size(self):
+        with pytest.raises(VQEError):
+            tfim_hamiltonian(1)
+
+    def test_coefficients(self):
+        ham = tfim_hamiltonian(3, j_coupling=2.0, transverse_field=0.5, periodic=False)
+        assert ham.coefficient("ZZI") == pytest.approx(-2.0)
+        assert ham.coefficient("XII") == pytest.approx(-0.5)
+
+    def test_ground_energy_negative_and_extensive(self):
+        e4 = tfim_exact_ground_energy(4)
+        e6 = tfim_exact_ground_energy(6)
+        assert e4 < 0 and e6 < e4
+
+    def test_critical_point_energy_value(self):
+        # At J=h=1 the periodic TFIM ground energy per site approaches -4/pi;
+        # for 4 sites the exact value is about -5.226.
+        assert tfim_exact_ground_energy(4) == pytest.approx(-5.226, abs=0.01)
+
+    def test_zero_field_ground_energy_is_classical(self):
+        ham = tfim_hamiltonian(4, j_coupling=1.0, transverse_field=0.0, periodic=True)
+        assert ham.ground_energy() == pytest.approx(-4.0)
+
+
+class TestH2:
+    def test_fifteen_terms(self):
+        assert h2_hamiltonian().num_terms == 15
+
+    def test_truncation_drops_small_terms(self):
+        truncated = h2_hamiltonian(truncation_threshold=0.05)
+        # The four small two-body exchange terms disappear, as in the paper.
+        assert truncated.num_terms == 11
+
+    def test_ground_energy_literature_value(self):
+        # Electronic ground energy of H2/STO-3G at 0.7414 A is about -1.851 Ha.
+        assert h2_exact_ground_energy() == pytest.approx(-1.851, abs=0.01)
+
+    def test_hermitian(self):
+        matrix = h2_hamiltonian().to_matrix()
+        assert np.allclose(matrix, matrix.conj().T)
+
+    def test_hartree_fock_energy_above_ground(self):
+        ham = h2_hamiltonian()
+        hf = np.zeros(16)
+        hf[0b1100] = 1.0  # qubits 0 and 1 occupied
+        hf_energy = ham.expectation_from_statevector(hf)
+        assert hf_energy > ham.ground_energy()
+        assert hf_energy == pytest.approx(-1.83, abs=0.02)
+
+
+class TestLithiumIon:
+    def test_deterministic_for_fixed_seed(self):
+        a = lithium_ion_hamiltonian(seed=1)
+        b = lithium_ion_hamiltonian(seed=1)
+        assert {p.label: c for p, c in a.terms()} == {p.label: c for p, c in b.terms()}
+
+    def test_different_seeds_differ(self):
+        a = lithium_ion_hamiltonian(seed=1)
+        b = lithium_ion_hamiltonian(seed=2)
+        assert {p.label: c for p, c in a.terms()} != {p.label: c for p, c in b.terms()}
+
+    def test_pre_truncation_term_count(self):
+        ham = lithium_ion_hamiltonian(truncation_threshold=0.0)
+        assert ham.num_terms == 55
+
+    def test_truncation_reduces_terms(self):
+        full = lithium_ion_hamiltonian(truncation_threshold=0.0)
+        truncated = lithium_ion_hamiltonian()
+        assert truncated.num_terms < full.num_terms
+
+    def test_six_qubits(self):
+        assert lithium_ion_hamiltonian().num_qubits == 6
+
+    def test_ground_energy_reproducible(self):
+        assert lithium_ion_exact_ground_energy() == pytest.approx(
+            lithium_ion_hamiltonian().ground_energy()
+        )
+
+    def test_ground_energy_is_negative(self):
+        assert lithium_ion_exact_ground_energy() < -5.0
+
+    def test_too_few_qubits_rejected(self):
+        with pytest.raises(VQEError):
+            lithium_ion_hamiltonian(num_qubits=1)
+
+    def test_impossible_term_count_rejected(self):
+        with pytest.raises(VQEError):
+            lithium_ion_hamiltonian(num_qubits=2, num_terms=500)

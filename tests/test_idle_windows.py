@@ -1,0 +1,127 @@
+"""Tests for idle-window analysis."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit, hahn_echo_microbenchmark, idle_window_microbenchmark
+from repro.transpiler import (
+    adjacent_single_qubit_gate,
+    find_idle_windows,
+    schedule_circuit,
+    total_idle_time,
+    transpile,
+    windows_by_qubit,
+)
+
+
+class TestFindIdleWindows:
+    def test_tight_circuit_has_no_windows(self, device):
+        circuit = QuantumCircuit(1)
+        circuit.sx(0)
+        circuit.sx(0)
+        circuit.measure(0, 0)
+        scheduled = schedule_circuit(circuit, device)
+        assert find_idle_windows(scheduled) == []
+
+    def test_delay_creates_window(self, device):
+        circuit = QuantumCircuit(1)
+        circuit.sx(0)
+        circuit.delay(2000.0, 0)
+        circuit.sx(0)
+        circuit.measure(0, 0)
+        scheduled = schedule_circuit(circuit, device)
+        windows = find_idle_windows(scheduled)
+        assert len(windows) == 1
+        assert windows[0].duration_ns == pytest.approx(2000.0)
+        assert windows[0].position == 0
+
+    def test_short_gaps_filtered_by_min_duration(self, device):
+        circuit = QuantumCircuit(1)
+        circuit.sx(0)
+        circuit.delay(50.0, 0)
+        circuit.sx(0)
+        circuit.measure(0, 0)
+        scheduled = schedule_circuit(circuit, device)
+        assert find_idle_windows(scheduled) == []  # default threshold is ~71 ns
+        assert len(find_idle_windows(scheduled, min_duration_ns=10.0)) == 1
+
+    def test_window_created_by_partner_qubit_busy(self, device):
+        """The 2-qubit micro-benchmark exposes the idle window on the waiting qubit."""
+        compiled = transpile(idle_window_microbenchmark(idle_ns=5000.0), device)
+        windows = compiled.idle_windows
+        assert len(windows) >= 1
+        assert max(w.duration_ns for w in windows) >= 4900.0
+
+    def test_pre_runtime_idle_excluded_by_default(self, device):
+        circuit = QuantumCircuit(2)
+        circuit.sx(0)
+        circuit.delay(3000.0, 0)
+        circuit.cx(0, 1)
+        circuit.measure_all()
+        scheduled = schedule_circuit(circuit, device)
+        default = find_idle_windows(scheduled)
+        with_pre = find_idle_windows(scheduled, include_pre_runtime=True)
+        assert len(with_pre) >= len(default)
+
+    def test_windows_carry_physical_qubit(self, device):
+        circuit = QuantumCircuit(1)
+        circuit.sx(0)
+        circuit.delay(1000.0, 0)
+        circuit.sx(0)
+        circuit.measure(0, 0)
+        scheduled = schedule_circuit(circuit, device, physical_qubits=[5])
+        windows = find_idle_windows(scheduled)
+        assert windows[0].physical_qubit == 5
+
+    def test_indices_are_unique_and_sequential(self, scheduled_su2_4q):
+        windows = scheduled_su2_4q.idle_windows
+        assert [w.index for w in windows] == list(range(len(windows)))
+
+    def test_total_idle_time(self, device):
+        circuit = QuantumCircuit(1)
+        circuit.sx(0)
+        circuit.delay(1500.0, 0)
+        circuit.sx(0)
+        circuit.measure(0, 0)
+        scheduled = schedule_circuit(circuit, device)
+        assert total_idle_time(scheduled) == pytest.approx(1500.0)
+
+    def test_windows_by_qubit_grouping(self, scheduled_su2_4q):
+        grouped = windows_by_qubit(scheduled_su2_4q.idle_windows)
+        for position, group in grouped.items():
+            starts = [w.start_ns for w in group]
+            assert starts == sorted(starts)
+            assert all(w.position == position for w in group)
+
+
+class TestAdjacentGate:
+    def test_echo_circuit_has_adjacent_x(self, device):
+        compiled = transpile(hahn_echo_microbenchmark(delay_ns=4000.0, echo_position=1.0), device)
+        windows = compiled.idle_windows
+        assert windows
+        gate = adjacent_single_qubit_gate(compiled.scheduled, windows[0])
+        assert gate is not None
+        assert gate.name in ("x", "sx")
+
+    def test_window_bounded_by_cx_has_no_movable_gate(self, device):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.delay(2000.0, 0)
+        circuit.delay(2000.0, 1)
+        circuit.cx(0, 1)
+        circuit.measure_all()
+        scheduled = schedule_circuit(circuit, device)
+        windows = find_idle_windows(scheduled)
+        assert windows
+        assert all(adjacent_single_qubit_gate(scheduled, w) is None for w in windows)
+
+    def test_virtual_gates_are_not_movable(self, device):
+        circuit = QuantumCircuit(1)
+        circuit.sx(0)
+        circuit.delay(2000.0, 0)
+        circuit.rz(0.3, 0)
+        circuit.measure(0, 0)
+        scheduled = schedule_circuit(circuit, device)
+        windows = find_idle_windows(scheduled)
+        # The only adjacent non-virtual gate is the sx *before* the window.
+        gate = adjacent_single_qubit_gate(scheduled, windows[0])
+        assert gate is not None and gate.name == "sx"

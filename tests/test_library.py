@@ -1,0 +1,139 @@
+"""Unit tests for the ansatz / micro-benchmark circuit library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    QuantumCircuit,
+    bell_circuit,
+    efficient_su2,
+    ghz_circuit,
+    hahn_echo_microbenchmark,
+    idle_window_microbenchmark,
+    two_local,
+    uccsd_like_ansatz,
+)
+from repro.exceptions import CircuitError
+from repro.simulators import StatevectorSimulator
+
+
+class TestEfficientSU2:
+    @pytest.mark.parametrize("num_qubits,reps", [(4, 2), (6, 2), (4, 6), (6, 4)])
+    def test_parameter_count(self, num_qubits, reps):
+        ansatz = efficient_su2(num_qubits, reps=reps)
+        assert ansatz.num_parameters == 2 * num_qubits * (reps + 1)
+
+    def test_skip_final_rotation_layer(self):
+        ansatz = efficient_su2(4, reps=3, skip_final_rotation_layer=True)
+        assert ansatz.num_parameters == 2 * 4 * 3
+
+    def test_full_entanglement_cx_count(self):
+        ansatz = efficient_su2(4, reps=2, entanglement="full")
+        assert ansatz.count_ops()["cx"] == 2 * 6
+
+    def test_circular_entanglement_cx_count(self):
+        ansatz = efficient_su2(4, reps=3, entanglement="circular")
+        assert ansatz.count_ops()["cx"] == 3 * 4
+
+    def test_linear_entanglement_cx_count(self):
+        ansatz = efficient_su2(5, reps=1, entanglement="linear")
+        assert ansatz.count_ops()["cx"] == 4
+
+    def test_unknown_entanglement(self):
+        with pytest.raises(CircuitError):
+            efficient_su2(4, entanglement="star")
+
+    def test_invalid_reps(self):
+        with pytest.raises(CircuitError):
+            efficient_su2(4, reps=0)
+
+    def test_metadata_recorded(self):
+        ansatz = efficient_su2(4, reps=2, entanglement="circular")
+        assert ansatz.metadata["ansatz"] == "efficient_su2"
+        assert ansatz.metadata["entanglement"] == "circular"
+
+    def test_distinct_parameters_per_instance(self):
+        first = efficient_su2(4, reps=2)
+        second = efficient_su2(4, reps=2)
+        assert first.parameters.isdisjoint(second.parameters)
+
+    def test_zero_angles_give_identity_state(self):
+        ansatz = efficient_su2(3, reps=1, entanglement="linear")
+        bound = ansatz.bind_parameters([0.0] * ansatz.num_parameters)
+        probs = StatevectorSimulator().probabilities(bound)
+        assert probs[0] == pytest.approx(1.0)
+
+
+class TestTwoLocal:
+    def test_parameter_count(self):
+        ansatz = two_local(3, rotation_gates=("ry",), reps=2)
+        assert ansatz.num_parameters == 3 * 3
+
+    def test_cz_entangler(self):
+        ansatz = two_local(3, entanglement_gate="cz", reps=1)
+        assert "cz" in ansatz.count_ops()
+
+    def test_invalid_entangler(self):
+        with pytest.raises(CircuitError):
+            two_local(3, entanglement_gate="swap")
+
+
+class TestUCCSD:
+    def test_three_parameters(self):
+        ansatz = uccsd_like_ansatz()
+        assert ansatz.num_parameters == 3
+        assert ansatz.num_qubits == 4
+
+    def test_only_four_qubits_supported(self):
+        with pytest.raises(CircuitError):
+            uccsd_like_ansatz(num_qubits=6)
+
+    def test_hartree_fock_reference_at_zero_angles(self):
+        ansatz = uccsd_like_ansatz()
+        bound = ansatz.bind_parameters([0.0, 0.0, 0.0])
+        probs = StatevectorSimulator().probabilities(bound)
+        # |1100> in big-endian ordering (qubits 0 and 1 occupied).
+        assert probs[0b1100] == pytest.approx(1.0, abs=1e-9)
+
+    def test_parameters_change_the_state(self):
+        ansatz = uccsd_like_ansatz()
+        sim = StatevectorSimulator()
+        reference = sim.probabilities(ansatz.bind_parameters([0.0, 0.0, 0.0]))
+        excited = sim.probabilities(ansatz.bind_parameters([0.3, -0.2, 0.5]))
+        assert not np.allclose(reference, excited)
+
+
+class TestMicrobenchmarks:
+    def test_hahn_echo_ideal_outcome_is_zero(self):
+        circuit = hahn_echo_microbenchmark(echo_position=0.5)
+        probs = StatevectorSimulator().probabilities(circuit.remove_final_measurements())
+        assert probs[0] == pytest.approx(1.0)
+
+    def test_hahn_echo_delays_split_by_position(self):
+        circuit = hahn_echo_microbenchmark(delay_ns=1000.0, echo_position=0.25)
+        delays = [inst.gate.params[0] for inst in circuit.instructions if inst.name == "delay"]
+        assert delays == pytest.approx([250.0, 750.0])
+
+    def test_hahn_echo_without_echo_has_single_delay(self):
+        circuit = hahn_echo_microbenchmark(delay_ns=500.0, include_echo=False)
+        assert circuit.count_ops()["delay"] == 1
+        assert circuit.count_ops().get("x", 0) == 0
+
+    def test_hahn_echo_invalid_position(self):
+        with pytest.raises(CircuitError):
+            hahn_echo_microbenchmark(echo_position=1.5)
+
+    def test_idle_window_microbenchmark_ideal_returns_to_zero(self):
+        circuit = idle_window_microbenchmark(theta=math.pi / 3)
+        probs = StatevectorSimulator().probabilities(circuit.remove_final_measurements())
+        assert probs[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_ghz_distribution(self):
+        probs = StatevectorSimulator().probabilities(ghz_circuit(4))
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[-1] == pytest.approx(0.5)
+
+    def test_bell_is_two_qubit_ghz(self):
+        assert bell_circuit().num_qubits == 2

@@ -1,0 +1,138 @@
+"""Tests for measurement error mitigation and zero-noise extrapolation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz_circuit
+from repro.exceptions import MitigationError
+from repro.mitigation import (
+    MeasurementMitigator,
+    fold_circuit_global,
+    linear_extrapolate,
+    richardson_extrapolate,
+    zne_expectation,
+)
+from repro.simulators import StatevectorSimulator, apply_readout_error
+
+
+class TestMeasurementMitigator:
+    def test_requires_confusion_matrices(self):
+        with pytest.raises(MitigationError):
+            MeasurementMitigator([])
+
+    def test_rejects_non_stochastic_matrices(self):
+        with pytest.raises(MitigationError):
+            MeasurementMitigator([np.array([[0.9, 0.3], [0.2, 0.7]])])
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(MitigationError):
+            MeasurementMitigator([np.eye(4)])
+
+    def test_from_device(self, device):
+        mitigator = MeasurementMitigator.from_device(device, [0, 1, 2])
+        assert mitigator.num_qubits == 3
+        assert np.allclose(mitigator.confusions[0], device.readout_confusion_matrix(0))
+
+    def test_inverts_readout_distortion_exactly(self, device):
+        confusions = [device.readout_confusion_matrix(q) for q in (0, 1)]
+        true = np.array([0.5, 0.0, 0.1, 0.4])
+        distorted = apply_readout_error(true, confusions)
+        recovered = MeasurementMitigator(confusions).mitigate_probabilities(distorted)
+        assert np.allclose(recovered, true, atol=1e-9)
+
+    def test_mitigate_counts_returns_quasi_counts(self, device):
+        mitigator = MeasurementMitigator.from_device(device, [0])
+        counts = {"0": 950, "1": 50}
+        mitigated = mitigator.mitigate_counts(counts)
+        assert sum(mitigated.values()) == pytest.approx(1000, rel=1e-6)
+        assert mitigated["0"] > 950
+
+    def test_clipping_keeps_distribution_normalised(self):
+        confusion = np.array([[0.95, 0.1], [0.05, 0.9]])
+        mitigator = MeasurementMitigator([confusion])
+        # A distribution more extreme than the confusion allows -> negative raw inverse.
+        mitigated = mitigator.mitigate_probabilities(np.array([1.0, 0.0]))
+        assert mitigated.sum() == pytest.approx(1.0)
+        assert (mitigated >= 0).all()
+
+    def test_wrong_distribution_length(self, device):
+        mitigator = MeasurementMitigator.from_device(device, [0, 1])
+        with pytest.raises(MitigationError):
+            mitigator.mitigate_probabilities(np.array([1.0, 0.0]))
+
+    def test_from_calibration_counts(self):
+        zero_counts = {"00": 920, "01": 40, "10": 38, "11": 2}
+        one_counts = [
+            {"10": 900, "00": 80, "11": 18, "01": 2},   # qubit 0 prepared in |1>
+            {"01": 890, "00": 95, "11": 14, "10": 1},   # qubit 1 prepared in |1>
+        ]
+        mitigator = MeasurementMitigator.from_calibration_counts(zero_counts, one_counts)
+        assert mitigator.num_qubits == 2
+        # P(measure 1 | prepared 0) for qubit 0 is roughly (38 + 2) / 1000.
+        assert mitigator.confusions[0][1, 0] == pytest.approx(0.04, abs=0.01)
+        assert mitigator.confusions[0][1, 1] > 0.9
+
+    def test_from_calibration_counts_wrong_arity(self):
+        with pytest.raises(MitigationError):
+            MeasurementMitigator.from_calibration_counts({"00": 10}, [{"10": 10}])
+
+
+class TestFolding:
+    def test_scale_one_is_identity(self, bell):
+        folded = fold_circuit_global(bell, 1.0)
+        assert len(folded) == len(bell)
+
+    def test_scale_three_triples_gate_count(self, bell):
+        folded = fold_circuit_global(bell, 3.0)
+        assert len(folded) == 3 * len(bell)
+
+    def test_folding_preserves_unitary(self, bound_su2_4q):
+        folded = fold_circuit_global(bound_su2_4q, 3.0)
+        assert np.allclose(folded.to_unitary(), bound_su2_4q.to_unitary(), atol=1e-8)
+
+    def test_partial_fold_preserves_unitary(self, bell):
+        folded = fold_circuit_global(bell, 2.0)
+        assert np.allclose(folded.to_unitary(), bell.to_unitary(), atol=1e-9)
+        assert len(folded) > len(bell)
+
+    def test_invalid_scale(self, bell):
+        with pytest.raises(MitigationError):
+            fold_circuit_global(bell, 0.5)
+
+    def test_measured_circuit_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.measure(0, 0)
+        with pytest.raises(MitigationError):
+            fold_circuit_global(circuit, 3.0)
+
+
+class TestExtrapolation:
+    def test_linear_recovers_intercept(self):
+        scales = [1.0, 2.0, 3.0]
+        values = [0.9 - 0.1 * s for s in scales]
+        assert linear_extrapolate(scales, values) == pytest.approx(0.9)
+
+    def test_richardson_exact_on_quadratic(self):
+        scales = [1.0, 2.0, 3.0]
+        values = [1.0 - 0.2 * s + 0.05 * s ** 2 for s in scales]
+        assert richardson_extrapolate(scales, values) == pytest.approx(1.0)
+
+    def test_requires_two_points(self):
+        with pytest.raises(MitigationError):
+            linear_extrapolate([1.0], [0.5])
+        with pytest.raises(MitigationError):
+            richardson_extrapolate([1.0, 1.0], [0.5, 0.6])
+
+    def test_zne_expectation_with_synthetic_executor(self, bell):
+        """An executor whose error grows linearly with circuit length is fully corrected."""
+
+        def executor(circuit):
+            return 1.0 - 0.01 * len(circuit)
+
+        corrected, raw = zne_expectation(executor, bell, scale_factors=(1.0, 3.0, 5.0))
+        assert len(raw) == 3
+        assert corrected == pytest.approx(1.0, abs=1e-9)
+
+    def test_zne_unknown_method(self, bell):
+        with pytest.raises(MitigationError):
+            zne_expectation(lambda c: 0.0, bell, method="spline")

@@ -1,0 +1,94 @@
+"""Tests for noise-model construction and channel generation."""
+
+import numpy as np
+import pytest
+
+from repro.simulators import NoiseModel, is_valid_channel
+
+
+class TestFlavours:
+    def test_calibration_excludes_coherent(self, device):
+        model = NoiseModel.from_calibration(device)
+        assert not model.include_coherent_errors
+        assert not model.include_crosstalk
+        assert model.include_relaxation and model.include_gate_error
+
+    def test_device_includes_coherent(self, device):
+        model = NoiseModel.from_device(device)
+        assert model.include_coherent_errors and model.include_crosstalk
+
+    def test_ideal_is_noiseless(self, device):
+        model = NoiseModel.ideal(device)
+        assert model.is_noiseless()
+        assert not NoiseModel.from_device(device).is_noiseless()
+
+    def test_repr_flavours(self, device):
+        assert "device" in repr(NoiseModel.from_device(device))
+        assert "calibration" in repr(NoiseModel.from_calibration(device))
+        assert "ideal" in repr(NoiseModel.ideal(device))
+
+
+class TestIdleChannels:
+    def test_zero_duration_produces_nothing(self, device_noise):
+        assert device_noise.idle_channels(0, 100.0, 100.0) == []
+
+    def test_channels_are_trace_preserving(self, device_noise):
+        ops = device_noise.idle_channels(0, 0.0, 500.0, idle_neighbors=[1])
+        assert ops
+        for op in ops:
+            assert is_valid_channel(op.kraus)
+
+    def test_coherent_component_present_only_in_device_flavour(self, device, device_noise, calibration_noise):
+        device_ops = device_noise.idle_channels(0, 0.0, 1000.0)
+        calib_ops = calibration_noise.idle_channels(0, 0.0, 1000.0)
+        # The device flavour adds a unitary (single-Kraus) channel for the detuning.
+        assert any(len(op.kraus) == 1 for op in device_ops)
+        assert all(len(op.kraus) > 1 for op in calib_ops)
+
+    def test_crosstalk_requires_idle_neighbors(self, device_noise):
+        without = device_noise.idle_channels(0, 0.0, 1000.0, idle_neighbors=[])
+        with_neighbor = device_noise.idle_channels(0, 0.0, 1000.0, idle_neighbors=[1])
+        assert len(with_neighbor) == len(without) + 1
+        two_qubit_ops = [op for op in with_neighbor if len(op.qubits) == 2]
+        assert two_qubit_ops and two_qubit_ops[0].qubits == (0, 1)
+
+    def test_time_offset_changes_drift_phase(self, device):
+        base = NoiseModel.from_device(device)
+        shifted = NoiseModel(device, time_offset_ns=25000.0)
+        phase_a = [op for op in base.idle_channels(0, 0.0, 2000.0) if len(op.kraus) == 1]
+        phase_b = [op for op in shifted.idle_channels(0, 0.0, 2000.0) if len(op.kraus) == 1]
+        assert not np.allclose(phase_a[0].kraus[0], phase_b[0].kraus[0])
+
+
+class TestGateChannels:
+    def test_virtual_gates_are_noiseless(self, device_noise):
+        assert device_noise.gate_channels("rz", [0]) == []
+        assert device_noise.gate_channels("barrier", [0]) == []
+
+    def test_cx_noise_covers_both_qubits(self, device_noise):
+        ops = device_noise.gate_channels("cx", [0, 1])
+        qubit_sets = [op.qubits for op in ops]
+        assert (0,) in qubit_sets and (1,) in qubit_sets
+        assert any(len(q) == 2 for q in qubit_sets)
+        for op in ops:
+            assert is_valid_channel(op.kraus)
+
+    def test_gate_error_disabled(self, device):
+        model = NoiseModel(device, include_gate_error=False)
+        ops = model.gate_channels("cx", [0, 1])
+        assert all(len(op.qubits) == 1 for op in ops)  # only relaxation remains
+
+    def test_ideal_flavour_has_no_gate_noise(self, ideal_noise):
+        assert ideal_noise.gate_channels("cx", [0, 1]) == []
+
+
+class TestReadout:
+    def test_confusion_identity_when_disabled(self, device, ideal_noise):
+        assert np.allclose(ideal_noise.readout_confusion(0), np.eye(2))
+
+    def test_confusion_matches_device(self, device, device_noise):
+        assert np.allclose(device_noise.readout_confusion(2), device.readout_confusion_matrix(2))
+
+    def test_measurement_prelude_relaxation(self, device_noise, ideal_noise):
+        assert device_noise.measurement_prelude_channels(0)
+        assert ideal_noise.measurement_prelude_channels(0) == []

@@ -1,0 +1,136 @@
+"""Tests for the schedule-aware noisy density-matrix simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz_circuit, hahn_echo_microbenchmark
+from repro.exceptions import SimulationError
+from repro.simulators import NoiseModel, NoisySimulator, StatevectorSimulator
+from repro.transpiler import schedule_circuit, transpile
+
+
+def _schedule(circuit, device, **kwargs):
+    return schedule_circuit(circuit, device, **kwargs)
+
+
+class TestIdealAgreement:
+    def test_ideal_noise_matches_statevector(self, device, ideal_noise):
+        circuit = ghz_circuit(3)
+        circuit.measure_all()
+        result = transpile(circuit, device)
+        probs, clbits = NoisySimulator(ideal_noise).measured_probabilities(result.scheduled)
+        ideal = StatevectorSimulator().probabilities(ghz_circuit(3))
+        assert np.allclose(sorted(probs), sorted(ideal), atol=1e-9)
+        assert sorted(clbits) == [0, 1, 2]
+
+    def test_purity_preserved_without_noise(self, device, ideal_noise, scheduled_su2_4q):
+        state = NoisySimulator(ideal_noise).run(scheduled_su2_4q.scheduled)
+        assert state.purity() == pytest.approx(1.0, abs=1e-9)
+
+    def test_trace_always_one(self, device, device_noise, scheduled_su2_4q):
+        state = NoisySimulator(device_noise).run(scheduled_su2_4q.scheduled)
+        assert state.trace() == pytest.approx(1.0, abs=1e-8)
+        assert state.is_physical(atol=1e-6)
+
+
+class TestNoiseEffects:
+    def test_noise_reduces_purity(self, device, device_noise, scheduled_su2_4q):
+        state = NoisySimulator(device_noise).run(scheduled_su2_4q.scheduled)
+        assert state.purity() < 0.99
+
+    def test_long_idle_decoheres_superposition(self, device, device_noise):
+        short = QuantumCircuit(1)
+        short.h(0)
+        short.h(0)
+        short.measure(0, 0)
+        long = QuantumCircuit(1)
+        long.h(0)
+        long.delay(50000.0, 0)
+        long.h(0)
+        long.measure(0, 0)
+        sim = NoisySimulator(device_noise)
+        p_short, _ = sim.measured_probabilities(_schedule(short, device))
+        p_long, _ = sim.measured_probabilities(_schedule(long, device))
+        assert p_long[0] < p_short[0]
+
+    def test_t1_decay_of_excited_state(self, device, calibration_noise):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        circuit.delay(80000.0, 0)
+        circuit.measure(0, 0)
+        probs, _ = NoisySimulator(calibration_noise).measured_probabilities(_schedule(circuit, device))
+        # After ~T1/2 of idling a noticeable fraction has decayed to |0>.
+        assert 0.05 < probs[0] < 0.9
+
+    def test_readout_error_flips_outcomes(self, device):
+        readout_only = NoiseModel(
+            device,
+            include_coherent_errors=False,
+            include_crosstalk=False,
+            include_gate_error=False,
+            include_relaxation=False,
+            include_readout_error=True,
+        )
+        circuit = QuantumCircuit(1)
+        circuit.measure(0, 0)
+        probs, _ = NoisySimulator(readout_only).measured_probabilities(_schedule(circuit, device))
+        expected = device.qubits[0].readout_error_01
+        assert probs[1] == pytest.approx(expected, abs=1e-9)
+
+    def test_hahn_echo_beats_no_echo(self, device, device_noise):
+        sim = NoisySimulator(device_noise)
+        with_echo = transpile(hahn_echo_microbenchmark(echo_position=0.5), device)
+        without = transpile(hahn_echo_microbenchmark(include_echo=False), device)
+        p_echo, _ = sim.measured_probabilities(with_echo.scheduled)
+        p_plain, _ = sim.measured_probabilities(without.scheduled)
+        assert p_echo[0] > p_plain[0]
+
+    def test_calibration_model_is_insensitive_to_echo_position(self, device, calibration_noise):
+        """Markovian-only noise cannot be refocused (the Fig. 9 effect)."""
+        sim = NoisySimulator(calibration_noise)
+        values = []
+        for position in (0.1, 0.5, 0.9):
+            compiled = transpile(hahn_echo_microbenchmark(echo_position=position), device)
+            probs, _ = sim.measured_probabilities(compiled.scheduled)
+            values.append(probs[0])
+        assert max(values) - min(values) < 1e-6
+
+    def test_device_model_is_sensitive_to_echo_position(self, device, device_noise):
+        sim = NoisySimulator(device_noise)
+        values = []
+        for position in (0.1, 0.5, 0.9):
+            compiled = transpile(hahn_echo_microbenchmark(echo_position=position), device)
+            probs, _ = sim.measured_probabilities(compiled.scheduled)
+            values.append(probs[0])
+        assert max(values) - min(values) > 0.01
+
+
+class TestInterfaces:
+    def test_counts_sum_to_shots(self, device, device_noise, scheduled_su2_4q):
+        counts = NoisySimulator(device_noise, seed=4).counts(scheduled_su2_4q.scheduled, shots=512)
+        assert sum(counts.values()) == 512
+
+    def test_exact_counts_are_deterministic(self, device, device_noise, scheduled_su2_4q):
+        sim = NoisySimulator(device_noise, seed=1)
+        a = sim.counts(scheduled_su2_4q.scheduled, shots=1000, exact=True)
+        b = sim.counts(scheduled_su2_4q.scheduled, shots=1000, exact=True)
+        assert a == b
+
+    def test_missing_measurements_rejected(self, device, device_noise):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        scheduled = _schedule(circuit, device)
+        with pytest.raises(SimulationError):
+            NoisySimulator(device_noise).measured_probabilities(scheduled)
+
+    def test_too_many_qubits_rejected(self, device, device_noise):
+        from repro.transpiler.scheduling import ScheduledCircuit
+
+        scheduled = ScheduledCircuit(
+            num_qubits=11, num_clbits=11, device=device,
+            physical_qubits=tuple(range(11)),
+        )
+        with pytest.raises(SimulationError):
+            NoisySimulator(device_noise).run(scheduled)

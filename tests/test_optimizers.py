@@ -1,0 +1,116 @@
+"""Tests for the classical optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizerError
+from repro.optimizers import COBYLA, NelderMead, SPSA, ScipyOptimizer, TrackingObjective
+
+
+def quadratic(x):
+    return float(np.sum((np.asarray(x) - 1.5) ** 2))
+
+
+def noisy_quadratic_factory(scale, seed=0):
+    rng = np.random.default_rng(seed)
+
+    def objective(x):
+        return quadratic(x) + float(rng.normal(0, scale))
+
+    return objective
+
+
+class TestTrackingObjective:
+    def test_records_every_evaluation(self):
+        tracked = TrackingObjective(quadratic)
+        tracked(np.array([0.0]))
+        tracked(np.array([1.0]))
+        assert tracked.num_evaluations == 2
+        assert len(tracked.points) == 2
+
+    def test_best_returns_minimum_seen(self):
+        tracked = TrackingObjective(quadratic)
+        tracked(np.array([0.0]))
+        tracked(np.array([1.4]))
+        tracked(np.array([3.0]))
+        point, value = tracked.best()
+        assert point == pytest.approx([1.4])
+        assert value == pytest.approx(quadratic([1.4]))
+
+    def test_best_without_evaluations(self):
+        with pytest.raises(OptimizerError):
+            TrackingObjective(quadratic).best()
+
+
+class TestSPSA:
+    def test_invalid_configuration(self):
+        with pytest.raises(OptimizerError):
+            SPSA(maxiter=0)
+        with pytest.raises(OptimizerError):
+            SPSA(resamplings=0)
+
+    def test_converges_on_quadratic(self):
+        result = SPSA(maxiter=150, seed=1).minimize(quadratic, [4.0, -2.0])
+        assert result.optimal_value < 0.05
+        assert np.allclose(result.optimal_parameters, [1.5, 1.5], atol=0.3)
+
+    def test_history_and_evaluation_count(self):
+        optimizer = SPSA(maxiter=30, seed=2)
+        result = optimizer.minimize(quadratic, [3.0])
+        # One initial evaluation plus three per iteration (two gradient samples + candidate).
+        assert result.num_evaluations == 1 + 3 * 30
+        assert len(result.history) == 31
+
+    def test_deterministic_for_fixed_seed(self):
+        a = SPSA(maxiter=25, seed=3).minimize(quadratic, [2.0, 2.0])
+        b = SPSA(maxiter=25, seed=3).minimize(quadratic, [2.0, 2.0])
+        assert np.allclose(a.optimal_parameters, b.optimal_parameters)
+        assert a.history == b.history
+
+    def test_tolerates_noisy_objective(self):
+        result = SPSA(maxiter=200, seed=4).minimize(noisy_quadratic_factory(0.05), [4.0])
+        assert abs(result.optimal_parameters[0] - 1.5) < 0.5
+
+    def test_blocking_rejects_bad_steps(self):
+        result = SPSA(maxiter=40, seed=5, blocking=True, allowed_increase=0.0).minimize(
+            quadratic, [3.0]
+        )
+        # Accepted-iteration values never increase when blocking with zero allowance.
+        diffs = np.diff(result.history)
+        assert (diffs <= 1e-12).all()
+
+    def test_callback_invoked(self):
+        calls = []
+        SPSA(maxiter=5, seed=6, callback=lambda i, p, v: calls.append(i)).minimize(quadratic, [0.0])
+        assert calls == list(range(5))
+
+    def test_resamplings_average_gradient(self):
+        result = SPSA(maxiter=20, seed=7, resamplings=3).minimize(quadratic, [3.0])
+        assert result.num_evaluations == 1 + (2 * 3 + 1) * 20
+
+    def test_empty_initial_point(self):
+        with pytest.raises(OptimizerError):
+            SPSA(maxiter=5).minimize(quadratic, [])
+
+
+class TestScipyOptimizers:
+    def test_unknown_method(self):
+        with pytest.raises(OptimizerError):
+            ScipyOptimizer(method="ANNEAL")
+
+    def test_cobyla_converges(self):
+        result = COBYLA(maxiter=200).minimize(quadratic, [4.0, -1.0])
+        assert result.optimal_value < 1e-3
+
+    def test_nelder_mead_converges(self):
+        result = NelderMead(maxiter=300).minimize(quadratic, [4.0, -1.0])
+        assert result.optimal_value < 1e-5
+
+    def test_result_tracks_best_not_last(self):
+        result = COBYLA(maxiter=50).minimize(quadratic, [2.0])
+        assert result.optimal_value == pytest.approx(min(result.history))
+
+    def test_optimizer_names(self):
+        assert SPSA().name == "spsa"
+        assert COBYLA().name == "cobyla"
+        assert NelderMead().name == "nelder-mead"

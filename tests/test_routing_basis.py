@@ -1,0 +1,175 @@
+"""Tests for SWAP routing and basis translation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import QuantumCircuit, efficient_su2
+from repro.circuits.gates import standard_gate
+from repro.exceptions import TranspilerError
+from repro.transpiler import (
+    CouplingMap,
+    count_added_swaps,
+    noise_aware_layout,
+    route_circuit,
+    single_qubit_sequence,
+    translate_to_basis,
+    unitaries_equal_up_to_phase,
+    zyz_angles,
+)
+
+_angle = st.floats(-2 * math.pi, 2 * math.pi, allow_nan=False)
+
+
+class TestZYZ:
+    @settings(max_examples=40, deadline=None)
+    @given(theta=_angle, phi=_angle, lam=_angle)
+    def test_zyz_reconstruction(self, theta, phi, lam):
+        target = standard_gate("u3", theta, phi, lam).matrix()
+        t, p, l = zyz_angles(target)
+        rebuilt = (
+            standard_gate("rz", p).matrix()
+            @ standard_gate("ry", t).matrix()
+            @ standard_gate("rz", l).matrix()
+        )
+        assert unitaries_equal_up_to_phase(target, rebuilt)
+
+    def test_zyz_rejects_two_qubit_matrices(self):
+        with pytest.raises(TranspilerError):
+            zyz_angles(np.eye(4))
+
+
+class TestSingleQubitSequence:
+    @pytest.mark.parametrize("name,params", [
+        ("h", ()), ("x", ()), ("y", ()), ("z", ()), ("s", ()), ("t", ()),
+        ("rx", (0.7,)), ("ry", (-1.3,)), ("rz", (2.2,)), ("u3", (0.4, 1.5, -0.8)),
+    ])
+    def test_sequence_reproduces_gate(self, name, params):
+        target = standard_gate(name, *params).matrix()
+        built = np.eye(2, dtype=complex)
+        for gate_name, gate_params in single_qubit_sequence(target):
+            built = standard_gate(gate_name, *gate_params).matrix() @ built
+        assert unitaries_equal_up_to_phase(target, built)
+
+    def test_identity_collapses_to_nothing(self):
+        assert single_qubit_sequence(np.eye(2)) == []
+
+    def test_pure_z_rotation_is_single_rz(self):
+        sequence = single_qubit_sequence(standard_gate("rz", 0.4).matrix())
+        assert len(sequence) == 1 and sequence[0][0] == "rz"
+
+    def test_uses_only_hardware_basis(self):
+        sequence = single_qubit_sequence(standard_gate("u3", 0.3, 0.2, 0.1).matrix())
+        assert {name for name, _ in sequence} <= {"rz", "sx", "x"}
+
+
+class TestBasisTranslation:
+    def test_translated_gates_are_native(self, bound_su2_4q):
+        translated = translate_to_basis(bound_su2_4q)
+        assert set(translated.count_ops()) <= {"rz", "sx", "x", "cx", "measure", "barrier", "delay"}
+
+    def test_unitary_preserved_up_to_phase(self, bound_su2_4q):
+        translated = translate_to_basis(bound_su2_4q)
+        assert unitaries_equal_up_to_phase(bound_su2_4q.to_unitary(), translated.to_unitary())
+
+    @pytest.mark.parametrize("builder", [
+        lambda qc: qc.cz(0, 1),
+        lambda qc: qc.swap(0, 1),
+        lambda qc: qc.rzz(0.7, 0, 1),
+        lambda qc: qc.rxx(0.4, 0, 1),
+        lambda qc: qc.cry(1.1, 0, 1),
+    ])
+    def test_two_qubit_decompositions(self, builder):
+        circuit = QuantumCircuit(2)
+        circuit.ry(0.3, 0)
+        builder(circuit)
+        translated = translate_to_basis(circuit)
+        assert unitaries_equal_up_to_phase(circuit.to_unitary(), translated.to_unitary())
+        assert set(translated.count_ops()) <= {"rz", "sx", "x", "cx"}
+
+    def test_measure_and_delay_pass_through(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.delay(100.0, 0)
+        circuit.measure(0, 0)
+        translated = translate_to_basis(circuit)
+        assert translated.count_ops()["measure"] == 1
+        assert translated.count_ops()["delay"] == 1
+
+    def test_unbound_parameters_rejected(self):
+        from repro.circuits import Parameter
+
+        circuit = QuantumCircuit(1)
+        circuit.ry(Parameter("t"), 0)
+        with pytest.raises(TranspilerError):
+            translate_to_basis(circuit)
+
+
+class TestRouting:
+    def _route(self, circuit, device, physical=None):
+        coupling = CouplingMap.from_device(device)
+        layout, active = noise_aware_layout(circuit, device, physical)
+        return route_circuit(circuit, coupling, layout, active), active
+
+    def test_adjacent_gates_need_no_swaps(self, device):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        (routed, _final), _ = self._route(circuit, device)
+        assert count_added_swaps(circuit, routed) == 0
+
+    def test_distant_gates_get_swaps(self, device):
+        # A triangle of interactions cannot be embedded in a line of three
+        # physical qubits, so at least one CX needs routing.
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.cx(0, 2)
+        (routed, _final), active = self._route(circuit, device, physical=[0, 1, 2])
+        assert count_added_swaps(circuit, routed) >= 1
+
+    def test_all_two_qubit_gates_are_adjacent_after_routing(self, device):
+        ansatz = efficient_su2(5, reps=2, entanglement="full")
+        bound = ansatz.bind_parameters([0.2] * ansatz.num_parameters)
+        coupling = CouplingMap.from_device(device)
+        layout, active = noise_aware_layout(bound, device)
+        routed, _ = route_circuit(bound, coupling, layout, active)
+        sub = coupling.subgraph(active)
+        for inst in routed.instructions:
+            if len(inst.qubits) == 2:
+                assert sub.are_adjacent(*inst.qubits)
+
+    def test_measurements_follow_the_routed_qubit(self, device):
+        circuit = QuantumCircuit(3)
+        circuit.x(0)
+        circuit.cx(0, 2)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        circuit.measure(2, 2)
+        (routed, final_layout), active = self._route(circuit, device, physical=[0, 1, 2])
+        # X on logical 0 and CX(0, 2) leave the logical state |101>; the routed
+        # circuit must still deliver that pattern into clbits (0, 1, 2).
+        from repro.simulators import StatevectorSimulator
+
+        sim = StatevectorSimulator(seed=0)
+        counts = sim.counts(routed, shots=64)
+        assert set(counts) == {"101"}
+
+    def test_routing_preserves_distribution(self, device):
+        """Routed execution gives the same measured distribution as the logical circuit."""
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 2)
+        circuit.ry(0.6, 1)
+        circuit.cx(1, 2)
+        circuit.measure_all()
+        from repro.simulators import StatevectorSimulator
+
+        logical = StatevectorSimulator(seed=1).probabilities(circuit.remove_final_measurements())
+        (routed, _), active = self._route(circuit, device, physical=[0, 1, 2])
+        counts = StatevectorSimulator(seed=1).counts(routed, shots=20000)
+        measured = np.zeros(8)
+        for key, value in counts.items():
+            measured[int(key, 2)] = value / 20000
+        assert np.allclose(measured, logical, atol=0.02)

@@ -1,0 +1,169 @@
+"""Tests for ALAP/ASAP scheduling and the ScheduledCircuit container."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.exceptions import TranspilerError
+from repro.transpiler import schedule_circuit, translate_to_basis
+from repro.transpiler.scheduling import ScheduledCircuit, TimedInstruction
+
+
+class TestScheduling:
+    def test_unknown_policy(self, device):
+        circuit = QuantumCircuit(1)
+        with pytest.raises(TranspilerError):
+            schedule_circuit(circuit, device, policy="late")
+
+    def test_circuit_wider_than_device(self, device):
+        with pytest.raises(TranspilerError):
+            schedule_circuit(QuantumCircuit(8), device)
+
+    def test_durations_from_device(self, device):
+        circuit = QuantumCircuit(2)
+        circuit.sx(0)
+        circuit.cx(0, 1)
+        scheduled = schedule_circuit(circuit, device)
+        durations = {t.name: t.duration_ns for t in scheduled.timed_instructions}
+        assert durations["sx"] == pytest.approx(35.56)
+        assert durations["cx"] == pytest.approx(device.gate_duration("cx", [0, 1]))
+
+    def test_rz_takes_zero_time(self, device):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.3, 0)
+        circuit.sx(0)
+        scheduled = schedule_circuit(circuit, device)
+        rz = [t for t in scheduled.timed_instructions if t.name == "rz"][0]
+        assert rz.duration_ns == 0.0
+
+    def test_asap_packs_to_the_left(self, device):
+        circuit = QuantumCircuit(2)
+        circuit.sx(0)
+        circuit.cx(0, 1)
+        circuit.sx(1)
+        scheduled = schedule_circuit(circuit, device, policy="asap")
+        first_sx = [t for t in scheduled.timed_instructions if t.name == "sx"][0]
+        assert first_sx.start_ns == 0.0
+
+    def test_alap_pushes_single_qubit_gates_late(self, device):
+        """ALAP leaves the slack before the gate, ASAP after (the paper's baseline)."""
+        circuit = QuantumCircuit(2)
+        circuit.sx(1)
+        circuit.cx(0, 1)   # long 2q gate on (0,1)
+        circuit.sx(0)      # short gate on 0 while qubit 1 is measured later
+        circuit.cx(0, 1)
+        asap = schedule_circuit(circuit, device, policy="asap")
+        alap = schedule_circuit(circuit, device, policy="alap")
+        sx_asap = [t for t in asap.timed_instructions if t.name == "sx" and t.qubits == (0,)][0]
+        sx_alap = [t for t in alap.timed_instructions if t.name == "sx" and t.qubits == (0,)][0]
+        assert sx_alap.start_ns >= sx_asap.start_ns
+
+    def test_same_makespan_for_both_policies(self, device):
+        from repro.circuits import efficient_su2
+
+        ansatz = efficient_su2(4, reps=2, entanglement="linear")
+        bound = ansatz.bind_parameters([0.3] * ansatz.num_parameters)
+        basis = translate_to_basis(bound)
+        # Positions (0, 1, 3, 5) form a line on the Casablanca coupling map.
+        alap = schedule_circuit(basis, device, physical_qubits=[0, 1, 3, 5])
+        asap = schedule_circuit(basis, device, physical_qubits=[0, 1, 3, 5], policy="asap")
+        assert alap.duration_ns == pytest.approx(asap.duration_ns)
+
+    def test_no_overlap(self, device, scheduled_su2_4q):
+        assert scheduled_su2_4q.scheduled.validate_no_overlap()
+
+    def test_delay_reserves_time_but_is_dropped(self, device):
+        circuit = QuantumCircuit(1)
+        circuit.sx(0)
+        circuit.delay(1000.0, 0)
+        circuit.sx(0)
+        circuit.measure(0, 0)
+        scheduled = schedule_circuit(circuit, device)
+        names = [t.name for t in scheduled.timed_instructions]
+        assert "delay" not in names
+        sx_gates = [t for t in scheduled.timed_instructions if t.name == "sx"]
+        gap = sx_gates[1].start_ns - sx_gates[0].end_ns
+        assert gap == pytest.approx(1000.0)
+
+    def test_barriers_order_but_take_no_time(self, device):
+        circuit = QuantumCircuit(2)
+        circuit.sx(0)
+        circuit.barrier()
+        circuit.sx(1)
+        scheduled = schedule_circuit(circuit, device, policy="asap")
+        sx1 = [t for t in scheduled.timed_instructions if t.qubits == (1,)][0]
+        assert sx1.start_ns >= 35.0
+
+    def test_measurement_duration(self, device):
+        circuit = QuantumCircuit(1)
+        circuit.measure(0, 0)
+        scheduled = schedule_circuit(circuit, device)
+        measure = scheduled.timed_instructions[0]
+        assert measure.duration_ns == pytest.approx(3200.0)
+
+
+class TestScheduledCircuit:
+    def test_physical_qubit_mapping(self, device):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        scheduled = schedule_circuit(circuit, device, physical_qubits=[3, 5])
+        assert scheduled.physical_qubit(0) == 3
+        assert scheduled.physical_qubit(1) == 5
+
+    def test_mismatched_physical_qubits(self, device):
+        with pytest.raises(TranspilerError):
+            ScheduledCircuit(num_qubits=2, num_clbits=2, device=device, physical_qubits=(0,))
+
+    def test_qubit_runtime_ends_at_measurement(self, device):
+        circuit = QuantumCircuit(1)
+        circuit.sx(0)
+        circuit.delay(500.0, 0)
+        circuit.measure(0, 0)
+        scheduled = schedule_circuit(circuit, device)
+        start, end = scheduled.qubit_runtime(0)
+        measure = [t for t in scheduled.timed_instructions if t.name == "measure"][0]
+        assert end == pytest.approx(measure.start_ns)
+        assert start == pytest.approx(0.0)
+
+    def test_insert_and_remove(self, device):
+        circuit = QuantumCircuit(1)
+        circuit.sx(0)
+        scheduled = schedule_circuit(circuit, device)
+        before = len(scheduled.timed_instructions)
+        scheduled.insert(Gate("x", 1), 0, 100.0)
+        assert len(scheduled.timed_instructions) == before + 1
+        inserted = [t for t in scheduled.timed_instructions if t.name == "x"][0]
+        assert inserted.duration_ns == pytest.approx(35.56)
+        scheduled.remove(inserted)
+        assert len(scheduled.timed_instructions) == before
+
+    def test_replace_shifts_instruction(self, device):
+        circuit = QuantumCircuit(1)
+        circuit.sx(0)
+        scheduled = schedule_circuit(circuit, device)
+        original = scheduled.timed_instructions[0]
+        scheduled.replace(original, original.shifted(500.0))
+        assert scheduled.timed_instructions[0].start_ns == 500.0
+
+    def test_copy_is_deep_for_instruction_list(self, device, scheduled_su2_4q):
+        scheduled = scheduled_su2_4q.scheduled
+        copy = scheduled.copy()
+        copy.insert(Gate("x", 1), 0, 1.0)
+        assert len(copy.timed_instructions) == len(scheduled.timed_instructions) + 1
+
+    def test_count_ops_and_repr(self, device, scheduled_su2_4q):
+        scheduled = scheduled_su2_4q.scheduled
+        counts = scheduled.count_ops()
+        assert counts["cx"] > 0 and counts["measure"] == 4
+        assert "ScheduledCircuit" in repr(scheduled)
+
+    def test_measured_positions(self, device, scheduled_su2_4q):
+        measured = scheduled_su2_4q.scheduled.measured_positions()
+        assert sorted(cl for _, cl in measured) == [0, 1, 2, 3]
+
+    def test_overlap_detection(self, device):
+        circuit = QuantumCircuit(1)
+        circuit.sx(0)
+        scheduled = schedule_circuit(circuit, device)
+        scheduled.insert(Gate("x", 1), 0, 10.0)  # overlaps the sx at t=0..35.56
+        assert not scheduled.validate_no_overlap()

@@ -1,0 +1,105 @@
+"""Tests for the ideal statevector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz_circuit
+from repro.exceptions import SimulationError
+from repro.operators import PauliSum, tfim_hamiltonian
+from repro.simulators import StatevectorSimulator
+
+
+class TestStatevector:
+    def test_initial_state(self):
+        circuit = QuantumCircuit(2)
+        state = StatevectorSimulator().run_statevector(circuit)
+        assert state[0] == pytest.approx(1.0)
+
+    def test_x_gate_big_endian(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        probs = StatevectorSimulator().probabilities(circuit)
+        assert probs == pytest.approx([0, 0, 1, 0])
+
+    def test_ghz_state(self):
+        probs = StatevectorSimulator().probabilities(ghz_circuit(3))
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[7] == pytest.approx(0.5)
+
+    def test_delays_and_barriers_ignored(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.delay(1000.0, 0)
+        circuit.barrier()
+        circuit.h(0)
+        probs = StatevectorSimulator().probabilities(circuit)
+        assert probs[0] == pytest.approx(1.0)
+
+    def test_unbound_parameters_rejected(self):
+        from repro.circuits import Parameter
+
+        circuit = QuantumCircuit(1)
+        circuit.rx(Parameter("t"), 0)
+        with pytest.raises(SimulationError):
+            StatevectorSimulator().run_statevector(circuit)
+
+    def test_matches_dense_unitary(self, bound_su2_4q):
+        state = StatevectorSimulator().run_statevector(bound_su2_4q)
+        expected = bound_su2_4q.to_unitary()[:, 0]
+        assert np.allclose(state, expected, atol=1e-9)
+
+    def test_norm_preserved(self, bound_su2_4q):
+        state = StatevectorSimulator().run_statevector(bound_su2_4q)
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+
+class TestCounts:
+    def test_counts_total_and_keys(self):
+        counts = StatevectorSimulator(seed=1).counts(ghz_circuit(2), shots=500)
+        assert sum(counts.values()) == 500
+        assert set(counts) <= {"00", "11"}
+
+    def test_counts_respect_measurement_mapping(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        circuit.measure(0, 1)
+        circuit.measure(1, 0)
+        counts = StatevectorSimulator(seed=2).counts(circuit, shots=100)
+        # Qubit 0 (value 1) is written into clbit 1, i.e. the right-hand bit.
+        assert counts == {"01": 100}
+
+    def test_counts_reproducible_with_seed(self):
+        a = StatevectorSimulator(seed=3).counts(ghz_circuit(2), shots=200)
+        b = StatevectorSimulator(seed=3).counts(ghz_circuit(2), shots=200)
+        assert a == b
+
+
+class TestExpectation:
+    def test_z_expectation(self):
+        circuit = QuantumCircuit(1)
+        ham = PauliSum({"Z": 1.0})
+        assert StatevectorSimulator().expectation(circuit, ham) == pytest.approx(1.0)
+
+    def test_x_expectation_after_h(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        ham = PauliSum({"X": 1.0})
+        assert StatevectorSimulator().expectation(circuit, ham) == pytest.approx(1.0)
+
+    def test_measurements_are_stripped(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.measure_all()
+        ham = PauliSum({"X": 1.0})
+        assert StatevectorSimulator().expectation(circuit, ham) == pytest.approx(1.0)
+
+    def test_width_mismatch(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(SimulationError):
+            StatevectorSimulator().expectation(circuit, PauliSum({"Z": 1.0}))
+
+    def test_tfim_expectation_above_ground_energy(self, bound_su2_4q, tfim4):
+        value = StatevectorSimulator().expectation(bound_su2_4q, tfim4)
+        assert value >= tfim4.ground_energy() - 1e-9

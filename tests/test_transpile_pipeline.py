@@ -1,0 +1,82 @@
+"""Integration tests for the full transpilation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Parameter, QuantumCircuit, efficient_su2
+from repro.exceptions import TranspilerError
+from repro.simulators import NoiseModel, NoisySimulator, StatevectorSimulator
+from repro.transpiler import transpile
+from repro.vqe import build_applications
+
+
+class TestTranspile:
+    def test_requires_bound_parameters(self, device):
+        ansatz = efficient_su2(3, reps=1)
+        with pytest.raises(TranspilerError):
+            transpile(ansatz, device)
+
+    def test_result_fields(self, scheduled_su2_4q):
+        result = scheduled_su2_4q
+        assert result.cx_depth > 0
+        assert result.num_idle_windows == len(result.idle_windows)
+        assert len(result.physical_qubits) == 4
+        assert result.scheduled.duration_ns > 0
+
+    def test_scheduled_uses_hardware_basis(self, scheduled_su2_4q):
+        ops = set(scheduled_su2_4q.scheduled.count_ops())
+        assert ops <= {"rz", "sx", "x", "cx", "measure", "barrier"}
+
+    def test_measurement_count_preserved(self, scheduled_su2_4q):
+        assert scheduled_su2_4q.scheduled.count_ops()["measure"] == 4
+
+    def test_explicit_physical_qubits(self, device, bound_su2_4q):
+        circuit = bound_su2_4q.copy()
+        circuit.measure_all()
+        result = transpile(circuit, device, physical_qubits=[0, 1, 3, 5])
+        assert result.physical_qubits == [0, 1, 3, 5]
+
+    def test_asap_policy(self, device, bound_su2_4q):
+        circuit = bound_su2_4q.copy()
+        circuit.measure_all()
+        alap = transpile(circuit, device, scheduling_policy="alap")
+        asap = transpile(circuit, device, scheduling_policy="asap")
+        assert alap.scheduled.duration_ns == pytest.approx(asap.scheduled.duration_ns)
+
+    def test_transpiled_distribution_matches_logical_under_ideal_noise(self, device):
+        """End-to-end check: layout + routing + basis + scheduling is semantics-preserving."""
+        ansatz = efficient_su2(4, reps=1, entanglement="full")
+        rng = np.random.default_rng(11)
+        bound = ansatz.bind_parameters(rng.uniform(-1, 1, ansatz.num_parameters))
+        logical_probs = StatevectorSimulator().probabilities(bound)
+        bound_measured = bound.copy()
+        bound_measured.measure_all()
+        result = transpile(bound_measured, device)
+        sim = NoisySimulator(NoiseModel.ideal(device))
+        probs, _ = sim.measured_probabilities(result.scheduled)
+        assert np.allclose(probs, logical_probs, atol=1e-7)
+
+    def test_deterministic_for_same_input(self, device, bound_su2_4q):
+        circuit = bound_su2_4q.copy()
+        circuit.measure_all()
+        first = transpile(circuit, device)
+        second = transpile(circuit, device)
+        assert first.physical_qubits == second.physical_qubits
+        assert first.cx_depth == second.cx_depth
+        assert first.num_idle_windows == second.num_idle_windows
+
+
+class TestApplicationsCompile:
+    @pytest.mark.parametrize("index", range(7))
+    def test_every_paper_application_compiles(self, index):
+        application = build_applications()[index]
+        rng = np.random.default_rng(0)
+        bound = application.ansatz.bind_parameters(
+            rng.uniform(-np.pi, np.pi, application.num_parameters)
+        )
+        bound.measure_all()
+        result = transpile(bound, application.device())
+        assert result.cx_depth > 0
+        assert result.num_idle_windows > 0
+        assert result.scheduled.validate_no_overlap()
+        assert len(result.physical_qubits) == application.num_qubits
