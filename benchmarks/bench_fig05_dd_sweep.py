@@ -15,9 +15,10 @@ import pytest
 
 from repro.circuits import idle_window_microbenchmark
 from repro.backends import fake_casablanca
+from repro.engine import NoisyDensityMatrixEngine
 from repro.metrics import hellinger_fidelity
 from repro.mitigation import DDConfig, insert_dd_sequences, max_sequences_in_window
-from repro.simulators import NoiseModel, NoisySimulator, StatevectorSimulator
+from repro.simulators import NoiseModel, StatevectorSimulator
 from repro.transpiler import transpile
 
 from vaqem_shared import print_table, save_results
@@ -33,17 +34,17 @@ def _dd_sweep(idle_ns: float = 12000.0, max_counts: int = 16):
 
     ideal_probs = StatevectorSimulator().probabilities(circuit.remove_final_measurements())
     ideal = {format(i, "02b"): p for i, p in enumerate(ideal_probs) if p > 1e-12}
-    simulator = NoisySimulator(NoiseModel.from_device(device), seed=0)
-
-    fidelities = []
-    for count in counts:
-        schedule = (
-            insert_dd_sequences(compiled.scheduled, window, DDConfig("xy4", count))
-            if count
-            else compiled.scheduled
-        )
-        probs, _ = simulator.measured_probabilities(schedule)
-        fidelities.append(hellinger_fidelity(probs, ideal))
+    # The whole sweep is one batch on the execution engine: every candidate
+    # shares its simulated prefix up to the idle window's start.
+    engine = NoisyDensityMatrixEngine(NoiseModel.from_device(device), seed=0)
+    schedules = [
+        insert_dd_sequences(compiled.scheduled, window, DDConfig("xy4", count))
+        if count
+        else compiled.scheduled
+        for count in counts
+    ]
+    results = engine.run_batch(schedules)
+    fidelities = [hellinger_fidelity(result.probabilities, ideal) for result in results]
     return counts, fidelities
 
 

@@ -1,0 +1,173 @@
+"""Run every fig-benchmark in reduced "smoke" mode and record a perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--output BENCH_engine.json]
+
+Each benchmark's underlying sweep runs with deliberately small parameters
+(one application, tiny tuning budgets) so the whole suite completes in well
+under a minute.  The driver measures per-benchmark wall-clock, collects the
+execution engine's cache/prefix-reuse counters from every pipeline run, and
+re-times the H2 window-tuner sweep through both the sequential (no cache, no
+prefix reuse) and the batched engine path, so future perf PRs have a
+machine-readable trajectory (``BENCH_engine.json``) to compare against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+os.environ.setdefault("REPRO_BENCH_SMOKE", "1")
+
+BENCH_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(BENCH_DIR))
+
+import numpy as np
+
+import vaqem_shared
+
+
+def _smoke_runners():
+    """(name, zero-argument callable) per fig-benchmark, smallest useful size."""
+    import bench_fig03_surface
+    import bench_fig05_dd_sweep
+    import bench_fig06_gate_position
+    import bench_fig08_angle_tuning
+    import bench_fig09_sim_vs_machine
+    import bench_fig12_improvements
+    import bench_fig13_rel_optimal
+    import bench_fig14_window_configs
+    import bench_fig15_execution_time
+    import bench_fig16_temporal_variability
+    import bench_table1_characteristics
+
+    return [
+        ("table1_characteristics", bench_table1_characteristics._characterise),
+        ("fig03_surface", lambda: bench_fig03_surface._surface_slice(num_points=5)),
+        ("fig05_dd_sweep", lambda: bench_fig05_dd_sweep._dd_sweep(max_counts=6)),
+        ("fig06_gate_position", lambda: bench_fig06_gate_position._position_sweep(num_positions=7)),
+        ("fig08_angle_tuning", lambda: bench_fig08_angle_tuning._angle_tuning_trajectories(maxiter=20, samples=3)),
+        ("fig09_sim_vs_machine", lambda: bench_fig09_sim_vs_machine._position_sweep(num_positions=5)),
+        ("fig12_improvements", bench_fig12_improvements._run_all),
+        ("fig13_rel_optimal", bench_fig13_rel_optimal._run_all),
+        ("fig14_window_configs", bench_fig14_window_configs._window_configurations),
+        ("fig15_execution_time", lambda: bench_fig15_execution_time._time_breakdowns(angle_iterations=50)),
+        ("fig16_temporal_variability", lambda: bench_fig16_temporal_variability._drift_series(hours=6, step_hours=3)),
+    ]
+
+
+def _h2_tuner_comparison():
+    """Time the H2 window-tuner sweep: sequential path vs batch+prefix path.
+
+    Both paths tune from the same compiled schedule; with ``shots=None`` the
+    tuned energies must agree exactly (the engine acceptance criterion).
+    """
+    from repro.engine import NoisyDensityMatrixEngine
+    from repro.simulators import NoiseModel
+    from repro.transpiler import transpile
+    from repro.vaqem import IndependentWindowTuner, TuningBudget
+    from repro.vqe import ExpectationEstimator, get_application
+
+    application = get_application("UCCSD_H2")
+    rng = np.random.default_rng(3)
+    circuit = application.ansatz.bind_parameters(
+        rng.uniform(-0.3, 0.3, application.num_parameters)
+    )
+    circuit.measure_all()
+    device = application.device()
+    compiled = transpile(circuit, device)
+    budget = TuningBudget(dd_resolution=4, gs_resolution=4, max_windows=10)
+
+    def tune(batched: bool):
+        # A fresh noise model per leg: otherwise the leg timed second would
+        # inherit the first leg's warmed channel cache and bias the speedup.
+        noise_model = NoiseModel.from_device(device)
+        engine = NoisyDensityMatrixEngine(
+            noise_model,
+            seed=11,
+            enable_prefix_reuse=batched,
+            # The sequential leg re-simulates every evaluation, like the
+            # pre-engine code did.
+            result_cache_bytes=(256 << 20) if batched else 0,
+        )
+        estimator = ExpectationEstimator(noise_model, seed=11, engine=engine)
+        tuner = IndependentWindowTuner(
+            objective=lambda s: estimator.estimate(s, application.hamiltonian).value,
+            budget=budget,
+            batch_objective=(
+                (lambda ss: [r.value for r in estimator.estimate_batch(ss, application.hamiltonian)])
+                if batched
+                else None
+            ),
+        )
+        start = time.perf_counter()
+        result = tuner.tune(compiled.scheduled, compiled.idle_windows)
+        return time.perf_counter() - start, result, engine
+
+    sequential_s, sequential, _ = tune(batched=False)
+    batched_s, batched, engine = tune(batched=True)
+    return {
+        "sequential_seconds": sequential_s,
+        "batched_seconds": batched_s,
+        "speedup": sequential_s / batched_s if batched_s else float("inf"),
+        "tuned_energy_sequential": sequential.tuned_value,
+        "tuned_energy_batched": batched.tuned_value,
+        "energies_exact_match": sequential.tuned_value == batched.tuned_value,
+        "num_evaluations": batched.num_evaluations,
+        "engine_stats": engine.stats.as_dict(),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(BENCH_DIR.parent / "BENCH_engine.json"),
+        help="where to write the machine-readable trajectory (default: repo root)",
+    )
+    args = parser.parse_args()
+
+    timings = {}
+    failures = {}
+    suite_start = time.perf_counter()
+    for name, runner in _smoke_runners():
+        start = time.perf_counter()
+        try:
+            runner()
+            timings[name] = time.perf_counter() - start
+            print(f"[run_all] {name:28s} {timings[name]:7.2f}s")
+        except Exception as error:  # keep the trajectory even if one fig regresses
+            failures[name] = f"{type(error).__name__}: {error}"
+            print(f"[run_all] {name:28s} FAILED ({failures[name]})")
+
+    tuner = _h2_tuner_comparison()
+    print(
+        f"[run_all] h2 tuner: sequential {tuner['sequential_seconds']:.2f}s, "
+        f"batched {tuner['batched_seconds']:.2f}s "
+        f"({tuner['speedup']:.1f}x, exact match: {tuner['energies_exact_match']})"
+    )
+
+    payload = {
+        "mode": "smoke" if vaqem_shared.smoke_mode() else "default",
+        "python": platform.python_version(),
+        "total_seconds": time.perf_counter() - suite_start,
+        "benchmarks_seconds": timings,
+        "failures": failures,
+        "pipeline_engine_stats": vaqem_shared.collected_engine_stats(),
+        "h2_window_tuner": tuner,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[run_all] wrote {output}")
+    if failures:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,15 @@ Two knobs control the fidelity/cost trade-off:
   completes in minutes; set to ``all`` to sweep every Table-I benchmark).
 * ``REPRO_BENCH_FULL`` — set to ``1`` to use the full per-window sweep budget
   instead of the reduced default.
+* ``REPRO_BENCH_SMOKE`` — set to ``1`` for the minimal configuration used by
+  ``benchmarks/run_all.py``: one application, few angle-tuning iterations and
+  a tiny per-window sweep, so the whole suite finishes in well under a
+  minute while still exercising every code path.
+
+All heavy executions route through each pipeline's shared
+:class:`~repro.engine.density_engine.NoisyDensityMatrixEngine`; the engine's
+cache/prefix-reuse counters are collected into every run result
+(``VAQEMRunResult.engine_stats``) and aggregated by :func:`collected_engine_stats`.
 """
 
 from __future__ import annotations
@@ -43,11 +52,16 @@ _DEFAULT_APPS = ("HW_TFIM_4q_c_6r", "HW_TFIM_4q_f_6r", "UCCSD_H2")
 _RUN_CACHE: Dict[str, VAQEMRunResult] = {}
 
 
+def smoke_mode() -> bool:
+    """Whether the reduced ``run_all.py`` smoke configuration is active."""
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
 def selected_application_names() -> List[str]:
     """Applications selected via ``REPRO_BENCH_APPS`` (default: fast subset)."""
     raw = os.environ.get("REPRO_BENCH_APPS", "").strip()
     if not raw:
-        return list(_DEFAULT_APPS)
+        return [_DEFAULT_APPS[0]] if smoke_mode() else list(_DEFAULT_APPS)
     if raw.lower() == "all":
         return [app.name for app in build_applications()]
     return [name.strip() for name in raw.split(",") if name.strip()]
@@ -57,19 +71,43 @@ def benchmark_config(seed: int = 11) -> VAQEMConfig:
     """The VAQEM configuration used by the evaluation benchmarks."""
     if os.environ.get("REPRO_BENCH_FULL", "0") == "1":
         budget = TuningBudget(dd_resolution=6, gs_resolution=5, max_windows=None)
+        iterations = 250
+    elif smoke_mode():
+        budget = TuningBudget(dd_resolution=2, gs_resolution=2, max_windows=3)
+        iterations = 30
     else:
         budget = TuningBudget(dd_resolution=4, gs_resolution=4, max_windows=10)
-    return VAQEMConfig(angle_tuning_iterations=250, budget=budget, seed=seed)
+        iterations = 250
+    return VAQEMConfig(angle_tuning_iterations=iterations, budget=budget, seed=seed)
 
 
 def run_application(name: str, strategies: Sequence[str] = FIGURE12_STRATEGIES) -> VAQEMRunResult:
     """Run (or fetch from cache) the full VAQEM evaluation of one application."""
-    key = f"{name}:{','.join(strategies)}:{os.environ.get('REPRO_BENCH_FULL', '0')}"
+    key = (
+        f"{name}:{','.join(strategies)}:{os.environ.get('REPRO_BENCH_FULL', '0')}"
+        f":{os.environ.get('REPRO_BENCH_SMOKE', '0')}"
+    )
     if key not in _RUN_CACHE:
         application = get_application(name)
         pipeline = VAQEMPipeline(application, benchmark_config())
         _RUN_CACHE[key] = pipeline.run(strategies=strategies)
     return _RUN_CACHE[key]
+
+
+def collected_engine_stats() -> Dict[str, float]:
+    """Summed execution-engine counters across every cached pipeline run."""
+    totals: Dict[str, float] = {}
+    for result in _RUN_CACHE.values():
+        for field, value in result.engine_stats.items():
+            totals[field] = totals.get(field, 0.0) + value
+    executions = totals.get("executions", 0.0)
+    simulated = totals.get("instructions_simulated", 0.0)
+    reused = totals.get("instructions_reused", 0.0)
+    if executions:
+        totals["hit_rate"] = totals.get("cache_hits", 0.0) / executions
+    if simulated + reused:
+        totals["reuse_fraction"] = reused / (simulated + reused)
+    return totals
 
 
 def save_results(filename: str, payload) -> Path:

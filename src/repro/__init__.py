@@ -58,6 +58,14 @@ from .backends import (
     get_device,
 )
 from .simulators import DensityMatrix, NoiseModel, NoisySimulator, StatevectorSimulator
+from .engine import (
+    EngineResult,
+    EngineStats,
+    ExecutionEngine,
+    FakeDeviceEngine,
+    NoisyDensityMatrixEngine,
+    StatevectorEngine,
+)
 from .transpiler import ScheduledCircuit, TranspileResult, find_idle_windows, transpile
 from .mitigation import DDConfig, GSConfig, MeasurementMitigator, insert_dd_sequences, uniform_dd
 from .optimizers import COBYLA, SPSA, NelderMead
@@ -92,6 +100,9 @@ __all__ = [
     "fake_montreal", "get_device",
     # simulators
     "StatevectorSimulator", "NoisySimulator", "NoiseModel", "DensityMatrix",
+    # engine
+    "ExecutionEngine", "EngineResult", "EngineStats", "StatevectorEngine",
+    "NoisyDensityMatrixEngine", "FakeDeviceEngine",
     # transpiler
     "transpile", "TranspileResult", "ScheduledCircuit", "find_idle_windows",
     # mitigation

@@ -16,6 +16,7 @@ micro-benchmarks are written in (``h``, ``ry``, ``rx``, ``y``, ``z``, ``cz``,
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Dict, Sequence, Tuple, Union
 
 import numpy as np
@@ -109,16 +110,18 @@ class Gate:
 
     # -- matrix ----------------------------------------------------------
     def matrix(self) -> np.ndarray:
-        """Return the unitary matrix of the gate (requires bound parameters)."""
+        """Return the unitary matrix of the gate (requires bound parameters).
+
+        Matrices are cached per ``(name, params)``: hot loops (schedule-aware
+        simulation, basis translation) request the same handful of distinct
+        gates thousands of times.  The returned array is read-only — copy it
+        before mutating.
+        """
         if self.is_parameterized():
             raise ParameterError(
                 f"cannot build the matrix of '{self._name}' with unbound parameters"
             )
-        try:
-            builder = _MATRIX_BUILDERS[self._name]
-        except KeyError:
-            raise CircuitError(f"gate '{self._name}' has no matrix definition") from None
-        return builder(*[float(p) for p in self._params])
+        return _cached_matrix(self._name, tuple(float(p) for p in self._params))
 
     # -- dunder ------------------------------------------------------------
     def __eq__(self, other):
@@ -183,6 +186,17 @@ class Measure(Gate):
 
     def inverse(self):
         raise CircuitError("measurement is not invertible")
+
+
+@lru_cache(maxsize=1024)
+def _cached_matrix(name: str, params: Tuple[float, ...]) -> np.ndarray:
+    try:
+        builder = _MATRIX_BUILDERS[name]
+    except KeyError:
+        raise CircuitError(f"gate '{name}' has no matrix definition") from None
+    matrix = builder(*params)
+    matrix.flags.writeable = False
+    return matrix
 
 
 # ----------------------------------------------------------------------------

@@ -1,0 +1,29 @@
+"""Unified batched execution engines (see :mod:`repro.engine.base`)."""
+
+from .base import EngineResult, EngineStats, ExecutionEngine, ExpectationData
+from .density_engine import NoisyDensityMatrixEngine, measure_pauli_sum
+from .fake_device_engine import FakeDeviceEngine
+from .fingerprint import (
+    circuit_fingerprint,
+    derive_seed,
+    device_fingerprint,
+    observable_fingerprint,
+    schedule_fingerprint,
+)
+from .statevector_engine import StatevectorEngine
+
+__all__ = [
+    "ExecutionEngine",
+    "EngineResult",
+    "EngineStats",
+    "ExpectationData",
+    "StatevectorEngine",
+    "NoisyDensityMatrixEngine",
+    "FakeDeviceEngine",
+    "measure_pauli_sum",
+    "circuit_fingerprint",
+    "schedule_fingerprint",
+    "device_fingerprint",
+    "observable_fingerprint",
+    "derive_seed",
+]

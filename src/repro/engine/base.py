@@ -1,0 +1,212 @@
+"""The :class:`ExecutionEngine` abstraction — one backend API for every run.
+
+Every part of the reproduction that executes circuits (expectation
+estimation, VQE objectives, the independent-window tuner, the runtime session
+model, the benchmark harness) talks to a single engine interface instead of
+instantiating simulators ad hoc:
+
+* :meth:`ExecutionEngine.run` — execute one circuit, returning an
+  :class:`EngineResult`,
+* :meth:`ExecutionEngine.run_batch` — execute many circuits, order-stably and
+  with shared caching (optionally fanned out over worker threads),
+* :meth:`ExecutionEngine.expectation` / :meth:`expectation_batch` — estimate
+  ``<H>`` of a Pauli-sum observable for one or many circuits.
+
+Three concrete engines cover the reproduction's backends:
+
+* :class:`~repro.engine.statevector_engine.StatevectorEngine` — ideal,
+  noise-free execution of logical circuits,
+* :class:`~repro.engine.density_engine.NoisyDensityMatrixEngine` —
+  schedule-aware noisy density-matrix execution of scheduled circuits, with a
+  prefix-reuse fast path for families of near-identical schedules,
+* :class:`~repro.engine.fake_device_engine.FakeDeviceEngine` — a fake IBM
+  machine: transpiles logical circuits and executes them noisily, caching the
+  transpilation per circuit content.
+
+Caching contract
+----------------
+Results are cached by *content fingerprint* (see
+:mod:`repro.engine.fingerprint`), never by object identity, so identical
+circuits are never simulated twice — no matter which frontend submitted them.
+Cache hits return the same numbers the original execution produced, bit for
+bit.
+
+Seeding contract
+----------------
+Whenever an engine needs randomness (shot sampling), the generator seed is
+derived deterministically from ``(engine seed, item content fingerprint)``
+via :func:`repro.engine.fingerprint.derive_seed`.  Consequences, guaranteed
+across all engines constructed with a seed:
+
+* ``run_batch(circuits)`` equals ``[run(c) for c in circuits]`` exactly,
+  element by element, regardless of batch order, cache state, prefix reuse or
+  thread fan-out;
+* re-running the same circuit on the same engine reproduces the same samples;
+* two engines constructed with the same seed agree with each other;
+* an explicit ``seed=...`` argument to a sampling method overrides the
+  derived seed for that call only.
+
+An engine constructed *without* a seed draws fresh OS entropy for every
+sampling call (matching the behaviour of an unseeded simulator): repeated
+calls give independent samples, and sampled expectation values are not
+served from the cache.  Passing ``shots=None`` requests the exact
+(infinite-shot) distribution, which involves no randomness at all.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class EngineStats:
+    """Execution and cache counters, for perf tracking and benchmark output."""
+
+    executions: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    prefix_resumes: int = 0
+    instructions_simulated: int = 0
+    instructions_reused: int = 0
+    expectation_calls: int = 0
+    expectation_cache_hits: int = 0
+    transpile_cache_hits: int = 0
+    transpile_cache_misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Fraction of instruction processing avoided via prefix snapshots."""
+        total = self.instructions_simulated + self.instructions_reused
+        return self.instructions_reused / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "executions": self.executions,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "prefix_resumes": self.prefix_resumes,
+            "instructions_simulated": self.instructions_simulated,
+            "instructions_reused": self.instructions_reused,
+            "reuse_fraction": self.reuse_fraction,
+            "expectation_calls": self.expectation_calls,
+            "expectation_cache_hits": self.expectation_cache_hits,
+            "transpile_cache_hits": self.transpile_cache_hits,
+            "transpile_cache_misses": self.transpile_cache_misses,
+        }
+
+
+@dataclass
+class EngineResult:
+    """The outcome of executing one circuit on an engine.
+
+    ``state`` is backend-specific (a statevector for the ideal engine, a
+    :class:`~repro.simulators.density_matrix.DensityMatrix` for the noisy
+    ones) and must be treated as read-only when ``from_cache`` is set.
+    """
+
+    fingerprint: str
+    engine: str
+    state: Any = None
+    probabilities: Optional[np.ndarray] = None
+    clbit_order: Optional[List[int]] = None
+    counts: Optional[Dict[str, int]] = None
+    from_cache: bool = False
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ExpectationData:
+    """``<H>`` plus per-measurement-group diagnostics."""
+
+    value: float
+    group_values: List[float]
+    distributions: List[np.ndarray]
+
+
+class ExecutionEngine(abc.ABC):
+    """Abstract base of all execution backends (see module docstring)."""
+
+    name = "engine"
+
+    def __init__(self, seed: Optional[int] = None):
+        self.seed = seed
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def run(self, circuit) -> EngineResult:
+        """Execute one circuit and return its :class:`EngineResult`."""
+
+    @abc.abstractmethod
+    def expectation(self, circuit, observable, shots: Optional[int] = None) -> float:
+        """Estimate ``<observable>`` for one circuit."""
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self, circuits: Sequence, max_workers: Optional[int] = None
+    ) -> List[EngineResult]:
+        """Execute many circuits; output order matches input order.
+
+        ``max_workers > 1`` fans the batch out over a thread pool.  Because of
+        the content-derived seeding contract the results are identical to the
+        serial path; threading only changes wall-clock (numpy releases the GIL
+        inside the heavy contractions).  Caches are shared across workers.
+        """
+        return self._map_batch(self.run, circuits, max_workers)
+
+    def expectation_batch(
+        self,
+        circuits: Sequence,
+        observable,
+        shots: Optional[int] = None,
+        max_workers: Optional[int] = None,
+    ) -> List[float]:
+        """Estimate ``<observable>`` for many circuits, order-stably."""
+        return self._map_batch(
+            lambda circuit: self.expectation(circuit, observable, shots=shots),
+            circuits,
+            max_workers,
+        )
+
+    @staticmethod
+    def _map_batch(func: Callable, items: Sequence, max_workers: Optional[int]) -> List:
+        items = list(items)
+        if max_workers is not None and max_workers > 1 and len(items) > 1:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                return list(pool.map(func, items))
+        return [func(item) for item in items]
+
+    # ------------------------------------------------------------------
+    def _sampling_rng(self, seed, *content: str) -> np.random.Generator:
+        """The generator for one sampling call, per the seeding contract.
+
+        Priority: an explicit per-call ``seed``; else content-derived from the
+        engine seed; else fresh OS entropy for unseeded engines.
+        """
+        from .fingerprint import derive_seed
+
+        if seed is not None:
+            return np.random.default_rng(seed)
+        if self.seed is not None:
+            return np.random.default_rng(derive_seed(self.seed, *content))
+        return np.random.default_rng()
+
+    def clear_caches(self) -> None:
+        """Drop all cached results (stats are kept; reset via :meth:`reset_stats`)."""
+
+    def reset_stats(self) -> None:
+        self.stats = EngineStats()
+
+    def __repr__(self):
+        return f"{type(self).__name__}(seed={self.seed}, stats={self.stats.as_dict()})"

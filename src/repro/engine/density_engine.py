@@ -1,0 +1,461 @@
+"""Noisy density-matrix execution engine with caching and prefix reuse.
+
+:class:`NoisyDensityMatrixEngine` wraps the schedule-aware
+:class:`~repro.simulators.noisy_simulator.NoisySimulator` behind the
+:class:`~repro.engine.base.ExecutionEngine` API and adds the two layers that
+make VAQEM-style tuning sweeps affordable:
+
+* a **content-hash result cache** — a scheduled circuit is identified by a
+  fingerprint of its full content (instructions, timings, layout, device
+  calibration); identical schedules are never simulated twice, no matter how
+  they were constructed;
+* a **prefix-reuse fast path** — while simulating, the engine checkpoints the
+  evolution cursor at instruction boundaries (spaced to respect a byte
+  budget) and keys each checkpoint by the schedule's hash chain at that
+  depth.  A later schedule that shares a processing prefix — e.g. a window
+  tuner candidate that only differs inside one idle window — resumes from the
+  deepest matching checkpoint instead of simulating from ``t = 0``.  Resumed
+  evolution is bit-identical to a cold run because processing an instruction
+  only consults schedule content at or before its start time (see
+  :mod:`repro.engine.fingerprint`).
+
+Both layers are thread-safe, so :meth:`run_batch` may fan out over threads
+without changing any result.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.gates import Gate
+from ..operators.pauli import MeasurementGroup, PauliSum
+from ..simulators.density_matrix import DensityMatrix
+from ..simulators.noise_model import NoiseModel
+from ..simulators.noisy_simulator import (
+    EvolutionCursor,
+    NoisySimulator,
+    ScheduleContext,
+    state_measured_probabilities,
+)
+from ..simulators.readout import (
+    apply_readout_error,
+    counts_to_probabilities,
+    probabilities_to_counts,
+)
+from ..transpiler.scheduling import ScheduledCircuit
+from .base import EngineResult, ExecutionEngine, ExpectationData
+from .fingerprint import (
+    device_fingerprint,
+    mitigator_fingerprint,
+    observable_fingerprint,
+    schedule_hash_chain,
+)
+
+
+class _ByteBudgetStore:
+    """LRU store evicting by total byte footprint rather than entry count.
+
+    Small (few-qubit) states keep near-perfect coverage while 10-qubit
+    problems degrade gracefully instead of pinning gigabytes.  A budget of 0
+    stores nothing; values larger than the whole budget are not stored.
+    """
+
+    def __init__(self, budget_bytes: int):
+        self.budget_bytes = int(budget_bytes)
+        self._entries: "OrderedDict[str, Tuple[object, int]]" = OrderedDict()
+        self._bytes = 0
+
+    def get(self, key: str):
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return entry[0]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def put(self, key: str, value, nbytes: int) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        if nbytes > self.budget_bytes:
+            return
+        self._entries[key] = (value, nbytes)
+        self._bytes += nbytes
+        while self._bytes > self.budget_bytes and self._entries:
+            _, (_, evicted_bytes) = self._entries.popitem(last=False)
+            self._bytes -= evicted_bytes
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+
+class _LRUCache:
+    """A small thread-unsafe LRU dict (callers hold the engine lock)."""
+
+    def __init__(self, max_entries: int):
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict" = OrderedDict()
+
+    def get(self, key):
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class NoisyDensityMatrixEngine(ExecutionEngine):
+    """Cached, prefix-reusing noisy execution of scheduled circuits."""
+
+    name = "noisy_density_matrix"
+
+    def __init__(
+        self,
+        noise_model: NoiseModel,
+        seed: Optional[int] = None,
+        result_cache_bytes: int = 256 << 20,
+        expectation_cache_entries: int = 2048,
+        snapshot_budget_bytes: int = 64 << 20,
+        enable_prefix_reuse: bool = True,
+    ):
+        super().__init__(seed=seed)
+        self.noise_model = noise_model
+        self.enable_prefix_reuse = enable_prefix_reuse
+        self._simulator = NoisySimulator(noise_model)
+        self._results = _ByteBudgetStore(result_cache_bytes)
+        self._expectations = _LRUCache(expectation_cache_entries)
+        self._snapshots = _ByteBudgetStore(snapshot_budget_bytes)
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Core execution
+    # ------------------------------------------------------------------
+    def _noise_key(self) -> str:
+        """Execution-context salt mixed into every cache key.
+
+        Recomputed per lookup so that post-construction toggles of the noise
+        model's flags / time offset (a supported usage) miss the caches
+        instead of silently serving pre-toggle states.
+        """
+        noise = self.noise_model
+        return device_fingerprint(noise.device) + repr(
+            (
+                noise.include_coherent_errors,
+                noise.include_crosstalk,
+                noise.include_readout_error,
+                noise.include_gate_error,
+                noise.include_relaxation,
+                noise.time_offset_ns,
+            )
+        )
+
+    def _chain(self, scheduled: ScheduledCircuit) -> Tuple[ScheduleContext, List[str]]:
+        context = self._simulator.prepare(scheduled)
+        chain = schedule_hash_chain(
+            scheduled, context.ordered, context.initial_last_time, salt=self._noise_key()
+        )
+        return context, chain
+
+    def _checkpoint_interval(self, num_instructions: int, state_bytes: int) -> int:
+        """Checkpoint spacing such that one schedule's snapshots stay within
+        a fraction of the byte budget (small states checkpoint every step)."""
+        if num_instructions == 0 or state_bytes <= 0:
+            return 1
+        per_run_budget = max(self._snapshots.budget_bytes // 4, state_bytes)
+        interval = int(np.ceil(num_instructions * state_bytes / per_run_budget))
+        return max(1, interval)
+
+    def _state_for(self, scheduled: ScheduledCircuit) -> Tuple[DensityMatrix, str, bool]:
+        """The (cached) end-of-schedule density matrix and its fingerprint.
+
+        The returned state is shared with the cache — treat it as read-only.
+        Only cache and snapshot access is serialized; the simulation itself
+        runs outside the lock so thread fan-out overlaps real work.  Two
+        threads racing on the same schedule would both simulate it and store
+        bit-identical states, so correctness never depends on the race.
+        """
+        context, chain = self._chain(scheduled)
+        fingerprint = chain[-1]
+        with self._lock:
+            self.stats.executions += 1
+            cached = self._results.get(fingerprint)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached, fingerprint, True
+            self.stats.cache_misses += 1
+
+            total = len(context.ordered)
+            cursor: Optional[EvolutionCursor] = None
+            if self.enable_prefix_reuse:
+                for depth in range(total, 0, -1):
+                    snapshot = self._snapshots.get(chain[depth])
+                    if snapshot is not None:
+                        cursor = snapshot.copy()
+                        self.stats.prefix_resumes += 1
+                        self.stats.instructions_reused += depth
+                        break
+            if cursor is None:
+                cursor = self._simulator.begin(scheduled, context)
+            start_depth = cursor.next_index
+            self.stats.instructions_simulated += total - start_depth
+
+        if self.enable_prefix_reuse and total > start_depth:
+            interval = self._checkpoint_interval(total, int(cursor.nbytes))
+            depth = start_depth
+            while depth < total:
+                next_depth = min(total, depth + interval)
+                self._simulator.advance(scheduled, cursor, context, stop_index=next_depth)
+                depth = next_depth
+                if depth < total:
+                    with self._lock:
+                        if chain[depth] not in self._snapshots:
+                            snapshot = cursor.copy()
+                            self._snapshots.put(chain[depth], snapshot, snapshot.nbytes)
+        else:
+            self._simulator.advance(scheduled, cursor, context)
+        with self._lock:
+            self._results.put(fingerprint, cursor.state, int(cursor.state.data.nbytes))
+        return cursor.state, fingerprint, False
+
+    def density_matrix(self, scheduled: ScheduledCircuit) -> DensityMatrix:
+        """The pre-measurement density matrix (shared with the cache — do not
+        mutate; :meth:`run` returns a private copy instead)."""
+        state, _, _ = self._state_for(scheduled)
+        return state
+
+    def run(self, scheduled: ScheduledCircuit) -> EngineResult:
+        """Execute one scheduled circuit.
+
+        ``result.state`` is a private :class:`DensityMatrix` copy; when the
+        schedule contains measurements, ``result.probabilities`` holds the
+        readout-error-distorted outcome distribution over classical bits.
+        """
+        state, fingerprint, from_cache = self._state_for(scheduled)
+        probabilities = None
+        clbit_order = None
+        if scheduled.measured_positions():
+            probabilities, clbit_order = state_measured_probabilities(
+                state, scheduled, self.noise_model
+            )
+        return EngineResult(
+            fingerprint=fingerprint,
+            engine=self.name,
+            state=state.copy(),
+            probabilities=probabilities,
+            clbit_order=clbit_order,
+            from_cache=from_cache,
+        )
+
+    def measured_probabilities(self, scheduled: ScheduledCircuit) -> Tuple[np.ndarray, List[int]]:
+        """Cached equivalent of :meth:`NoisySimulator.measured_probabilities`."""
+        state, _, _ = self._state_for(scheduled)
+        return state_measured_probabilities(state, scheduled, self.noise_model)
+
+    def counts(
+        self,
+        scheduled: ScheduledCircuit,
+        shots: int = 4096,
+        seed: Optional[int] = None,
+        exact: bool = False,
+    ) -> Dict[str, int]:
+        """Sampled (or exact expected) counts under the engine seeding contract."""
+        state, fingerprint, _ = self._state_for(scheduled)
+        probabilities, _ = state_measured_probabilities(state, scheduled, self.noise_model)
+        if exact:
+            return probabilities_to_counts(probabilities, shots, exact=True)
+        rng = self._sampling_rng(seed, "counts", fingerprint, str(shots))
+        return probabilities_to_counts(probabilities, shots, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Expectation values
+    # ------------------------------------------------------------------
+    def expectation(
+        self,
+        scheduled: ScheduledCircuit,
+        observable: PauliSum,
+        shots: Optional[int] = None,
+        mitigator=None,
+        seed: Optional[int] = None,
+    ) -> float:
+        """Estimate ``<observable>`` for one scheduled circuit."""
+        return self.expectation_full(scheduled, observable, shots=shots, mitigator=mitigator, seed=seed).value
+
+    def expectation_full(
+        self,
+        scheduled: ScheduledCircuit,
+        observable: PauliSum,
+        shots: Optional[int] = None,
+        mitigator=None,
+        seed: Optional[int] = None,
+    ) -> ExpectationData:
+        """``<observable>`` plus per-group diagnostics, content-cached."""
+        state, fingerprint, _ = self._state_for(scheduled)
+        key = (
+            fingerprint,
+            observable_fingerprint(observable),
+            shots,
+            mitigator_fingerprint(mitigator),
+            seed,
+        )
+        # A sampled value is only reproducible (and therefore cacheable) when
+        # some seed pins the randomness; an unseeded engine draws fresh
+        # entropy per call instead.
+        cacheable = shots is None or seed is not None or self.seed is not None
+        if cacheable:
+            with self._lock:
+                self.stats.expectation_calls += 1
+                cached = self._expectations.get(key)
+            if cached is not None:
+                with self._lock:
+                    self.stats.expectation_cache_hits += 1
+                return cached
+        else:
+            with self._lock:
+                self.stats.expectation_calls += 1
+        rng = None
+        if shots is not None:
+            rng = self._sampling_rng(seed, "expectation", *map(str, key[:4]))
+        data = measure_pauli_sum(
+            state, scheduled, observable, self.noise_model,
+            shots=shots, mitigator=mitigator, rng=rng,
+        )
+        if cacheable:
+            with self._lock:
+                self._expectations.put(key, data)
+        return data
+
+    def expectation_batch(
+        self,
+        circuits: Sequence[ScheduledCircuit],
+        observable: PauliSum,
+        shots: Optional[int] = None,
+        mitigator=None,
+        max_workers: Optional[int] = None,
+    ) -> List[float]:
+        """Batched ``<observable>``; equals element-wise :meth:`expectation`."""
+        return self._map_batch(
+            lambda scheduled: self.expectation(scheduled, observable, shots=shots, mitigator=mitigator),
+            circuits,
+            max_workers,
+        )
+
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        with self._lock:
+            self._results.clear()
+            self._expectations.clear()
+            self._snapshots.clear()
+
+
+# ----------------------------------------------------------------------------
+# Measurement-group expectation math (shared with ExpectationEstimator)
+# ----------------------------------------------------------------------------
+
+def measure_pauli_sum(
+    state: DensityMatrix,
+    scheduled: ScheduledCircuit,
+    hamiltonian: PauliSum,
+    noise_model: NoiseModel,
+    shots: Optional[int] = None,
+    mitigator=None,
+    rng: Optional[np.random.Generator] = None,
+) -> ExpectationData:
+    """Measure a Pauli-sum observable on a pre-measurement density matrix.
+
+    Mirrors how a machine measures a VQE objective: for every qubit-wise
+    commuting group, the appropriate basis rotations are applied to a copy of
+    the state, the Z-basis distribution is extracted, readout error distorts
+    it, (optional) shot sampling adds noise, (optional) measurement error
+    mitigation un-distorts it, and the weighted Pauli expectations are summed.
+    """
+    from ..exceptions import VQEError
+
+    measured = scheduled.measured_positions()
+    if not measured:
+        raise VQEError("the scheduled circuit must measure every Hamiltonian qubit")
+    clbit_to_position = {clbit: pos for pos, clbit in measured}
+    for logical in range(hamiltonian.num_qubits):
+        if logical not in clbit_to_position:
+            raise VQEError(f"Hamiltonian qubit {logical} is never measured")
+
+    groups = hamiltonian.group_commuting()
+    total = hamiltonian.identity_coefficient()
+    group_values: List[float] = []
+    distributions: List[np.ndarray] = []
+    for group in groups:
+        value, distribution = _measure_group(
+            state, scheduled, group, clbit_to_position, hamiltonian.num_qubits,
+            noise_model, shots, mitigator, rng,
+        )
+        group_values.append(value)
+        distributions.append(distribution)
+        total += value
+    return ExpectationData(value=float(total), group_values=group_values, distributions=distributions)
+
+
+def _measure_group(
+    state: DensityMatrix,
+    scheduled: ScheduledCircuit,
+    group: MeasurementGroup,
+    clbit_to_position: Dict[int, int],
+    num_logical: int,
+    noise_model: NoiseModel,
+    shots: Optional[int],
+    mitigator,
+    rng: Optional[np.random.Generator],
+) -> Tuple[float, np.ndarray]:
+    rotated = state.copy()
+    # Basis change: X -> H, Y -> H . Sdg (so that Z-measurement reads the
+    # desired Pauli), applied on the circuit position carrying each logical qubit.
+    h_matrix = Gate("h", 1).matrix()
+    for logical in range(num_logical):
+        factor = group.basis[logical]
+        position = clbit_to_position[logical]
+        if factor == "X":
+            rotated.apply_unitary(h_matrix, (position,))
+        elif factor == "Y":
+            rotated.apply_unitary(h_matrix @ Gate("sdg", 1).matrix(), (position,))
+    positions = [clbit_to_position[logical] for logical in range(num_logical)]
+    probabilities = rotated.marginal_probabilities(positions)
+    confusions = [
+        noise_model.readout_confusion(scheduled.physical_qubit(pos)) for pos in positions
+    ]
+    probabilities = apply_readout_error(probabilities, confusions)
+    if shots is not None:
+        counts = probabilities_to_counts(probabilities, shots, rng=rng)
+        probabilities = counts_to_probabilities(counts, num_bits=num_logical)
+    if mitigator is not None:
+        probabilities = mitigator.mitigate_probabilities(probabilities)
+    value = distribution_expectation(probabilities, group, num_logical)
+    return value, probabilities
+
+
+def distribution_expectation(
+    probabilities: np.ndarray, group: MeasurementGroup, num_bits: int
+) -> float:
+    """Weighted sum of Pauli expectations computed from one outcome distribution."""
+    value = 0.0
+    for pauli, coeff in group.terms:
+        expectation = 0.0
+        for index, probability in enumerate(probabilities):
+            if probability == 0.0:
+                continue
+            bitstring = format(index, f"0{num_bits}b")
+            expectation += probability * pauli.expectation_sign(bitstring)
+        value += coeff * expectation
+    return value

@@ -1,0 +1,170 @@
+"""Fake-device execution engine: transpile-and-run against a device model.
+
+:class:`FakeDeviceEngine` is the "submit to the machine" backend: it accepts
+*logical* circuits, compiles them for its device (noise-aware layout,
+routing, basis translation, ALAP scheduling) and executes the schedule on the
+noisy density-matrix engine.  The compilation is cached per circuit content,
+so resubmitting the same circuit — the dominant pattern in VQE trajectory
+replays and mitigation sweeps — skips straight to the (equally cached) noisy
+execution.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..backends.device import DeviceModel
+from ..backends.fake import get_device
+from ..circuits.circuit import QuantumCircuit
+from ..operators.pauli import PauliSum
+from ..simulators.noise_model import NoiseModel
+from ..simulators.readout import probabilities_to_counts
+from ..transpiler.pipeline import TranspileResult, transpile
+from .base import EngineResult, ExecutionEngine
+from .density_engine import _LRUCache, NoisyDensityMatrixEngine
+from .fingerprint import circuit_fingerprint
+
+#: Sentinel distinguishing "use the engine's configured shots" from an
+#: explicit ``shots=None`` (exact infinite-shot) request.
+_DEFAULT_SHOTS = object()
+
+
+class FakeDeviceEngine(ExecutionEngine):
+    """Noisy execution of logical circuits on a fake IBM-style device."""
+
+    name = "fake_device"
+
+    def __init__(
+        self,
+        device: Union[DeviceModel, str],
+        noise_model: Optional[NoiseModel] = None,
+        seed: Optional[int] = None,
+        shots: int = 4096,
+        physical_qubits: Optional[Sequence[int]] = None,
+        scheduling_policy: str = "alap",
+        transpile_cache_entries: int = 256,
+    ):
+        super().__init__(seed=seed)
+        self.device = get_device(device) if isinstance(device, str) else device
+        self.noise_model = noise_model or NoiseModel.from_device(self.device)
+        self.shots = int(shots)
+        self.physical_qubits = list(physical_qubits) if physical_qubits is not None else None
+        self.scheduling_policy = scheduling_policy
+        self._noisy = NoisyDensityMatrixEngine(self.noise_model, seed=seed)
+        self._transpiled = _LRUCache(transpile_cache_entries)
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def transpile(self, circuit: QuantumCircuit) -> TranspileResult:
+        """Compile ``circuit`` for the device, cached by circuit content."""
+        fingerprint = circuit_fingerprint(circuit)
+        with self._lock:
+            cached = self._transpiled.get(fingerprint)
+            if cached is not None:
+                self.stats.transpile_cache_hits += 1
+                return cached
+            self.stats.transpile_cache_misses += 1
+        result = transpile(
+            circuit,
+            self.device,
+            physical_qubits=self.physical_qubits,
+            scheduling_policy=self.scheduling_policy,
+        )
+        with self._lock:
+            self._transpiled.put(fingerprint, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def run(self, circuit: QuantumCircuit) -> EngineResult:
+        """Transpile and execute one logical circuit; samples ``self.shots`` counts."""
+        fingerprint = circuit_fingerprint(circuit)
+        compiled = self.transpile(circuit)
+        inner = self._noisy.run(compiled.scheduled)
+        counts = None
+        if inner.probabilities is not None:
+            # Sample straight from the distribution the inner run already
+            # produced — one pipeline pass per submission, and the stats
+            # reflect one execution per circuit.
+            rng = self._sampling_rng(None, "counts", fingerprint, str(self.shots))
+            counts = probabilities_to_counts(inner.probabilities, self.shots, rng=rng)
+        return EngineResult(
+            fingerprint=fingerprint,
+            engine=self.name,
+            state=inner.state,
+            probabilities=inner.probabilities,
+            clbit_order=inner.clbit_order,
+            counts=counts,
+            from_cache=inner.from_cache,
+            metadata={"device": self.device.name, "schedule_fingerprint": inner.fingerprint},
+        )
+
+    def counts(
+        self, circuit: QuantumCircuit, shots: Optional[int] = None, seed: Optional[int] = None
+    ) -> Dict[str, int]:
+        shots = self.shots if shots is None else int(shots)
+        compiled = self.transpile(circuit)
+        probabilities, _ = self._noisy.measured_probabilities(compiled.scheduled)
+        rng = self._sampling_rng(seed, "counts", circuit_fingerprint(circuit), str(shots))
+        return probabilities_to_counts(probabilities, shots, rng=rng)
+
+    def expectation(
+        self,
+        circuit: QuantumCircuit,
+        observable: PauliSum,
+        shots=_DEFAULT_SHOTS,
+        mitigator=None,
+    ) -> float:
+        """``<observable>`` measured on the noisy device execution.
+
+        The circuit must measure every observable qubit (add
+        ``circuit.measure_all()`` before submitting, as on real hardware).
+        Like :meth:`run`, sampling uses the engine's configured ``shots`` by
+        default; pass ``shots=None`` explicitly for the exact
+        (infinite-shot) value.
+        """
+        if shots is _DEFAULT_SHOTS:
+            shots = self.shots
+        compiled = self.transpile(circuit)
+        return self._noisy.expectation(
+            compiled.scheduled, observable, shots=shots, mitigator=mitigator
+        )
+
+    def expectation_batch(
+        self,
+        circuits: Sequence[QuantumCircuit],
+        observable: PauliSum,
+        shots=_DEFAULT_SHOTS,
+        mitigator=None,
+        max_workers: Optional[int] = None,
+    ):
+        """Batched ``<observable>``; equals element-wise :meth:`expectation`.
+
+        Overrides the base implementation so the configured-``shots`` default
+        applies to the batch path too (the base class would pass an explicit
+        ``shots=None``).
+        """
+        if shots is _DEFAULT_SHOTS:
+            shots = self.shots
+        return self._map_batch(
+            lambda circuit: self.expectation(circuit, observable, shots=shots, mitigator=mitigator),
+            circuits,
+            max_workers,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def noisy_engine(self) -> NoisyDensityMatrixEngine:
+        """The underlying schedule-level engine (shares this engine's caches)."""
+        return self._noisy
+
+    def clear_caches(self) -> None:
+        with self._lock:
+            self._transpiled.clear()
+        self._noisy.clear_caches()
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self._noisy.reset_stats()

@@ -56,28 +56,44 @@ class CircuitTimingModel:
     num_measurement_groups: int = 2
     per_job_overhead_s: float = 4.0
 
-    def seconds_per_evaluation(self) -> float:
+    def seconds_for_circuits(self, num_circuits: int) -> float:
+        """Quantum time for executing ``num_circuits`` at ``shots`` repetitions
+        plus one job's classical overhead."""
         per_shot_us = self.circuit_duration_us + self.reset_time_us
-        quantum_s = self.num_measurement_groups * self.shots * per_shot_us * 1e-6
-        return quantum_s + self.per_job_overhead_s
+        return num_circuits * self.shots * per_shot_us * 1e-6 + self.per_job_overhead_s
+
+    def seconds_per_evaluation(self) -> float:
+        return self.seconds_for_circuits(self.num_measurement_groups)
 
 
 class RuntimeSession:
-    """Wraps an objective with Runtime's time cap and optimizer restrictions."""
+    """Wraps an objective with Runtime's time cap and optimizer restrictions.
+
+    A session can also hold an :class:`~repro.engine.base.ExecutionEngine`;
+    :meth:`submit` then plays the role of Runtime's job submission — circuits
+    are executed in jobs of at most ``max_circuits_per_job``, each job is
+    charged its per-job overhead plus the modelled quantum time, and the
+    engine's caching/batching applies exactly as it would on the objective
+    path.
+    """
 
     def __init__(
         self,
-        objective: Callable[[np.ndarray], float],
+        objective: Optional[Callable[[np.ndarray], float]] = None,
         timing: Optional[CircuitTimingModel] = None,
         constraints: Optional[RuntimeConstraints] = None,
         machine_name: str = "fake_montreal",
+        engine=None,
     ):
         self.objective = objective
         self.timing = timing or CircuitTimingModel()
         self.constraints = constraints or RuntimeConstraints()
         self.machine_name = machine_name
+        self.engine = engine
         self.elapsed_seconds = 0.0
         self.num_evaluations = 0
+        self.num_jobs = 0
+        self.num_circuits = 0
         self.history: List[float] = []
 
     # ------------------------------------------------------------------
@@ -98,11 +114,46 @@ class RuntimeSession:
 
     def evaluate(self, parameters: np.ndarray) -> float:
         """One charged objective evaluation."""
+        if self.objective is None:
+            raise RuntimeSessionError("this session was opened without an objective")
         self.num_evaluations += 1
         self._charge_evaluation()
         value = float(self.objective(np.asarray(parameters, dtype=float)))
         self.history.append(value)
         return value
+
+    # ------------------------------------------------------------------
+    # Engine-backed job submission
+    # ------------------------------------------------------------------
+    def _charge_job(self, num_circuits: int) -> None:
+        self.elapsed_seconds += self.timing.seconds_for_circuits(num_circuits)
+        self.num_jobs += 1
+        self.num_circuits += num_circuits
+        if self.elapsed_hours > self.constraints.max_session_hours:
+            raise RuntimeSessionError(
+                f"Runtime session exceeded its {self.constraints.max_session_hours:.1f} h cap "
+                f"after {self.num_jobs} jobs ({self.num_circuits} circuits)"
+            )
+
+    def submit(self, circuits: Sequence, max_workers: Optional[int] = None) -> List:
+        """Execute ``circuits`` through the session's engine, in charged jobs.
+
+        The batch is split into jobs of at most
+        ``constraints.max_circuits_per_job`` circuits (Runtime's 07/2021 job
+        limit); each job charges its own overhead.  Results come back in
+        submission order, one :class:`~repro.engine.base.EngineResult` per
+        circuit, following the engine's seeding contract.
+        """
+        if self.engine is None:
+            raise RuntimeSessionError("this session was opened without an execution engine")
+        circuits = list(circuits)
+        results: List = []
+        job_size = max(1, int(self.constraints.max_circuits_per_job))
+        for start in range(0, len(circuits), job_size):
+            job = circuits[start : start + job_size]
+            self._charge_job(len(job))
+            results.extend(self.engine.run_batch(job, max_workers=max_workers))
+        return results
 
     # ------------------------------------------------------------------
     def run_program(self, optimizer: Optimizer, initial_point: Sequence[float]) -> OptimizationResult:

@@ -120,6 +120,25 @@ class DensityMatrix:
             new += self._contract(term, matrix.conj(), [n + q for q in qubits])
         self.data = new
 
+    def apply_superop(self, superop: np.ndarray, qubits: Sequence[int]) -> None:
+        """Apply a channel given as a superoperator acting on ``qubits``.
+
+        ``superop`` is the ``4^k x 4^k`` matrix ``sum_i K_i (x) conj(K_i)``
+        acting jointly on the row and column indices of the density matrix.
+        One contraction replaces the ``2 * len(kraus)`` contractions of
+        :meth:`apply_kraus`, which is what makes schedule-aware simulation of
+        many-channel noise models affordable in hot loops.
+        """
+        superop = np.asarray(superop, dtype=complex)
+        k = len(qubits)
+        if superop.shape != (4 ** k, 4 ** k):
+            raise SimulationError("superoperator dimension does not match the target qubits")
+        if len(set(qubits)) != k or any(not 0 <= q < self.num_qubits for q in qubits):
+            raise SimulationError(f"invalid target qubits {tuple(qubits)}")
+        n = self.num_qubits
+        axes = list(qubits) + [n + q for q in qubits]
+        self.data = self._contract(self.data, superop, axes)
+
     # -- measurement -----------------------------------------------------------------
     def probabilities(self) -> np.ndarray:
         """Computational-basis probabilities (the diagonal, clipped at 0)."""

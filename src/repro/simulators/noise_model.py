@@ -36,6 +36,28 @@ class ChannelOp:
     kraus: List[np.ndarray]
     qubits: Tuple[int, ...]
 
+    def __post_init__(self):
+        self._superop: Optional[np.ndarray] = None
+
+    @property
+    def superop(self) -> np.ndarray:
+        """The channel as a superoperator ``sum_i K_i (x) conj(K_i)``.
+
+        Built lazily and cached on the instance; the noisy simulator applies
+        channels through this single matrix (one tensor contraction) instead
+        of looping over the Kraus operators, and the noise model's channel
+        cache makes the construction cost a one-time expense per distinct
+        channel.
+        """
+        if self._superop is None:
+            dim = self.kraus[0].shape[0]
+            superop = np.zeros((dim * dim, dim * dim), dtype=complex)
+            for k in self.kraus:
+                superop += np.kron(k, k.conj())
+            superop.flags.writeable = False
+            self._superop = superop
+        return self._superop
+
 
 class NoiseModel:
     """Schedule-aware noise description consumed by the noisy simulator."""
@@ -60,6 +82,37 @@ class NoiseModel:
         #: slowly drifting detuning (lets repeated circuit executions sample
         #: different points of the drift waveform).
         self.time_offset_ns = float(time_offset_ns)
+        # Channel construction is pure in (device calibration, flags, times),
+        # and schedule-aware simulation requests the same channels thousands
+        # of times (every candidate schedule shares most of its gates and idle
+        # gaps with every other candidate), so built channels are memoised.
+        # The flags and time offset participate in every key, which keeps the
+        # cache correct if they are toggled after construction.
+        self._channel_cache: dict = {}
+
+    _CHANNEL_CACHE_MAX = 32768
+
+    def _cached_channels(self, key, builder) -> List[ChannelOp]:
+        cached = self._channel_cache.get(key)
+        if cached is None:
+            if len(self._channel_cache) >= self._CHANNEL_CACHE_MAX:
+                self._channel_cache.clear()
+            cached = builder()
+            self._channel_cache[key] = cached
+        return cached
+
+    def invalidate_channel_cache(self) -> None:
+        """Drop memoised channels (call after mutating the device calibration)."""
+        self._channel_cache.clear()
+
+    def _flag_key(self) -> Tuple:
+        return (
+            self.include_coherent_errors,
+            self.include_crosstalk,
+            self.include_gate_error,
+            self.include_relaxation,
+            self.time_offset_ns,
+        )
 
     # -- constructors --------------------------------------------------------
     @classmethod
@@ -108,6 +161,19 @@ class NoiseModel:
         angle is split evenly between the two qubits' own idle processing so
         overlapping intervals are not double counted.
         """
+        neighbors_key = tuple(idle_neighbors) if idle_neighbors else ()
+        key = ("idle", qubit, start_ns, end_ns, neighbors_key, self._flag_key())
+        return self._cached_channels(
+            key, lambda: self._build_idle_channels(qubit, start_ns, end_ns, idle_neighbors)
+        )
+
+    def _build_idle_channels(
+        self,
+        qubit: int,
+        start_ns: float,
+        end_ns: float,
+        idle_neighbors: Optional[Sequence[int]] = None,
+    ) -> List[ChannelOp]:
         duration = end_ns - start_ns
         if duration <= 1e-12:
             return []
@@ -138,6 +204,10 @@ class NoiseModel:
     # -- gate noise ---------------------------------------------------------------
     def gate_channels(self, name: str, qubits: Sequence[int]) -> List[ChannelOp]:
         """Noise applied together with a gate (after its ideal unitary)."""
+        key = ("gate", name, tuple(qubits), self._flag_key())
+        return self._cached_channels(key, lambda: self._build_gate_channels(name, qubits))
+
+    def _build_gate_channels(self, name: str, qubits: Sequence[int]) -> List[ChannelOp]:
         name = name.lower()
         if name in ("barrier", "delay", "measure", "id", "rz", "p"):
             return []
@@ -172,6 +242,10 @@ class NoiseModel:
 
     def measurement_prelude_channels(self, qubit: int) -> List[ChannelOp]:
         """Relaxation during the readout pulse itself (applied before sampling)."""
+        key = ("measure", qubit, self._flag_key())
+        return self._cached_channels(key, lambda: self._build_measurement_prelude(qubit))
+
+    def _build_measurement_prelude(self, qubit: int) -> List[ChannelOp]:
         if not self.include_relaxation:
             return []
         props = self.device.qubits[qubit]

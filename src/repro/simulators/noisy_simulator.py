@@ -8,10 +8,24 @@ detuning phase, ZZ crosstalk with idle neighbours) for every gap a qubit
 spends doing nothing.  Because the coherent idle errors are applied at the
 times they physically occur, echo pulses and DD sequences inserted into idle
 windows refocus them *emergently*, with no special-casing in the simulator.
+
+Execution is factored into a resumable *cursor* API so that the execution
+engine (:mod:`repro.engine`) can checkpoint the evolution at instruction
+boundaries and resume a later schedule from a shared prefix:
+
+* :meth:`NoisySimulator.prepare` derives the per-schedule lookup tables,
+* :meth:`NoisySimulator.begin` produces the initial :class:`EvolutionCursor`,
+* :meth:`NoisySimulator.advance` processes instructions up to a stop index.
+
+:meth:`NoisySimulator.run` composes the three and is bit-identical to running
+the schedule in one sweep; a cursor resumed from a checkpoint of an identical
+prefix is bit-identical too, because processing an instruction only consults
+schedule content at or before its start time.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -21,6 +35,40 @@ from ..transpiler.scheduling import ScheduledCircuit, TimedInstruction
 from .density_matrix import DensityMatrix
 from .noise_model import NoiseModel
 from .readout import apply_readout_error, probabilities_to_counts
+
+
+@dataclass
+class ScheduleContext:
+    """Per-schedule lookup tables shared by every cursor over that schedule."""
+
+    ordered: List[TimedInstruction]
+    busy: Dict[int, List[Tuple[float, float]]]
+    neighbors: Dict[int, List[int]]
+    initial_last_time: Dict[int, float]
+
+
+class EvolutionCursor:
+    """Mid-schedule simulation state: density matrix plus idle bookkeeping.
+
+    ``next_index`` points at the next entry of the context's ``ordered`` list
+    to process.  Cursors are cheap to copy (the density matrix dominates), so
+    the engine snapshots them at instruction boundaries for prefix reuse.
+    """
+
+    __slots__ = ("state", "last_time", "next_index")
+
+    def __init__(self, state: DensityMatrix, last_time: Dict[int, float], next_index: int = 0):
+        self.state = state
+        self.last_time = last_time
+        self.next_index = next_index
+
+    def copy(self) -> "EvolutionCursor":
+        return EvolutionCursor(self.state.copy(), dict(self.last_time), self.next_index)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint (used by the engine's snapshot budget)."""
+        return int(self.state.data.nbytes)
 
 
 class NoisySimulator:
@@ -33,40 +81,69 @@ class NoisySimulator:
     # ------------------------------------------------------------------
     # Core evolution
     # ------------------------------------------------------------------
-    def run(self, scheduled: ScheduledCircuit) -> DensityMatrix:
-        """Evolve the density matrix through the full schedule.
+    def prepare(self, scheduled: ScheduledCircuit) -> ScheduleContext:
+        """Build the per-schedule lookup tables used while stepping."""
+        if scheduled.num_qubits > 10:
+            raise SimulationError("density-matrix simulation is limited to 10 qubits")
+        ordered = scheduled.sorted_instructions()
+        # Idle tracking starts at each qubit's first activity, since noise on
+        # |0> before the runtime begins has no observable effect.
+        initial_last_time: Dict[int, float] = {}
+        for position in range(scheduled.num_qubits):
+            ops = [t for t in ordered if position in t.qubits and t.name != "barrier"]
+            initial_last_time[position] = min((t.start_ns for t in ops), default=0.0)
+        return ScheduleContext(
+            ordered=ordered,
+            busy=self._busy_intervals(scheduled),
+            neighbors=self._coupled_positions(scheduled),
+            initial_last_time=initial_last_time,
+        )
+
+    def begin(
+        self, scheduled: ScheduledCircuit, context: Optional[ScheduleContext] = None
+    ) -> EvolutionCursor:
+        """The cursor at time zero (|0...0> density matrix, nothing processed)."""
+        context = context or self.prepare(scheduled)
+        return EvolutionCursor(
+            DensityMatrix(scheduled.num_qubits), dict(context.initial_last_time), 0
+        )
+
+    def advance(
+        self,
+        scheduled: ScheduledCircuit,
+        cursor: EvolutionCursor,
+        context: Optional[ScheduleContext] = None,
+        stop_index: Optional[int] = None,
+    ) -> EvolutionCursor:
+        """Process instructions ``cursor.next_index .. stop_index`` in place.
 
         Measurement instructions contribute their pre-readout relaxation but
         no collapse; sampling happens in :meth:`probabilities` / :meth:`counts`.
         """
-        if scheduled.num_qubits > 10:
-            raise SimulationError("density-matrix simulation is limited to 10 qubits")
+        context = context or self.prepare(scheduled)
         noise = self.noise_model
-        device = noise.device
-        state = DensityMatrix(scheduled.num_qubits)
+        state = cursor.state
+        last_time = cursor.last_time
+        stop = len(context.ordered) if stop_index is None else min(stop_index, len(context.ordered))
 
-        ordered = scheduled.sorted_instructions()
-        busy = self._busy_intervals(scheduled)
-        # Idle tracking starts at each qubit's first activity, since noise on
-        # |0> before the runtime begins has no observable effect.
-        last_time: Dict[int, float] = {}
-        for position in range(scheduled.num_qubits):
-            ops = [t for t in ordered if position in t.qubits and t.name != "barrier"]
-            last_time[position] = min((t.start_ns for t in ops), default=0.0)
-
-        neighbors = self._coupled_positions(scheduled)
-
-        for timed in ordered:
+        for index in range(cursor.next_index, stop):
+            timed = context.ordered[index]
             name = timed.name
             if name == "barrier":
                 continue
             for position in timed.qubits:
                 self._apply_idle(
-                    state, scheduled, busy, neighbors, position, last_time[position], timed.start_ns
+                    state,
+                    scheduled,
+                    context.busy,
+                    context.neighbors,
+                    position,
+                    last_time[position],
+                    timed.start_ns,
                 )
             if name == "measure":
                 for op in noise.measurement_prelude_channels(scheduled.physical_qubit(timed.qubits[0])):
-                    state.apply_kraus(op.kraus, self._map_positions(scheduled, op.qubits, timed.qubits))
+                    state.apply_superop(op.superop, self._map_positions(scheduled, op.qubits, timed.qubits))
                 last_time[timed.qubits[0]] = timed.end_ns
                 continue
             if name not in ("id", "delay"):
@@ -74,10 +151,18 @@ class NoisySimulator:
                 physical = [scheduled.physical_qubit(q) for q in timed.qubits]
                 for op in noise.gate_channels(name, physical):
                     positions = self._physical_to_positions(scheduled, op.qubits)
-                    state.apply_kraus(op.kraus, positions)
+                    state.apply_superop(op.superop, positions)
             for position in timed.qubits:
                 last_time[position] = timed.end_ns
-        return state
+        cursor.next_index = stop
+        return cursor
+
+    def run(self, scheduled: ScheduledCircuit) -> DensityMatrix:
+        """Evolve the density matrix through the full schedule."""
+        context = self.prepare(scheduled)
+        cursor = self.begin(scheduled, context)
+        self.advance(scheduled, cursor, context)
+        return cursor.state
 
     # ------------------------------------------------------------------
     # Helpers
@@ -145,12 +230,12 @@ class NoisySimulator:
         ops = self.noise_model.idle_channels(physical, start, end, idle_neighbors)
         for op in ops:
             if len(op.qubits) == 1:
-                state.apply_kraus(op.kraus, (position,))
+                state.apply_superop(op.superop, (position,))
             else:
                 # Two-qubit (ZZ) channel: map physical qubits back to positions.
                 other_physical = op.qubits[1]
                 other_position = neighbor_positions[idle_neighbors.index(other_physical)]
-                state.apply_kraus(op.kraus, (position, other_position))
+                state.apply_superop(op.superop, (position, other_position))
 
     @staticmethod
     def _physical_to_positions(scheduled: ScheduledCircuit, physical: Sequence[int]) -> Tuple[int, ...]:
@@ -178,21 +263,47 @@ class NoisySimulator:
         if not measured:
             raise SimulationError("the scheduled circuit contains no measurements")
         state = self.run(scheduled)
-        measured = sorted(measured, key=lambda pair: pair[1])
-        positions = [pos for pos, _ in measured]
-        clbits = [cl for _, cl in measured]
-        probs = state.marginal_probabilities(positions)
-        confusions = [
-            self.noise_model.readout_confusion(scheduled.physical_qubit(pos)) for pos in positions
-        ]
-        probs = apply_readout_error(probs, confusions)
-        return probs, clbits
+        return state_measured_probabilities(state, scheduled, self.noise_model)
 
-    def counts(self, scheduled: ScheduledCircuit, shots: int = 4096, exact: bool = False) -> Dict[str, int]:
-        """Sampled (or exact expected) measurement counts keyed by bitstring."""
+    def counts(
+        self,
+        scheduled: ScheduledCircuit,
+        shots: int = 4096,
+        exact: bool = False,
+        seed: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Sampled (or exact expected) measurement counts keyed by bitstring.
+
+        An explicit ``seed`` makes the sampling deterministic regardless of how
+        many times the simulator's own generator has been consumed — the same
+        contract :meth:`StatevectorSimulator.counts` honours.
+        """
         probs, _ = self.measured_probabilities(scheduled)
-        return probabilities_to_counts(probs, shots, rng=self._rng, exact=exact)
+        rng = np.random.default_rng(seed) if seed is not None else self._rng
+        return probabilities_to_counts(probs, shots, rng=rng, exact=exact)
 
     def density_matrix(self, scheduled: ScheduledCircuit) -> DensityMatrix:
         """Alias of :meth:`run` for API clarity."""
         return self.run(scheduled)
+
+
+def state_measured_probabilities(
+    state: DensityMatrix, scheduled: ScheduledCircuit, noise_model: NoiseModel
+) -> Tuple[np.ndarray, List[int]]:
+    """Readout-error-distorted outcome distribution of a pre-measurement state.
+
+    Shared by :class:`NoisySimulator` and the execution engine (which obtains
+    ``state`` from its cache rather than a fresh run).
+    """
+    measured = scheduled.measured_positions()
+    if not measured:
+        raise SimulationError("the scheduled circuit contains no measurements")
+    measured = sorted(measured, key=lambda pair: pair[1])
+    positions = [pos for pos, _ in measured]
+    clbits = [cl for _, cl in measured]
+    probs = state.marginal_probabilities(positions)
+    confusions = [
+        noise_model.readout_confusion(scheduled.physical_qubit(pos)) for pos in positions
+    ]
+    probs = apply_readout_error(probs, confusions)
+    return probs, clbits

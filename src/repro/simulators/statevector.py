@@ -18,6 +18,7 @@ import numpy as np
 from ..circuits.circuit import QuantumCircuit
 from ..exceptions import SimulationError
 from ..operators.pauli import PauliSum
+from .readout import probabilities_to_counts
 
 
 def _apply_single_qubit(state: np.ndarray, matrix: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
@@ -42,6 +43,27 @@ def _apply_two_qubit(
     tensor = tensor.reshape(shape)
     tensor = np.moveaxis(tensor, (0, 1), (qubit_a, qubit_b))
     return tensor.reshape(-1)
+
+
+def measured_distribution_from_probabilities(
+    probs: np.ndarray, circuit: QuantumCircuit
+) -> np.ndarray:
+    """Map a computational-basis distribution onto the circuit's classical bits.
+
+    Measurements are applied in circuit order, so when several measurements
+    target the same classical bit the last one wins (matching per-shot
+    overwrite semantics on hardware).
+    """
+    num_qubits = circuit.num_qubits
+    measured = circuit.measured_qubits() or [(q, q) for q in range(num_qubits)]
+    num_clbits = max(c for _, c in measured) + 1
+    indices = np.arange(probs.size)
+    keys = np.zeros(probs.size, dtype=np.int64)
+    for qubit, clbit in measured:
+        bits = (indices >> (num_qubits - 1 - qubit)) & 1
+        mask = np.int64(1) << (num_clbits - 1 - clbit)
+        keys = (keys & ~mask) | (bits << (num_clbits - 1 - clbit))
+    return np.bincount(keys, weights=probs, minlength=2 ** num_clbits)
 
 
 class StatevectorSimulator:
@@ -77,26 +99,28 @@ class StatevectorSimulator:
         state = self.run_statevector(circuit)
         return np.abs(state) ** 2
 
-    def counts(self, circuit: QuantumCircuit, shots: int = 4096) -> Dict[str, int]:
-        """Sample measurement counts.
+    def measured_distribution(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Outcome distribution over classical bits.
 
-        Only qubits that are explicitly measured contribute to the returned
-        bitstrings; bit *i* of the key corresponds to classical bit *i*.
-        Circuits without measurements are measured on all qubits.
+        Only qubits that are explicitly measured contribute; bit *i* of an
+        outcome index corresponds to classical bit *i*.  Circuits without
+        measurements are measured on all qubits.
         """
-        probs = self.probabilities(circuit)
-        num_qubits = circuit.num_qubits
-        measured = circuit.measured_qubits() or [(q, q) for q in range(num_qubits)]
-        outcomes = self._rng.choice(len(probs), size=shots, p=probs)
-        counts: Dict[str, int] = {}
-        num_clbits = max(c for _, c in measured) + 1
-        for outcome in outcomes:
-            bits = ["0"] * num_clbits
-            for qubit, clbit in measured:
-                bits[clbit] = str((outcome >> (num_qubits - 1 - qubit)) & 1)
-            key = "".join(bits)
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        return measured_distribution_from_probabilities(self.probabilities(circuit), circuit)
+
+    def counts(
+        self, circuit: QuantumCircuit, shots: int = 4096, seed: Optional[int] = None
+    ) -> Dict[str, int]:
+        """Sample measurement counts (bit *i* of the key is classical bit *i*).
+
+        Sampling goes through :func:`repro.simulators.readout.
+        probabilities_to_counts`, like the noisy simulator's, so an explicit
+        ``seed`` reproduces the same counts regardless of how much of the
+        simulator's own generator has been consumed.
+        """
+        distribution = self.measured_distribution(circuit)
+        rng = np.random.default_rng(seed) if seed is not None else self._rng
+        return probabilities_to_counts(distribution, shots, rng=rng)
 
     # -- observables ---------------------------------------------------------
     def expectation(self, circuit: QuantumCircuit, observable: PauliSum) -> float:

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..analysis.results import ApplicationResult, StrategyOutcome
 from ..backends.device import DeviceModel
+from ..engine.density_engine import NoisyDensityMatrixEngine
 from ..exceptions import VAQEMError
 from ..mitigation.dd import uniform_dd
 from ..mitigation.mem import MeasurementMitigator
@@ -66,6 +67,9 @@ class VAQEMRunResult:
     energies: Dict[str, float] = field(default_factory=dict)
     tuning_results: Dict[str, TuningResult] = field(default_factory=dict)
     evaluation_counts: Dict[str, int] = field(default_factory=dict)
+    #: Execution-engine counters at the end of the run (cache hits, prefix
+    #: reuse fraction, ...), for perf tracking by the benchmark harness.
+    engine_stats: Dict[str, float] = field(default_factory=dict)
 
     def to_application_result(self) -> ApplicationResult:
         result = ApplicationResult(application=self.application, optimal_energy=self.optimal_energy)
@@ -92,11 +96,20 @@ class VAQEMPipeline:
         config: Optional[VAQEMConfig] = None,
         device: Optional[DeviceModel] = None,
         noise_model: Optional[NoiseModel] = None,
+        engine: Optional[NoisyDensityMatrixEngine] = None,
     ):
         self.application = application
         self.config = config or VAQEMConfig()
         self.device = device or application.device()
+        if noise_model is None and engine is not None:
+            noise_model = engine.noise_model
         self.noise_model = noise_model or NoiseModel.from_device(self.device)
+        #: All machine executions route through one shared engine, so every
+        #: strategy evaluation and tuning sweep pools the same result cache
+        #: and prefix snapshots.
+        self.engine = engine or NoisyDensityMatrixEngine(self.noise_model, seed=self.config.seed)
+        if self.engine.noise_model is not self.noise_model:
+            raise VAQEMError("the injected engine must share the pipeline's noise model")
         self._angle_result: Optional[VQEResult] = None
         self._transpiled: Optional[TranspileResult] = None
 
@@ -178,20 +191,42 @@ class VAQEMPipeline:
         physical = [scheduled.physical_qubit(pos) for pos, _ in measured]
         return MeasurementMitigator.from_device(self.device, physical)
 
-    def make_objective(self, use_mem: Optional[bool] = None):
-        """An objective callable ``ScheduledCircuit -> energy`` on the noisy machine."""
+    def _make_estimator(self, use_mem: Optional[bool] = None) -> ExpectationEstimator:
         scheduled_reference = self.compile().scheduled
         use_mem = self.config.use_mem if use_mem is None else use_mem
         mitigator = self._mitigator(scheduled_reference) if use_mem else None
-        estimator = ExpectationEstimator(
-            self.noise_model, shots=self.config.shots, mitigator=mitigator, seed=self.config.seed
+        return ExpectationEstimator(
+            self.noise_model,
+            shots=self.config.shots,
+            mitigator=mitigator,
+            seed=self.config.seed,
+            engine=self.engine,
         )
+
+    def make_objective(self, use_mem: Optional[bool] = None):
+        """An objective callable ``ScheduledCircuit -> energy`` on the noisy machine."""
+        estimator = self._make_estimator(use_mem)
         hamiltonian = self.application.hamiltonian
 
         def objective(scheduled: ScheduledCircuit) -> float:
             return estimator.estimate(scheduled, hamiltonian).value
 
         return objective
+
+    def make_batch_objective(self, use_mem: Optional[bool] = None):
+        """A batched objective ``[ScheduledCircuit] -> [energy]``.
+
+        This is the path the window tuner sweeps run through: the shared
+        engine resolves duplicates from its result cache and simulates the
+        remaining candidates from their deepest common-prefix snapshots.
+        """
+        estimator = self._make_estimator(use_mem)
+        hamiltonian = self.application.hamiltonian
+
+        def batch_objective(schedules: Sequence[ScheduledCircuit]) -> List[float]:
+            return [r.value for r in estimator.estimate_batch(schedules, hamiltonian)]
+
+        return batch_objective
 
     # ------------------------------------------------------------------
     # Strategy evaluation
@@ -243,6 +278,7 @@ class VAQEMPipeline:
             tune_dd=tune_dd,
             dd_sequence=sequence,
             budget=self.config.budget,
+            batch_objective=self.make_batch_objective(use_mem=True),
         )
         return tuner.tune(scheduled, list(windows))
 
@@ -264,4 +300,5 @@ class VAQEMPipeline:
             tuning = outcome.details.get("tuning")
             if tuning is not None:
                 result.tuning_results[strategy] = tuning
+        result.engine_stats = self.engine.stats.as_dict()
         return result

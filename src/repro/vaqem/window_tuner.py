@@ -34,6 +34,7 @@ from ..transpiler.scheduling import ScheduledCircuit
 from .config import TuningBudget, WindowConfiguration
 
 Objective = Callable[[ScheduledCircuit], float]
+BatchObjective = Callable[[Sequence[ScheduledCircuit]], Sequence[float]]
 
 
 @dataclass
@@ -87,6 +88,7 @@ class IndependentWindowTuner:
         tune_dd: bool = True,
         dd_sequence: str = "xy4",
         budget: Optional[TuningBudget] = None,
+        batch_objective: Optional[BatchObjective] = None,
     ):
         if not (tune_gate_scheduling or tune_dd):
             raise VAQEMError("enable at least one of gate scheduling / DD tuning")
@@ -95,12 +97,42 @@ class IndependentWindowTuner:
         self.tune_dd = tune_dd
         self.dd_sequence = dd_sequence
         self.budget = budget or TuningBudget()
+        #: Optional vectorised objective (``[ScheduledCircuit] -> [float]``).
+        #: When set, each window sweep is submitted as one batch — the
+        #: execution-engine path, where candidates that only differ inside the
+        #: swept window share the simulated prefix up to that window's start.
+        self.batch_objective = batch_objective
         self._evaluations = 0
 
     # ------------------------------------------------------------------
     def _evaluate(self, scheduled: ScheduledCircuit) -> float:
         self._evaluations += 1
         return float(self.objective(scheduled))
+
+    def _evaluate_batch(self, schedules: Sequence[ScheduledCircuit]) -> List[float]:
+        """Evaluate a sweep's candidates, batched when a batch objective is set."""
+        schedules = list(schedules)
+        if not schedules:
+            return []
+        self._evaluations += len(schedules)
+        if self.batch_objective is not None:
+            values = [float(v) for v in self.batch_objective(schedules)]
+            if len(values) != len(schedules):
+                raise VAQEMError("batch objective returned a mismatched number of values")
+            return values
+        return [float(self.objective(scheduled)) for scheduled in schedules]
+
+    def _evaluate_one(self, scheduled: ScheduledCircuit) -> float:
+        """One evaluation through whichever protocol the tuner is using.
+
+        With a batch objective set, *every* value the tuner compares —
+        baseline, sweep candidates and greedy re-validations — goes through
+        the batched path, so under finite shots all values are sampled under
+        the same (content-seeded) protocol and comparisons stay consistent.
+        """
+        if self.batch_objective is not None:
+            return self._evaluate_batch([scheduled])[0]
+        return self._evaluate(scheduled)
 
     def _dd_candidates(self, window: IdleWindow, scheduled: ScheduledCircuit) -> List[int]:
         """DD sequence counts to sweep for a window (always includes 0)."""
@@ -147,10 +179,9 @@ class IndependentWindowTuner:
             # originally sit either after the window (ALAP, where 1.0 is a
             # near-duplicate of the baseline) or before it (where 1.0 is a
             # genuinely new placement at the window end).
-            for position in self._gs_candidates():
-                config = GSConfig(position=position)
-                candidate_schedule = reschedule_gate(scheduled, window, config)
-                value = self._evaluate(candidate_schedule)
+            configs = [GSConfig(position=position) for position in self._gs_candidates()]
+            schedules = [reschedule_gate(scheduled, window, config) for config in configs]
+            for config, value in zip(configs, self._evaluate_batch(schedules)):
                 record.record(WindowConfiguration(window.index, gs=config), value)
             if record.best is not None and record.best.gs is not None:
                 best_gs = record.best.gs
@@ -163,16 +194,17 @@ class IndependentWindowTuner:
             bases = [(None, scheduled)]
             if best_gs is not None:
                 bases.append((best_gs, reschedule_gate(scheduled, window, best_gs)))
+            candidates: List[WindowConfiguration] = []
+            schedules = []
             for gs_config, base_schedule in bases:
                 for count in self._dd_candidates(window, scheduled):
                     if count == 0:
                         continue  # baseline already recorded
                     dd_config = DDConfig(self.dd_sequence, count)
-                    candidate_schedule = insert_dd_sequences(base_schedule, window, dd_config)
-                    value = self._evaluate(candidate_schedule)
-                    record.record(
-                        WindowConfiguration(window.index, dd=dd_config, gs=gs_config), value
-                    )
+                    candidates.append(WindowConfiguration(window.index, dd=dd_config, gs=gs_config))
+                    schedules.append(insert_dd_sequences(base_schedule, window, dd_config))
+            for candidate, value in zip(candidates, self._evaluate_batch(schedules)):
+                record.record(candidate, value)
         return record
 
     # ------------------------------------------------------------------
@@ -190,7 +222,7 @@ class IndependentWindowTuner:
         helps.
         """
         self._evaluations = 0
-        baseline_value = self._evaluate(scheduled)
+        baseline_value = self._evaluate_one(scheduled)
         records: List[WindowSweepRecord] = []
         for window in self._select_windows(windows):
             records.append(self._tune_window(scheduled, window, baseline_value))
@@ -209,7 +241,7 @@ class IndependentWindowTuner:
             candidate_configs = dict(accepted)
             candidate_configs[record.window.index] = record.best
             candidate_schedule = self.apply_configurations(scheduled, windows, candidate_configs)
-            candidate_value = self._evaluate(candidate_schedule)
+            candidate_value = self._evaluate_one(candidate_schedule)
             if candidate_value < tuned_value:
                 accepted = candidate_configs
                 combined = candidate_schedule

@@ -3,7 +3,7 @@
 The estimator mirrors how a machine measures a VQE objective:
 
 1. the (scheduled, possibly mitigation-modified) ansatz circuit is executed on
-   the noisy simulator, producing the pre-measurement density matrix;
+   the noisy backend, producing the pre-measurement density matrix;
 2. for every qubit-wise-commuting measurement group of the Hamiltonian, the
    appropriate single-qubit basis rotations are applied and the Z-basis
    outcome distribution is extracted;
@@ -11,30 +11,30 @@ The estimator mirrors how a machine measures a VQE objective:
    (optionally) un-distorts it, shot noise (optionally) is added by sampling;
 4. the weighted Pauli expectation values are summed.
 
-A single noisy execution of the ansatz body is shared by all measurement
-groups, which keeps VAQEM's per-window tuning sweeps affordable while
-faithfully modelling the per-basis measurement process.
+Execution is routed through a
+:class:`~repro.engine.density_engine.NoisyDensityMatrixEngine`, so a single
+noisy execution of the ansatz body is shared by all measurement groups *and*
+by every estimator call that submits content-identical schedules — plus, via
+the engine's prefix-reuse fast path, partially shared by near-identical
+schedules such as the window tuner's per-window candidates.
+:meth:`ExpectationEstimator.estimate_batch` exposes the batched path
+directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..circuits.gates import Gate
+from ..engine.base import ExpectationData
+from ..engine.density_engine import NoisyDensityMatrixEngine, measure_pauli_sum
 from ..exceptions import VQEError
 from ..mitigation.mem import MeasurementMitigator
-from ..operators.pauli import MeasurementGroup, PauliSum
-from ..simulators.density_matrix import DensityMatrix
+from ..operators.pauli import PauliSum
 from ..simulators.noise_model import NoiseModel
-from ..simulators.noisy_simulator import NoisySimulator
-from ..simulators.readout import apply_readout_error, probabilities_to_counts
 from ..transpiler.scheduling import ScheduledCircuit
-
-_H_MATRIX = Gate("h", 1).matrix()
-_SDG_MATRIX = Gate("sdg", 1).matrix()
 
 
 @dataclass
@@ -51,7 +51,25 @@ class ExpectationResult:
 
 
 class ExpectationEstimator:
-    """Estimates ``<H>`` for scheduled circuits under a noise model."""
+    """Estimates ``<H>`` for scheduled circuits under a noise model.
+
+    Parameters
+    ----------
+    noise_model:
+        The device noise model executions run under.
+    shots:
+        Shots per measurement group (``None`` = exact infinite-shot limit).
+    mitigator:
+        Optional measurement error mitigation applied to each distribution.
+    seed:
+        Seeds the estimator's sampling generator (sequential :meth:`estimate`
+        calls consume it statefully, preserving historical behaviour).
+    engine:
+        The execution engine to route runs through.  By default a private
+        :class:`NoisyDensityMatrixEngine` is created; inject a shared engine
+        to pool caches across estimators (as :class:`~repro.vaqem.framework.
+        VAQEMPipeline` does).
+    """
 
     def __init__(
         self,
@@ -59,99 +77,65 @@ class ExpectationEstimator:
         shots: Optional[int] = None,
         mitigator: Optional[MeasurementMitigator] = None,
         seed: Optional[int] = None,
+        engine: Optional[NoisyDensityMatrixEngine] = None,
     ):
         self.noise_model = noise_model
         self.shots = shots
         self.mitigator = mitigator
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
-        self._simulator = NoisySimulator(noise_model, seed=seed)
+        self.engine = engine or NoisyDensityMatrixEngine(noise_model, seed=seed)
+        if self.engine.noise_model is not noise_model:
+            raise VQEError("the injected engine must share the estimator's noise model")
 
     # ------------------------------------------------------------------
     def estimate(self, scheduled: ScheduledCircuit, hamiltonian: PauliSum) -> ExpectationResult:
-        """Estimate the Hamiltonian expectation for one scheduled circuit."""
-        measured = scheduled.measured_positions()
-        if not measured:
-            raise VQEError("the scheduled circuit must measure every Hamiltonian qubit")
-        clbit_to_position = {clbit: pos for pos, clbit in measured}
-        for logical in range(hamiltonian.num_qubits):
-            if logical not in clbit_to_position:
-                raise VQEError(f"Hamiltonian qubit {logical} is never measured")
+        """Estimate the Hamiltonian expectation for one scheduled circuit.
 
-        state = self._simulator.run(scheduled)
-        groups = hamiltonian.group_commuting()
-        total = hamiltonian.identity_coefficient()
-        group_values: List[float] = []
-        distributions: List[np.ndarray] = []
-        for group in groups:
-            value, distribution = self._estimate_group(
-                state, scheduled, group, clbit_to_position, hamiltonian.num_qubits
+        The noisy execution is engine-cached; shot sampling (when enabled)
+        draws from the estimator's own stateful generator, so a seeded
+        estimator reproduces the exact historical sequence of values.
+        """
+        state = self.engine.density_matrix(scheduled)
+        data = measure_pauli_sum(
+            state,
+            scheduled,
+            hamiltonian,
+            self.noise_model,
+            shots=self.shots,
+            mitigator=self.mitigator,
+            rng=self._rng if self.shots is not None else None,
+        )
+        return self._to_result(data)
+
+    def estimate_batch(
+        self,
+        schedules: Sequence[ScheduledCircuit],
+        hamiltonian: PauliSum,
+        max_workers: Optional[int] = None,
+    ) -> List[ExpectationResult]:
+        """Estimate ``<H>`` for many schedules through the engine's batch path.
+
+        Follows the engine seeding contract: per-item sampling randomness is
+        derived from content, so the output is order-stable and identical
+        across repeated invocations.  With ``shots=None`` (exact mode) the
+        values equal sequential :meth:`estimate` calls bit for bit.
+        """
+        def one(scheduled: ScheduledCircuit) -> ExpectationResult:
+            data = self.engine.expectation_full(
+                scheduled, hamiltonian, shots=self.shots, mitigator=self.mitigator
             )
-            group_values.append(value)
-            distributions.append(distribution)
-            total += value
+            return self._to_result(data)
+
+        return self.engine._map_batch(one, schedules, max_workers)
+
+    def _to_result(self, data: ExpectationData) -> ExpectationResult:
         return ExpectationResult(
-            value=float(total),
-            group_values=group_values,
-            distributions=distributions,
+            value=data.value,
+            group_values=list(data.group_values),
+            distributions=list(data.distributions),
             shots_per_group=self.shots,
         )
-
-    # ------------------------------------------------------------------
-    def _estimate_group(
-        self,
-        state: DensityMatrix,
-        scheduled: ScheduledCircuit,
-        group: MeasurementGroup,
-        clbit_to_position: Dict[int, int],
-        num_logical: int,
-    ) -> Tuple[float, np.ndarray]:
-        rotated = state.copy()
-        # Basis change: X -> H, Y -> H . Sdg (so that Z-measurement reads the
-        # desired Pauli), applied on the circuit position carrying each logical qubit.
-        for logical in range(num_logical):
-            factor = group.basis[logical]
-            position = clbit_to_position[logical]
-            if factor == "X":
-                rotated.apply_unitary(_H_MATRIX, (position,))
-            elif factor == "Y":
-                rotated.apply_unitary(_H_MATRIX @ _SDG_MATRIX, (position,))
-        positions = [clbit_to_position[logical] for logical in range(num_logical)]
-        probabilities = rotated.marginal_probabilities(positions)
-        confusions = [
-            self.noise_model.readout_confusion(scheduled.physical_qubit(pos)) for pos in positions
-        ]
-        probabilities = apply_readout_error(probabilities, confusions)
-        if self.shots is not None:
-            counts = probabilities_to_counts(probabilities, self.shots, rng=self._rng)
-            probabilities = _counts_to_distribution(counts, num_logical)
-        if self.mitigator is not None:
-            probabilities = self.mitigator.mitigate_probabilities(probabilities)
-        value = _distribution_expectation(probabilities, group, num_logical)
-        return value, probabilities
-
-
-def _counts_to_distribution(counts: Dict[str, int], num_bits: int) -> np.ndarray:
-    distribution = np.zeros(2 ** num_bits)
-    total = sum(counts.values())
-    for bitstring, count in counts.items():
-        distribution[int(bitstring, 2)] += count / total
-    return distribution
-
-
-def _distribution_expectation(
-    probabilities: np.ndarray, group: MeasurementGroup, num_bits: int
-) -> float:
-    """Weighted sum of Pauli expectations computed from one outcome distribution."""
-    value = 0.0
-    for pauli, coeff in group.terms:
-        expectation = 0.0
-        for index, probability in enumerate(probabilities):
-            if probability == 0.0:
-                continue
-            bitstring = format(index, f"0{num_bits}b")
-            expectation += probability * pauli.expectation_sign(bitstring)
-        value += coeff * expectation
-    return value
 
 
 def ideal_expectation(circuit, hamiltonian: PauliSum) -> float:

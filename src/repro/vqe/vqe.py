@@ -16,13 +16,14 @@ import numpy as np
 
 from ..backends.device import DeviceModel
 from ..circuits.circuit import QuantumCircuit
+from ..engine.density_engine import NoisyDensityMatrixEngine
+from ..engine.statevector_engine import StatevectorEngine
 from ..exceptions import VQEError
 from ..mitigation.mem import MeasurementMitigator
 from ..operators.pauli import PauliSum
 from ..optimizers.base import OptimizationResult, Optimizer
 from ..optimizers.spsa import SPSA
 from ..simulators.noise_model import NoiseModel
-from ..simulators.statevector import StatevectorSimulator
 from ..transpiler.pipeline import TranspileResult, transpile
 from .expectation import ExpectationEstimator
 
@@ -53,6 +54,7 @@ class VQE:
         hamiltonian: PauliSum,
         optimizer: Optional[Optimizer] = None,
         seed: int = 7,
+        engine: Optional[StatevectorEngine] = None,
     ):
         if ansatz.num_qubits != hamiltonian.num_qubits:
             raise VQEError(
@@ -63,7 +65,9 @@ class VQE:
         self.hamiltonian = hamiltonian
         self.optimizer = optimizer or SPSA(maxiter=80, seed=seed)
         self.seed = seed
-        self._statevector = StatevectorSimulator(seed=seed)
+        #: The ideal execution backend; inject a shared engine to pool its
+        #: statevector/expectation caches across drivers.
+        self.engine = engine or StatevectorEngine(seed=seed)
 
     # ------------------------------------------------------------------
     # Objective functions
@@ -82,7 +86,7 @@ class VQE:
 
     def ideal_objective(self, parameters: Sequence[float]) -> float:
         """Noise-free ``<H>`` for a parameter vector."""
-        return self._statevector.expectation(self.bind(parameters), self.hamiltonian)
+        return self.engine.expectation(self.bind(parameters), self.hamiltonian)
 
     def noisy_objective_factory(
         self,
@@ -91,13 +95,18 @@ class VQE:
         shots: Optional[int] = None,
         use_mem: bool = False,
         physical_qubits: Optional[Sequence[int]] = None,
+        engine: Optional[NoisyDensityMatrixEngine] = None,
     ) -> Callable[[Sequence[float]], float]:
         """Build an objective that executes on the noisy scheduled simulator.
 
         Every call transpiles the bound ansatz, so this is the expensive mode;
-        it is what the "machine execution" curves of Fig. 8 use.
+        it is what the "machine execution" curves of Fig. 8 use.  All
+        executions share one :class:`NoisyDensityMatrixEngine` (injected or
+        created here), so replaying a parameter trajectory twice — e.g. with
+        and without MEM — only simulates each distinct circuit once.
         """
         noise_model = noise_model or NoiseModel.from_device(device)
+        engine = engine or NoisyDensityMatrixEngine(noise_model, seed=self.seed)
 
         def objective(parameters: Sequence[float]) -> float:
             circuit = self.bind(parameters)
@@ -110,7 +119,9 @@ class VQE:
                 mitigator = MeasurementMitigator.from_device(
                     device, [result.scheduled.physical_qubit(pos) for pos in ordered]
                 )
-            estimator = ExpectationEstimator(noise_model, shots=shots, mitigator=mitigator, seed=self.seed)
+            estimator = ExpectationEstimator(
+                noise_model, shots=shots, mitigator=mitigator, seed=self.seed, engine=engine
+            )
             return estimator.estimate(result.scheduled, self.hamiltonian).value
 
         return objective
