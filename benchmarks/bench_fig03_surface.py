@@ -33,21 +33,29 @@ def _surface_slice(num_points: int = 9):
     estimator = ExpectationEstimator(device_noise)
     offsets = np.linspace(-np.pi / 2, np.pi / 2, num_points)
 
-    ideal, noisy, mitigated = [], [], []
-    from repro.simulators import StatevectorSimulator
-
-    statevector = StatevectorSimulator()
+    # Build every circuit/schedule of the slice up front, then submit each
+    # series as one engine batch (the three series share the estimator's
+    # result cache; the ideal series goes through the statevector engine).
+    bound_circuits, schedules, dd_schedules = [], [], []
     for offset in offsets:
         params = optimum.copy()
         params[0] += offset
         bound = application.ansatz.bind_parameters(list(params))
-        ideal.append(statevector.expectation(bound, application.hamiltonian))
+        bound_circuits.append(bound)
         bound_measured = bound.copy()
         bound_measured.measure_all()
         compiled = transpile(bound_measured, device)
-        noisy.append(estimator.estimate(compiled.scheduled, application.hamiltonian).value)
-        dd_schedule = uniform_dd(compiled.scheduled, compiled.idle_windows, "xy4", 1)
-        mitigated.append(estimator.estimate(dd_schedule, application.hamiltonian).value)
+        schedules.append(compiled.scheduled)
+        dd_schedules.append(uniform_dd(compiled.scheduled, compiled.idle_windows, "xy4", 1))
+
+    from repro.engine import StatevectorEngine
+
+    ideal = [
+        float(v)
+        for v in StatevectorEngine().expectation_batch(bound_circuits, application.hamiltonian)
+    ]
+    noisy = [r.value for r in estimator.estimate_batch(schedules, application.hamiltonian)]
+    mitigated = [r.value for r in estimator.estimate_batch(dd_schedules, application.hamiltonian)]
     return offsets.tolist(), ideal, noisy, mitigated, application.exact_ground_energy()
 
 

@@ -27,6 +27,9 @@ def _angle_tuning_trajectories(maxiter: int = 120, samples: int = 13):
 
     # Sub-sample the evaluation trajectory (the paper plots every iteration;
     # we replay a handful of points on the machine model to keep this cheap).
+    # Both replays submit the whole trajectory as one expectation_batch: the
+    # ideal series through the statevector engine, the machine series through
+    # a shared noisy engine (one transpile + one simulation per point).
     indices = np.unique(np.linspace(0, len(result.parameter_history) - 1, samples).astype(int))
     points = [result.parameter_history[i] for i in indices]
     ideal_series = vqe.evaluate_trajectory_ideal(points)

@@ -62,11 +62,20 @@ def _smoke_runners():
     ]
 
 
-def _h2_tuner_comparison():
-    """Time the H2 window-tuner sweep: sequential path vs batch+prefix path.
+#: Worker count for the thread/process legs of the H2 comparison (the
+#: acceptance target is the process tier beating threads at >= 4 workers;
+#: on hosts with fewer cores the numbers are still recorded honestly).
+_PARALLEL_WORKERS = 4
 
-    Both paths tune from the same compiled schedule; with ``shots=None`` the
-    tuned energies must agree exactly (the engine acceptance criterion).
+
+def _h2_tuner_comparison():
+    """Time the H2 window-tuner sweep across every execution tier.
+
+    Four legs tune from the same compiled schedule: the legacy *sequential*
+    path (no cache, no prefix reuse — what the pre-engine code did), then the
+    batched engine path in its *serial*, *thread* and *process* tiers.  With
+    ``shots=None`` the tuned energies of all legs must agree bit for bit (the
+    engine acceptance criterion); only wall-clock may differ.
     """
     from repro.engine import NoisyDensityMatrixEngine
     from repro.simulators import NoiseModel
@@ -84,9 +93,10 @@ def _h2_tuner_comparison():
     compiled = transpile(circuit, device)
     budget = TuningBudget(dd_resolution=4, gs_resolution=4, max_windows=10)
 
-    def tune(batched: bool):
-        # A fresh noise model per leg: otherwise the leg timed second would
-        # inherit the first leg's warmed channel cache and bias the speedup.
+    def tune(leg: str):
+        # A fresh noise model per leg: otherwise the legs timed later would
+        # inherit the first leg's warmed channel cache and bias the speedups.
+        batched = leg != "sequential"
         noise_model = NoiseModel.from_device(device)
         engine = NoisyDensityMatrixEngine(
             noise_model,
@@ -101,26 +111,55 @@ def _h2_tuner_comparison():
             objective=lambda s: estimator.estimate(s, application.hamiltonian).value,
             budget=budget,
             batch_objective=(
-                (lambda ss: [r.value for r in estimator.estimate_batch(ss, application.hamiltonian)])
+                (
+                    lambda ss: [
+                        r.value
+                        for r in estimator.estimate_batch(
+                            ss,
+                            application.hamiltonian,
+                            max_workers=_PARALLEL_WORKERS,
+                            parallelism=leg,
+                        )
+                    ]
+                )
                 if batched
                 else None
             ),
         )
         start = time.perf_counter()
         result = tuner.tune(compiled.scheduled, compiled.idle_windows)
-        return time.perf_counter() - start, result, engine
+        elapsed = time.perf_counter() - start
+        engine.close()
+        return elapsed, result, engine
 
-    sequential_s, sequential, _ = tune(batched=False)
-    batched_s, batched, engine = tune(batched=True)
+    sequential_s, sequential, _ = tune("sequential")
+    serial_s, serial, engine = tune("serial")
+    thread_s, thread, _ = tune("thread")
+    process_s, process, _ = tune("process")
+    energies = {
+        "sequential": sequential.tuned_value,
+        "serial": serial.tuned_value,
+        "thread": thread.tuned_value,
+        "process": process.tuned_value,
+    }
     return {
         "sequential_seconds": sequential_s,
-        "batched_seconds": batched_s,
-        "speedup": sequential_s / batched_s if batched_s else float("inf"),
+        "batched_seconds": serial_s,
+        "speedup": sequential_s / serial_s if serial_s else float("inf"),
         "tuned_energy_sequential": sequential.tuned_value,
-        "tuned_energy_batched": batched.tuned_value,
-        "energies_exact_match": sequential.tuned_value == batched.tuned_value,
-        "num_evaluations": batched.num_evaluations,
+        "tuned_energy_batched": serial.tuned_value,
+        "energies_exact_match": len(set(energies.values())) == 1,
+        "num_evaluations": serial.num_evaluations,
         "engine_stats": engine.stats.as_dict(),
+        "parallelism": {
+            "workers": _PARALLEL_WORKERS,
+            "cpu_count": os.cpu_count(),
+            "serial_seconds": serial_s,
+            "thread_seconds": thread_s,
+            "process_seconds": process_s,
+            "process_vs_thread_speedup": thread_s / process_s if process_s else float("inf"),
+            "tuned_energies": energies,
+        },
     }
 
 
@@ -146,12 +185,28 @@ def main() -> None:
             failures[name] = f"{type(error).__name__}: {error}"
             print(f"[run_all] {name:28s} FAILED ({failures[name]})")
 
-    tuner = _h2_tuner_comparison()
-    print(
-        f"[run_all] h2 tuner: sequential {tuner['sequential_seconds']:.2f}s, "
-        f"batched {tuner['batched_seconds']:.2f}s "
-        f"({tuner['speedup']:.1f}x, exact match: {tuner['energies_exact_match']})"
-    )
+    # Guarded like the fig loop: a tuner-leg failure must not discard the
+    # per-fig trajectory collected above.
+    tuner = None
+    try:
+        tuner = _h2_tuner_comparison()
+    except Exception as error:
+        failures["h2_window_tuner"] = f"{type(error).__name__}: {error}"
+        print(f"[run_all] h2 tuner comparison FAILED ({failures['h2_window_tuner']})")
+    if tuner is not None:
+        print(
+            f"[run_all] h2 tuner: sequential {tuner['sequential_seconds']:.2f}s, "
+            f"batched {tuner['batched_seconds']:.2f}s "
+            f"({tuner['speedup']:.1f}x, exact match: {tuner['energies_exact_match']})"
+        )
+        parallel = tuner["parallelism"]
+        print(
+            f"[run_all] h2 tuner tiers ({parallel['workers']} workers, "
+            f"{parallel['cpu_count']} cores): serial {parallel['serial_seconds']:.2f}s, "
+            f"thread {parallel['thread_seconds']:.2f}s, "
+            f"process {parallel['process_seconds']:.2f}s "
+            f"(process vs thread: {parallel['process_vs_thread_speedup']:.2f}x)"
+        )
 
     payload = {
         "mode": "smoke" if vaqem_shared.smoke_mode() else "default",

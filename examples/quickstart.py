@@ -12,11 +12,18 @@ backend API — the :class:`~repro.engine.base.ExecutionEngine`:
 Part 1 below drives the engines directly; part 2 runs the paper's feasible
 flow (Fig. 11, right), whose pipeline routes every machine execution through
 a shared ``NoisyDensityMatrixEngine`` — which is what makes the per-window
-mitigation sweeps fast.
+mitigation sweeps fast.  Batch methods also take ``parallelism="serial" |
+"thread" | "process"`` (plus ``max_workers``) to fan a sweep out across
+cores with bit-identical results; ``VAQEMConfig(parallelism="process")``
+does the same for a whole pipeline.
+
+The full design is documented in ``docs/architecture.md`` (layers, caching,
+prefix reuse, the multi-core worker protocol) and ``docs/api.md`` (the
+public engine API).
 
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
 """
 
 from __future__ import annotations

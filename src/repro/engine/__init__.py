@@ -5,10 +5,18 @@ from .density_engine import NoisyDensityMatrixEngine, measure_pauli_sum
 from .fake_device_engine import FakeDeviceEngine
 from .fingerprint import (
     circuit_fingerprint,
+    circuit_hash_chain,
     derive_seed,
     device_fingerprint,
     observable_fingerprint,
     schedule_fingerprint,
+)
+from .parallel import (
+    PARALLELISM_MODES,
+    EngineWorkerSpec,
+    ParallelismPlan,
+    plan_shards,
+    resolve_parallelism,
 )
 from .statevector_engine import StatevectorEngine
 
@@ -22,8 +30,14 @@ __all__ = [
     "FakeDeviceEngine",
     "measure_pauli_sum",
     "circuit_fingerprint",
+    "circuit_hash_chain",
     "schedule_fingerprint",
     "device_fingerprint",
     "observable_fingerprint",
     "derive_seed",
+    "PARALLELISM_MODES",
+    "ParallelismPlan",
+    "EngineWorkerSpec",
+    "plan_shards",
+    "resolve_parallelism",
 ]

@@ -8,9 +8,18 @@ instantiating simulators ad hoc:
 * :meth:`ExecutionEngine.run` — execute one circuit, returning an
   :class:`EngineResult`,
 * :meth:`ExecutionEngine.run_batch` — execute many circuits, order-stably and
-  with shared caching (optionally fanned out over worker threads),
+  with shared caching (optionally fanned out over worker threads or worker
+  processes),
 * :meth:`ExecutionEngine.expectation` / :meth:`expectation_batch` — estimate
   ``<H>`` of a Pauli-sum observable for one or many circuits.
+
+Batch methods accept ``parallelism="serial" | "thread" | "process"`` plus
+``max_workers``.  The thread tier shares the engine's caches directly and
+only helps while numpy releases the GIL; the process tier
+(:mod:`repro.engine.parallel`) rebuilds the engine in worker processes,
+shards the batch so prefix-reuse chains stay within one worker, and merges
+worker cache entries back into the parent.  Results are identical across all
+three modes for a seeded engine (see the seeding contract below).
 
 Three concrete engines cover the reproduction's backends:
 
@@ -58,9 +67,19 @@ from __future__ import annotations
 import abc
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..exceptions import EngineError
+from .parallel import (
+    CacheRecord,
+    EngineWorkerSpec,
+    ParallelismPlan,
+    ProcessPoolHandle,
+    process_map,
+    resolve_parallelism,
+)
 
 
 @dataclass
@@ -88,6 +107,16 @@ class EngineStats:
         """Fraction of instruction processing avoided via prefix snapshots."""
         total = self.instructions_simulated + self.instructions_reused
         return self.instructions_reused / total if total else 0.0
+
+    def add_counters(self, delta: Dict[str, int]) -> None:
+        """Fold a worker's counter delta into this stats object (by field name).
+
+        Unknown keys are ignored so that stats payloads from slightly older or
+        newer worker builds cannot crash a merge.
+        """
+        for name, value in delta.items():
+            if hasattr(self, name) and not isinstance(getattr(type(self), name, None), property):
+                setattr(self, name, getattr(self, name) + value)
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -142,6 +171,8 @@ class ExecutionEngine(abc.ABC):
     def __init__(self, seed: Optional[int] = None):
         self.seed = seed
         self.stats = EngineStats()
+        #: Persistent process-pool handle (created lazily by the process tier).
+        self._pool_handle: Optional[ProcessPoolHandle] = None
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -154,16 +185,30 @@ class ExecutionEngine(abc.ABC):
 
     # ------------------------------------------------------------------
     def run_batch(
-        self, circuits: Sequence, max_workers: Optional[int] = None
+        self,
+        circuits: Sequence,
+        max_workers: Optional[int] = None,
+        parallelism: Optional[str] = None,
     ) -> List[EngineResult]:
         """Execute many circuits; output order matches input order.
 
-        ``max_workers > 1`` fans the batch out over a thread pool.  Because of
-        the content-derived seeding contract the results are identical to the
-        serial path; threading only changes wall-clock (numpy releases the GIL
-        inside the heavy contractions).  Caches are shared across workers.
+        ``parallelism`` selects the execution tier:
+
+        * ``"serial"`` — one circuit after another on the calling thread;
+        * ``"thread"`` — a thread pool sharing the engine's caches (only
+          helps while numpy releases the GIL inside heavy contractions);
+        * ``"process"`` — a persistent pool of worker processes, each holding
+          a rebuilt copy of this engine; the batch is sharded so schedules
+          sharing a simulated prefix stay on one worker, and worker cache
+          entries are merged back on return (:mod:`repro.engine.parallel`).
+
+        ``max_workers`` bounds the pool size (default: one per core).  With
+        ``parallelism=None`` the historical behaviour applies: ``max_workers
+        > 1`` requests threads, anything else runs serially.  Because of the
+        content-derived seeding contract a seeded engine returns identical
+        results on every tier.
         """
-        return self._map_batch(self.run, circuits, max_workers)
+        return self._dispatch_batch("run", circuits, {}, max_workers, parallelism)
 
     def expectation_batch(
         self,
@@ -171,21 +216,152 @@ class ExecutionEngine(abc.ABC):
         observable,
         shots: Optional[int] = None,
         max_workers: Optional[int] = None,
+        parallelism: Optional[str] = None,
     ) -> List[float]:
-        """Estimate ``<observable>`` for many circuits, order-stably."""
-        return self._map_batch(
-            lambda circuit: self.expectation(circuit, observable, shots=shots),
-            circuits,
-            max_workers,
-        )
+        """Estimate ``<observable>`` for many circuits, order-stably.
+
+        ``parallelism`` / ``max_workers`` behave as on :meth:`run_batch`.
+        """
+        kwargs = {"observable": observable, "shots": shots}
+        return self._dispatch_batch("expectation", circuits, kwargs, max_workers, parallelism)
+
+    # ------------------------------------------------------------------
+    # Batch dispatch (serial / thread / process tiers)
+    # ------------------------------------------------------------------
+    def _dispatch_batch(
+        self,
+        kind: str,
+        items: Sequence,
+        kwargs: Dict[str, Any],
+        max_workers: Optional[int],
+        parallelism: Optional[str],
+    ) -> List:
+        """Route one batch through the tier the knobs resolve to."""
+        items = list(items)
+        plan = resolve_parallelism(parallelism, max_workers, len(items))
+        if plan.mode == "process":
+            spec = self._process_spec()
+            if spec is None:
+                # Engines that cannot cross the process boundary degrade to
+                # the thread tier rather than failing the batch.
+                plan = plan.thread_fallback()
+            else:
+                return process_map(self, spec, kind, items, kwargs, plan)
+        func = lambda item: self._serial_call(kind, item, kwargs)  # noqa: E731
+        if plan.mode == "thread":
+            with ThreadPoolExecutor(max_workers=plan.workers) as pool:
+                return list(pool.map(func, items))
+        return [func(item) for item in items]
+
+    def _serial_call(self, kind: str, item, kwargs: Dict[str, Any]):
+        """Execute one batch item on the calling thread (all tiers reduce to
+        this; subclasses extend it with additional kinds)."""
+        if kind == "run":
+            return self.run(item)
+        if kind == "expectation":
+            return self.expectation(item, kwargs["observable"], shots=kwargs["shots"])
+        raise EngineError(f"engine {self.name!r} does not implement batch kind {kind!r}")
 
     @staticmethod
     def _map_batch(func: Callable, items: Sequence, max_workers: Optional[int]) -> List:
+        """Legacy callable-based fan-out (serial, or threads when
+        ``max_workers > 1``); kept for frontends that batch arbitrary
+        closures rather than engine batch kinds."""
         items = list(items)
         if max_workers is not None and max_workers > 1 and len(items) > 1:
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
                 return list(pool.map(func, items))
         return [func(item) for item in items]
+
+    # ------------------------------------------------------------------
+    # Process-tier hooks (see repro.engine.parallel)
+    # ------------------------------------------------------------------
+    def _process_spec(self) -> Optional[EngineWorkerSpec]:
+        """How to rebuild this engine in a worker process.
+
+        ``None`` (the default) marks the engine as unable to cross the
+        process boundary; batch calls requesting ``parallelism="process"``
+        then degrade to the thread tier.
+        """
+        return None
+
+    def _shard_chain(self, kind: str, item) -> Sequence[str]:
+        """The item's hash chain, used to group prefix-sharing items into the
+        same shard.  The last entry must be a full content fingerprint (it
+        also keys payload deduplication).  The default yields no grouping."""
+        return (repr(id(item)),)
+
+    def _worker_execute(self, kind: str, item, kwargs: Dict[str, Any]) -> Tuple[Any, List[CacheRecord]]:
+        """Execute one item worker-side, returning the result plus the cache
+        records the parent should absorb.  The default exports nothing."""
+        return self._serial_call(kind, item, kwargs), []
+
+    def _is_locally_cached(self, kind: str, item, kwargs: Dict[str, Any], chain: Sequence[str]) -> bool:
+        """Whether the parent can serve this item from its own caches without
+        shipping it to a worker."""
+        return False
+
+    def _worker_duplicate(self, kind: str, value):
+        """Worker-side result for a content-identical repeat within a shard.
+
+        Mirrors the serial path's second execution — a cache hit returning a
+        result flagged ``from_cache`` — without re-running or re-shipping the
+        heavy state (the shared arrays pickle once per shard).  Per the
+        :class:`EngineResult` contract the state of a ``from_cache`` result
+        is read-only, so the sharing is not observable.
+        """
+        if kind == "run":
+            self.stats.executions += 1
+            self.stats.cache_hits += 1
+            from dataclasses import replace
+
+            return replace(value, from_cache=True)
+        return value
+
+    def _absorb_records(self, records: Sequence[CacheRecord]) -> None:
+        """Merge worker cache records into the parent's caches (no-op by
+        default; engines with caches override)."""
+
+    def _stats_registry(self) -> Dict[str, EngineStats]:
+        """The named stats objects workers diff and the parent re-merges."""
+        return {"self": self.stats}
+
+    def _absorb_stats(self, delta: Dict[str, Dict[str, int]]) -> None:
+        """Fold a worker's stats delta into the parent's counters."""
+        registry = self._stats_registry()
+        for name, counters in delta.items():
+            stats = registry.get(name)
+            if stats is not None:
+                stats.add_counters(counters)
+
+    def _process_pool_executor(self, spec: EngineWorkerSpec, workers: int):
+        """The persistent worker pool for ``spec``, (re)created on demand.
+
+        The pool is keyed by ``(spec.cache_key, workers)``: a changed
+        execution context (e.g. a toggled noise-model flag) or worker count
+        retires the stale pool — its worker engines were built from an
+        outdated spec — and starts a fresh one.
+        """
+        handle: Optional[ProcessPoolHandle] = getattr(self, "_pool_handle", None)
+        key = (spec.cache_key, int(workers))
+        if handle is None or handle.key != key:
+            if handle is not None:
+                handle.shutdown()
+            handle = ProcessPoolHandle(spec, workers)
+            self._pool_handle = handle
+        return handle.executor
+
+    def close(self) -> None:
+        """Release pooled resources (joins any process-pool workers).
+
+        Engines are usable again afterwards — the next process-tier batch
+        simply starts a fresh pool.  Garbage collection performs the same
+        cleanup, so calling this is optional but makes teardown prompt.
+        """
+        handle: Optional[ProcessPoolHandle] = getattr(self, "_pool_handle", None)
+        if handle is not None:
+            self._pool_handle = None
+            handle.shutdown()
 
     # ------------------------------------------------------------------
     def _sampling_rng(self, seed, *content: str) -> np.random.Generator:

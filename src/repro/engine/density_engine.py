@@ -20,7 +20,11 @@ make VAQEM-style tuning sweeps affordable:
   :mod:`repro.engine.fingerprint`).
 
 Both layers are thread-safe, so :meth:`run_batch` may fan out over threads
-without changing any result.
+without changing any result.  The engine also implements the process-tier
+worker protocol (:mod:`repro.engine.parallel`): batches submitted with
+``parallelism="process"`` are sharded along schedule hash chains so prefix
+reuse survives the process boundary, and the workers' final states and
+expectation values are merged back into this engine's caches on return.
 """
 
 from __future__ import annotations
@@ -136,6 +140,9 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         super().__init__(seed=seed)
         self.noise_model = noise_model
         self.enable_prefix_reuse = enable_prefix_reuse
+        self.result_cache_bytes = int(result_cache_bytes)
+        self.expectation_cache_entries = int(expectation_cache_entries)
+        self.snapshot_budget_bytes = int(snapshot_budget_bytes)
         self._simulator = NoisySimulator(noise_model)
         self._results = _ByteBudgetStore(result_cache_bytes)
         self._expectations = _LRUCache(expectation_cache_entries)
@@ -223,8 +230,14 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
                 depth = next_depth
                 if depth < total:
                     with self._lock:
-                        if chain[depth] not in self._snapshots:
-                            snapshot = cursor.copy()
+                        wanted = chain[depth] not in self._snapshots
+                    if wanted:
+                        # Copy outside the lock — an O(4^n) state copy would
+                        # otherwise serialize every thread-tier worker.  A
+                        # racing duplicate put is harmless (put is a no-op on
+                        # existing keys) and both copies are bit-identical.
+                        snapshot = cursor.copy()
+                        with self._lock:
                             self._snapshots.put(chain[depth], snapshot, snapshot.nbytes)
         else:
             self._simulator.advance(scheduled, cursor, context)
@@ -295,6 +308,24 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         """Estimate ``<observable>`` for one scheduled circuit."""
         return self.expectation_full(scheduled, observable, shots=shots, mitigator=mitigator, seed=seed).value
 
+    def _expectation_key(
+        self, fingerprint: str, observable: PauliSum, shots, mitigator, seed
+    ) -> Tuple:
+        """The expectation-cache key (identical parent- and worker-side)."""
+        return (
+            fingerprint,
+            observable_fingerprint(observable),
+            shots,
+            mitigator_fingerprint(mitigator),
+            seed,
+        )
+
+    def _expectation_cacheable(self, shots, seed) -> bool:
+        """A sampled value is only reproducible (and therefore cacheable) when
+        some seed pins the randomness; an unseeded engine draws fresh entropy
+        per call instead."""
+        return shots is None or seed is not None or self.seed is not None
+
     def expectation_full(
         self,
         scheduled: ScheduledCircuit,
@@ -305,17 +336,8 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
     ) -> ExpectationData:
         """``<observable>`` plus per-group diagnostics, content-cached."""
         state, fingerprint, _ = self._state_for(scheduled)
-        key = (
-            fingerprint,
-            observable_fingerprint(observable),
-            shots,
-            mitigator_fingerprint(mitigator),
-            seed,
-        )
-        # A sampled value is only reproducible (and therefore cacheable) when
-        # some seed pins the randomness; an unseeded engine draws fresh
-        # entropy per call instead.
-        cacheable = shots is None or seed is not None or self.seed is not None
+        key = self._expectation_key(fingerprint, observable, shots, mitigator, seed)
+        cacheable = self._expectation_cacheable(shots, seed)
         if cacheable:
             with self._lock:
                 self.stats.expectation_calls += 1
@@ -346,13 +368,120 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         shots: Optional[int] = None,
         mitigator=None,
         max_workers: Optional[int] = None,
+        parallelism: Optional[str] = None,
     ) -> List[float]:
-        """Batched ``<observable>``; equals element-wise :meth:`expectation`."""
-        return self._map_batch(
-            lambda scheduled: self.expectation(scheduled, observable, shots=shots, mitigator=mitigator),
-            circuits,
-            max_workers,
+        """Batched ``<observable>``; equals element-wise :meth:`expectation`.
+
+        ``parallelism`` / ``max_workers`` select the execution tier exactly as
+        on :meth:`~repro.engine.base.ExecutionEngine.run_batch`.
+        """
+        kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator}
+        return self._dispatch_batch("expectation", circuits, kwargs, max_workers, parallelism)
+
+    def expectation_batch_full(
+        self,
+        circuits: Sequence[ScheduledCircuit],
+        observable: PauliSum,
+        shots: Optional[int] = None,
+        mitigator=None,
+        max_workers: Optional[int] = None,
+        parallelism: Optional[str] = None,
+    ) -> List[ExpectationData]:
+        """Batched :meth:`expectation_full` (value plus per-group diagnostics).
+
+        This is the path :class:`~repro.vqe.expectation.ExpectationEstimator`
+        batches through; it honours the same tier knobs as
+        :meth:`expectation_batch`.
+        """
+        kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator}
+        return self._dispatch_batch("expectation_full", circuits, kwargs, max_workers, parallelism)
+
+    # ------------------------------------------------------------------
+    # Process-tier worker protocol (see repro.engine.parallel)
+    # ------------------------------------------------------------------
+    def _serial_call(self, kind: str, item, kwargs):
+        if kind == "run":
+            return self.run(item)
+        if kind == "expectation":
+            return self.expectation(
+                item, kwargs["observable"], shots=kwargs["shots"], mitigator=kwargs.get("mitigator")
+            )
+        if kind == "expectation_full":
+            return self.expectation_full(
+                item, kwargs["observable"], shots=kwargs["shots"], mitigator=kwargs.get("mitigator")
+            )
+        return super()._serial_call(kind, item, kwargs)
+
+    def _process_spec(self):
+        from .parallel import EngineWorkerSpec
+
+        return EngineWorkerSpec(
+            engine_class=type(self),
+            kwargs={
+                "noise_model": self.noise_model,
+                "seed": self.seed,
+                "result_cache_bytes": self.result_cache_bytes,
+                "expectation_cache_entries": self.expectation_cache_entries,
+                "snapshot_budget_bytes": self.snapshot_budget_bytes,
+                "enable_prefix_reuse": self.enable_prefix_reuse,
+            },
+            # The noise key already digests the device calibration and every
+            # noise-model flag, so post-construction toggles retire the pool.
+            cache_key=f"{self.name}:{self._noise_key()}:{self.seed}:{self.enable_prefix_reuse}",
         )
+
+    def _shard_chain(self, kind: str, scheduled: ScheduledCircuit) -> Sequence[str]:
+        return self._chain(scheduled)[1]
+
+    def _worker_execute(self, kind: str, item, kwargs):
+        from .parallel import CacheRecord
+
+        result = self._serial_call(kind, item, kwargs)
+        # Export the end-of-schedule state from the worker's own result cache
+        # (a distinct object from anything in `result`, so the parent's cache
+        # entry is never aliased with what the caller receives).  Read the
+        # store directly — a second `_state_for` would distort the stats
+        # delta with a synthetic cache hit.
+        fingerprint = self._chain(item)[1][-1]
+        with self._lock:
+            state = self._results.get(fingerprint)
+        records = []
+        if state is not None:
+            records.append(CacheRecord("result", fingerprint, state, int(state.data.nbytes)))
+        if kind in ("expectation", "expectation_full") and self._expectation_cacheable(
+            kwargs["shots"], None
+        ):
+            key = self._expectation_key(
+                fingerprint, kwargs["observable"], kwargs["shots"], kwargs.get("mitigator"), None
+            )
+            with self._lock:
+                data = self._expectations.get(key)
+            if data is not None:
+                records.append(CacheRecord("expectation", key, data))
+        return result, records
+
+    def _is_locally_cached(self, kind: str, item, kwargs, chain) -> bool:
+        fingerprint = chain[-1]
+        with self._lock:
+            if kind == "run":
+                return fingerprint in self._results
+            if kind in ("expectation", "expectation_full"):
+                if not self._expectation_cacheable(kwargs["shots"], None):
+                    return False
+                key = self._expectation_key(
+                    fingerprint, kwargs["observable"], kwargs["shots"], kwargs.get("mitigator"), None
+                )
+                return self._expectations.get(key) is not None
+        return False
+
+    def _absorb_records(self, records) -> None:
+        with self._lock:
+            for record in records:
+                if record.kind == "result":
+                    if record.key not in self._results:
+                        self._results.put(record.key, record.value, record.nbytes)
+                elif record.kind == "expectation":
+                    self._expectations.put(record.key, record.value)
 
     # ------------------------------------------------------------------
     def clear_caches(self) -> None:

@@ -25,7 +25,7 @@ from ..simulators.readout import probabilities_to_counts
 from ..transpiler.pipeline import TranspileResult, transpile
 from .base import EngineResult, ExecutionEngine
 from .density_engine import _LRUCache, NoisyDensityMatrixEngine
-from .fingerprint import circuit_fingerprint
+from .fingerprint import circuit_fingerprint, circuit_hash_chain
 
 #: Sentinel distinguishing "use the engine's configured shots" from an
 #: explicit ``shots=None`` (exact infinite-shot) request.
@@ -53,16 +53,31 @@ class FakeDeviceEngine(ExecutionEngine):
         self.shots = int(shots)
         self.physical_qubits = list(physical_qubits) if physical_qubits is not None else None
         self.scheduling_policy = scheduling_policy
+        self.transpile_cache_entries = int(transpile_cache_entries)
         self._noisy = NoisyDensityMatrixEngine(self.noise_model, seed=seed)
         self._transpiled = _LRUCache(transpile_cache_entries)
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
+    def _transpile_key(self, circuit: QuantumCircuit):
+        """Transpile-cache key: circuit content plus the compilation context.
+
+        ``physical_qubits`` / ``scheduling_policy`` are plain attributes a
+        caller may reassign after construction; keying on them makes such
+        changes miss the cache instead of silently reusing the old layout.
+        """
+        return (
+            circuit_fingerprint(circuit),
+            tuple(self.physical_qubits) if self.physical_qubits is not None else None,
+            self.scheduling_policy,
+        )
+
     def transpile(self, circuit: QuantumCircuit) -> TranspileResult:
-        """Compile ``circuit`` for the device, cached by circuit content."""
-        fingerprint = circuit_fingerprint(circuit)
+        """Compile ``circuit`` for the device, cached by circuit content and
+        compilation context."""
+        key = self._transpile_key(circuit)
         with self._lock:
-            cached = self._transpiled.get(fingerprint)
+            cached = self._transpiled.get(key)
             if cached is not None:
                 self.stats.transpile_cache_hits += 1
                 return cached
@@ -74,7 +89,7 @@ class FakeDeviceEngine(ExecutionEngine):
             scheduling_policy=self.scheduling_policy,
         )
         with self._lock:
-            self._transpiled.put(fingerprint, result)
+            self._transpiled.put(key, result)
         return result
 
     # ------------------------------------------------------------------
@@ -104,6 +119,13 @@ class FakeDeviceEngine(ExecutionEngine):
     def counts(
         self, circuit: QuantumCircuit, shots: Optional[int] = None, seed: Optional[int] = None
     ) -> Dict[str, int]:
+        """Sampled measurement counts for one logical circuit.
+
+        ``shots=None`` falls back to the engine's configured shot count (an
+        exact distribution is available via ``run(...).probabilities``); an
+        explicit ``seed`` overrides the engine seeding contract for this
+        call only.
+        """
         shots = self.shots if shots is None else int(shots)
         compiled = self.transpile(circuit)
         probabilities, _ = self._noisy.measured_probabilities(compiled.scheduled)
@@ -139,20 +161,130 @@ class FakeDeviceEngine(ExecutionEngine):
         shots=_DEFAULT_SHOTS,
         mitigator=None,
         max_workers: Optional[int] = None,
+        parallelism: Optional[str] = None,
     ):
         """Batched ``<observable>``; equals element-wise :meth:`expectation`.
 
         Overrides the base implementation so the configured-``shots`` default
         applies to the batch path too (the base class would pass an explicit
-        ``shots=None``).
+        ``shots=None``).  ``parallelism`` / ``max_workers`` select the
+        execution tier exactly as on :meth:`run_batch`.
         """
         if shots is _DEFAULT_SHOTS:
             shots = self.shots
-        return self._map_batch(
-            lambda circuit: self.expectation(circuit, observable, shots=shots, mitigator=mitigator),
-            circuits,
-            max_workers,
+        kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator}
+        return self._dispatch_batch("expectation", circuits, kwargs, max_workers, parallelism)
+
+    # ------------------------------------------------------------------
+    # Process-tier worker protocol (see repro.engine.parallel)
+    # ------------------------------------------------------------------
+    def _serial_call(self, kind: str, item, kwargs):
+        if kind == "run":
+            return self.run(item)
+        if kind == "expectation":
+            return self.expectation(
+                item, kwargs["observable"], shots=kwargs["shots"], mitigator=kwargs.get("mitigator")
+            )
+        return super()._serial_call(kind, item, kwargs)
+
+    def _process_spec(self):
+        from .parallel import EngineWorkerSpec
+
+        context = (
+            self.seed,
+            self.shots,
+            tuple(self.physical_qubits or ()),
+            self.scheduling_policy,
         )
+        return EngineWorkerSpec(
+            engine_class=type(self),
+            kwargs={
+                "device": self.device,
+                "noise_model": self.noise_model,
+                "seed": self.seed,
+                "shots": self.shots,
+                "physical_qubits": self.physical_qubits,
+                "scheduling_policy": self.scheduling_policy,
+                "transpile_cache_entries": self.transpile_cache_entries,
+            },
+            cache_key=f"{self.name}:{self._noisy._noise_key()}:{context!r}",
+        )
+
+    def _shard_chain(self, kind: str, circuit: QuantumCircuit):
+        return circuit_hash_chain(circuit)
+
+    def _schedule_fingerprint_of(self, compiled: TranspileResult) -> str:
+        return self._noisy._chain(compiled.scheduled)[1][-1]
+
+    def _worker_execute(self, kind: str, item, kwargs):
+        from .parallel import CacheRecord
+
+        result = self._serial_call(kind, item, kwargs)
+        records = []
+        transpile_key = self._transpile_key(item)
+        with self._lock:
+            compiled = self._transpiled.get(transpile_key)
+        if compiled is None:  # pragma: no cover - transpile always caches
+            return result, records
+        records.append(CacheRecord("transpile", transpile_key, compiled))
+        schedule_fp = self._schedule_fingerprint_of(compiled)
+        with self._noisy._lock:
+            state = self._noisy._results.get(schedule_fp)
+        if state is not None:
+            records.append(CacheRecord("result", schedule_fp, state, int(state.data.nbytes)))
+        if kind == "expectation" and self._noisy._expectation_cacheable(kwargs["shots"], None):
+            key = self._noisy._expectation_key(
+                schedule_fp, kwargs["observable"], kwargs["shots"], kwargs.get("mitigator"), None
+            )
+            with self._noisy._lock:
+                data = self._noisy._expectations.get(key)
+            if data is not None:
+                records.append(CacheRecord("expectation", key, data))
+        return result, records
+
+    def _is_locally_cached(self, kind: str, item, kwargs, chain) -> bool:
+        with self._lock:
+            compiled = self._transpiled.get(self._transpile_key(item))
+        if compiled is None:
+            return False
+        schedule_fp = self._schedule_fingerprint_of(compiled)
+        with self._noisy._lock:
+            if kind == "run":
+                return schedule_fp in self._noisy._results
+            if kind == "expectation":
+                if not self._noisy._expectation_cacheable(kwargs["shots"], None):
+                    return False
+                key = self._noisy._expectation_key(
+                    schedule_fp, kwargs["observable"], kwargs["shots"], kwargs.get("mitigator"), None
+                )
+                return self._noisy._expectations.get(key) is not None
+        return False
+
+    def _absorb_records(self, records) -> None:
+        inner = []
+        with self._lock:
+            for record in records:
+                if record.kind == "transpile":
+                    self._transpiled.put(record.key, record.value)
+                else:
+                    inner.append(record)
+        if inner:
+            self._noisy._absorb_records(inner)
+
+    def _stats_registry(self):
+        return {"self": self.stats, "noisy": self._noisy.stats}
+
+    def _worker_duplicate(self, kind: str, value):
+        if kind == "run":
+            # The serial path's repeat hits the transpile cache and the inner
+            # result cache; mirror those counters, not the base engine's.
+            self.stats.transpile_cache_hits += 1
+            self._noisy.stats.executions += 1
+            self._noisy.stats.cache_hits += 1
+            from dataclasses import replace
+
+            return replace(value, from_cache=True)
+        return value
 
     # ------------------------------------------------------------------
     @property
@@ -161,10 +293,17 @@ class FakeDeviceEngine(ExecutionEngine):
         return self._noisy
 
     def clear_caches(self) -> None:
+        """Drop the transpilation cache and the inner engine's caches."""
         with self._lock:
             self._transpiled.clear()
         self._noisy.clear_caches()
 
     def reset_stats(self) -> None:
+        """Zero both this engine's and the inner noisy engine's counters."""
         super().reset_stats()
         self._noisy.reset_stats()
+
+    def close(self) -> None:
+        """Release pooled resources of this engine and the inner one."""
+        super().close()
+        self._noisy.close()

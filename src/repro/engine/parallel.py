@@ -1,0 +1,405 @@
+"""Multi-core process-pool execution tier for the engine layer.
+
+The thread fan-out in :meth:`~repro.engine.base.ExecutionEngine.run_batch`
+only helps while numpy holds the heavy contractions; for the small states the
+paper's workloads use (4-7 qubits) the Python interpreter dominates and the
+GIL serialises everything.  This module adds a *process* tier that scales a
+batch across cores while preserving every engine guarantee (order stability,
+the content-derived seeding contract, bit-identical ``shots=None`` values).
+
+The design has three parts (see ``docs/architecture.md`` for the full
+picture):
+
+**Picklable worker protocol.**  An engine describes how to rebuild itself in
+a worker process as an :class:`EngineWorkerSpec` — the engine class plus its
+(picklable) constructor arguments, tagged with a stable ``cache_key``.  Each
+worker process builds its engine once, in the pool initializer, and keeps it
+alive across shards, so worker-side caches and prefix snapshots stay warm for
+the whole sweep.  Work ships as :class:`ShardTask` objects carrying the
+serialized schedule content (deduplicated per content fingerprint) and comes
+back as a :class:`ShardOutcome`: the per-item results, the worker's new cache
+entries (:class:`CacheRecord`) and its stats counters delta.
+
+**Prefix-aware shard scheduler.**  :func:`plan_shards` groups batch items so
+checkpoint reuse survives the process boundary: items are ordered by their
+schedule hash chain (so schedules sharing a processing prefix become
+neighbours — window-tuner candidates differing inside one idle window
+cluster together) and the ordered list is cut into contiguous shards
+balanced by *marginal* simulation cost, i.e. the instructions an item adds
+beyond its predecessor's shared prefix.  Duplicates have zero marginal cost
+and always land in the shard that already simulates their content.
+
+**Cache merge-on-return.**  Workers export each cache entry they produce at
+most once (final states, expectation values, transpilations); the parent
+merges the records into its own content-hash caches and folds the stats
+deltas into its counters, so a process-parallel sweep leaves the parent
+engine exactly as warm as a serial one.
+
+Nothing here is engine-specific: the engines plug in through small hooks
+(``_process_spec``, ``_shard_chain``, ``_worker_execute``,
+``_absorb_records``) defined on :class:`~repro.engine.base.ExecutionEngine`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import EngineError
+
+#: The accepted ``parallelism=`` values, in increasing isolation order.
+PARALLELISM_MODES = ("serial", "thread", "process")
+
+
+# ----------------------------------------------------------------------------
+# Parallelism plans
+# ----------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ParallelismPlan:
+    """A resolved execution strategy for one batch call."""
+
+    mode: str
+    workers: int
+
+    def thread_fallback(self) -> "ParallelismPlan":
+        """The plan an engine without process support degrades to."""
+        return ParallelismPlan("thread", self.workers)
+
+
+def default_worker_count() -> int:
+    """Worker count used when ``max_workers`` is not given (one per core)."""
+    return os.cpu_count() or 1
+
+
+def resolve_parallelism(
+    parallelism: Optional[str], max_workers: Optional[int], num_items: int
+) -> ParallelismPlan:
+    """Resolve the ``(parallelism, max_workers)`` knobs into a concrete plan.
+
+    Backwards compatibility: with ``parallelism=None`` the historical
+    ``max_workers`` semantics apply — ``max_workers > 1`` requests the thread
+    pool, anything else runs serially.  An explicit mode uses ``max_workers``
+    as the worker count (default: one per core).  Degenerate requests
+    (single-item batches, one worker) collapse to the serial plan, which is
+    behaviourally identical and avoids pool overhead.
+    """
+    if parallelism is None:
+        mode = "thread" if (max_workers is not None and max_workers > 1) else "serial"
+    elif parallelism in PARALLELISM_MODES:
+        mode = parallelism
+    else:
+        raise EngineError(
+            f"unknown parallelism mode '{parallelism}' (expected one of {PARALLELISM_MODES})"
+        )
+    if mode == "serial":
+        return ParallelismPlan("serial", 1)
+    workers = default_worker_count() if max_workers is None else int(max_workers)
+    workers = max(1, min(workers, max(1, num_items)))
+    if workers <= 1 or num_items <= 1:
+        return ParallelismPlan("serial", 1)
+    return ParallelismPlan(mode, workers)
+
+
+# ----------------------------------------------------------------------------
+# Prefix-aware shard planning
+# ----------------------------------------------------------------------------
+
+def common_prefix_length(a: Sequence[str], b: Sequence[str]) -> int:
+    """Length of the shared leading run of two hash chains."""
+    limit = min(len(a), len(b))
+    for index in range(limit):
+        if a[index] != b[index]:
+            return index
+    return limit
+
+
+def plan_shards(chains: Sequence[Sequence[str]], num_shards: int) -> List[List[int]]:
+    """Group batch items into shards that keep prefix-reuse chains together.
+
+    ``chains[i]`` is item *i*'s hash chain (``chain[k]`` identifies its first
+    ``k`` processing steps; see :mod:`repro.engine.fingerprint`).  Items are
+    sorted by chain so shared prefixes become contiguous, then cut into at
+    most ``num_shards`` contiguous groups balanced by marginal cost: the
+    first item of a shard costs its full chain length (the worker simulates
+    it from scratch), every later item only the steps beyond the prefix it
+    shares with its predecessor (the worker resumes from a checkpoint).
+    Content-identical items have zero marginal cost and are never split
+    across shards.  Returns the shards as lists of original item indices;
+    every shard is non-empty.
+    """
+    count = len(chains)
+    if count == 0:
+        return []
+    num_shards = max(1, min(int(num_shards), count))
+    order = sorted(range(count), key=lambda i: tuple(chains[i]))
+
+    marginal: List[int] = []
+    for position, index in enumerate(order):
+        if position == 0:
+            marginal.append(len(chains[index]))
+        else:
+            previous = chains[order[position - 1]]
+            shared = common_prefix_length(chains[index], previous)
+            marginal.append(max(1, len(chains[index]) - shared) if shared < len(chains[index]) else 0)
+    total = sum(marginal) or 1
+    target = total / num_shards
+
+    shards: List[List[int]] = []
+    current: List[int] = []
+    current_cost = 0.0
+    for position, index in enumerate(order):
+        # The first item of a shard pays its full simulation cost: the new
+        # worker has no checkpoint for the prefix the sort placed before it.
+        cost = len(chains[index]) if not current else marginal[position]
+        boundary_allowed = (
+            current
+            and len(shards) < num_shards - 1
+            and marginal[position] > 0  # never split content-identical items
+            and current_cost >= target
+        )
+        if boundary_allowed:
+            shards.append(current)
+            current = [index]
+            current_cost = float(len(chains[index]))
+        else:
+            current.append(index)
+            current_cost += cost
+    if current:
+        shards.append(current)
+    return shards
+
+
+# ----------------------------------------------------------------------------
+# Worker protocol payloads
+# ----------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EngineWorkerSpec:
+    """How to rebuild an engine inside a worker process.
+
+    ``engine_class`` is pickled by reference and ``kwargs`` must contain only
+    picklable values (noise models, devices and seeds all are).  ``cache_key``
+    is a stable digest of everything execution-relevant; the parent keys its
+    persistent pool on it, so e.g. toggling a noise-model flag retires the
+    now-stale workers and spawns fresh ones.
+    """
+
+    engine_class: type
+    kwargs: Dict[str, Any]
+    cache_key: str
+
+    def build(self):
+        return self.engine_class(**self.kwargs)
+
+
+@dataclass(frozen=True)
+class CacheRecord:
+    """One worker-produced cache entry, merged into the parent on return.
+
+    ``kind`` selects the destination cache (engine-specific: final states,
+    expectation values, transpilations); ``key`` is the content-hash cache
+    key and ``nbytes`` the byte footprint for budget-evicting stores.
+    """
+
+    kind: str
+    key: Any
+    value: Any
+    nbytes: int = 0
+
+    @property
+    def dedup_key(self) -> Tuple[str, Any]:
+        return (self.kind, self.key)
+
+
+@dataclass
+class ShardTask:
+    """One worker work unit: serialized content plus item assignments.
+
+    ``payloads`` holds each distinct circuit/schedule once (items are
+    deduplicated by content fingerprint before shipping); ``items`` maps each
+    original batch index to its payload slot, preserving duplicates without
+    re-serializing them.
+    """
+
+    kind: str
+    kwargs: Dict[str, Any]
+    payloads: List[Any]
+    items: List[Tuple[int, int]]  # (original batch index, payload slot)
+
+
+@dataclass
+class ShardOutcome:
+    """Everything a worker sends back for one shard."""
+
+    results: List[Tuple[int, Any]]
+    records: List[CacheRecord] = field(default_factory=list)
+    stats_delta: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------------
+# Worker-side execution (runs in the pool processes)
+# ----------------------------------------------------------------------------
+
+#: The per-process engine, built once by the pool initializer.
+_WORKER_ENGINE = None
+#: Cache-record keys this worker already shipped back (entries are exported
+#: at most once per worker lifetime; the parent keeps them from then on).
+_WORKER_EXPORTED: set = set()
+
+
+def _initialise_worker(spec: EngineWorkerSpec) -> None:
+    global _WORKER_ENGINE, _WORKER_EXPORTED
+    _WORKER_ENGINE = spec.build()
+    _WORKER_EXPORTED = set()
+
+
+def _stats_snapshot(engine) -> Dict[str, Dict[str, int]]:
+    """Raw counter values of every stats object the engine registers."""
+    return {
+        name: dataclasses.asdict(stats) for name, stats in engine._stats_registry().items()
+    }
+
+
+def _stats_delta(
+    after: Dict[str, Dict[str, int]], before: Dict[str, Dict[str, int]]
+) -> Dict[str, Dict[str, int]]:
+    delta: Dict[str, Dict[str, int]] = {}
+    for name, counters in after.items():
+        base = before.get(name, {})
+        changed = {
+            key: value - base.get(key, 0) for key, value in counters.items()
+            if value != base.get(key, 0)
+        }
+        if changed:
+            delta[name] = changed
+    return delta
+
+
+def _execute_shard(task: ShardTask) -> ShardOutcome:
+    """Run one shard on the process-local engine (the pool's task function)."""
+    engine = _WORKER_ENGINE
+    if engine is None:  # pragma: no cover - defensive; initializer always ran
+        raise EngineError("worker process was not initialised with an engine spec")
+    before = _stats_snapshot(engine)
+    results: List[Tuple[int, Any]] = []
+    records: List[CacheRecord] = []
+    # Content-identical "run" items within a shard reuse the first result
+    # instead of shipping one full pickled state per duplicate (expectation
+    # kinds already return the worker's cached object, which the pickle memo
+    # deduplicates for free).
+    run_memo: Dict[int, Any] = {}
+    for index, slot in task.items:
+        if task.kind == "run" and slot in run_memo:
+            results.append((index, engine._worker_duplicate(task.kind, run_memo[slot])))
+            continue
+        value, produced = engine._worker_execute(task.kind, task.payloads[slot], task.kwargs)
+        if task.kind == "run":
+            run_memo[slot] = value
+        results.append((index, value))
+        for record in produced:
+            key = record.dedup_key
+            if key in _WORKER_EXPORTED:
+                continue
+            _WORKER_EXPORTED.add(key)
+            records.append(record)
+    return ShardOutcome(
+        results=results,
+        records=records,
+        stats_delta=_stats_delta(_stats_snapshot(engine), before),
+    )
+
+
+# ----------------------------------------------------------------------------
+# Parent-side pool management and dispatch
+# ----------------------------------------------------------------------------
+
+def _shutdown_pool(executor: ProcessPoolExecutor) -> None:
+    executor.shutdown(wait=True)
+
+
+class ProcessPoolHandle:
+    """A persistent worker pool bound to one engine configuration.
+
+    Keeping the pool (and therefore the worker engines) alive across batch
+    calls is what makes the process tier pay off on sweep workloads: the
+    window tuner submits one batch per window sweep, and each worker's result
+    cache and prefix snapshots carry over from sweep to sweep exactly as the
+    parent's do on the serial path.
+    """
+
+    def __init__(self, spec: EngineWorkerSpec, workers: int):
+        self.key = (spec.cache_key, int(workers))
+        self.executor = ProcessPoolExecutor(
+            max_workers=int(workers),
+            initializer=_initialise_worker,
+            initargs=(spec,),
+        )
+        # Tie the worker processes' lifetime to this handle: engines hold the
+        # handle, and garbage collection (or an explicit engine.close()) joins
+        # the workers.  The finalizer must not reference the engine.
+        self._finalizer = weakref.finalize(self, _shutdown_pool, self.executor)
+
+    def shutdown(self) -> None:
+        if self._finalizer.detach() is not None:
+            _shutdown_pool(self.executor)
+
+
+def process_map(
+    engine,
+    spec: EngineWorkerSpec,
+    kind: str,
+    items: Sequence[Any],
+    kwargs: Dict[str, Any],
+    plan: ParallelismPlan,
+) -> List[Any]:
+    """Fan a batch out over the engine's process pool, order-stably.
+
+    Items the parent can already answer from its own caches are served
+    locally (no serialization); the rest are sharded by
+    :func:`plan_shards`, executed on the workers, and their cache records and
+    stats deltas are merged back before the ordered results return.
+    """
+    items = list(items)
+    chains: List[Sequence[str]] = [engine._shard_chain(kind, item) for item in items]
+    results: List[Any] = [None] * len(items)
+
+    pending: List[int] = []
+    for index, item in enumerate(items):
+        if engine._is_locally_cached(kind, item, kwargs, chains[index]):
+            results[index] = engine._serial_call(kind, item, kwargs)
+        else:
+            pending.append(index)
+    if not pending:
+        return results
+
+    shards = plan_shards([chains[i] for i in pending], plan.workers)
+    pool = engine._process_pool_executor(spec, plan.workers)
+    futures = []
+    for shard in shards:
+        payloads: List[Any] = []
+        slot_by_fingerprint: Dict[str, int] = {}
+        assignments: List[Tuple[int, int]] = []
+        for position in shard:
+            index = pending[position]
+            fingerprint = chains[index][-1]
+            slot = slot_by_fingerprint.get(fingerprint)
+            if slot is None:
+                slot = len(payloads)
+                slot_by_fingerprint[fingerprint] = slot
+                payloads.append(items[index])
+            assignments.append((index, slot))
+        futures.append(
+            pool.submit(_execute_shard, ShardTask(kind, dict(kwargs), payloads, assignments))
+        )
+    for future in futures:
+        outcome = future.result()
+        engine._absorb_records(outcome.records)
+        engine._absorb_stats(outcome.stats_delta)
+        for index, value in outcome.results:
+            results[index] = value
+    return results

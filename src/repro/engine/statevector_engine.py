@@ -23,11 +23,17 @@ from ..simulators.statevector import (
 )
 from .base import EngineResult, ExecutionEngine
 from .density_engine import _LRUCache
-from .fingerprint import circuit_fingerprint, observable_fingerprint
+from .fingerprint import circuit_fingerprint, circuit_hash_chain, observable_fingerprint
 
 
 class StatevectorEngine(ExecutionEngine):
-    """Cached, noise-free execution of logical circuits."""
+    """Cached, noise-free execution of logical circuits.
+
+    Implements the process-tier worker protocol: logical circuits ship to
+    worker processes whole (they pickle in a few hundred bytes), evolved
+    statevectors and memoised expectation values are merged back into the
+    parent's caches on return.
+    """
 
     name = "statevector"
 
@@ -38,6 +44,8 @@ class StatevectorEngine(ExecutionEngine):
         expectation_cache_entries: int = 4096,
     ):
         super().__init__(seed=seed)
+        self.state_cache_entries = int(state_cache_entries)
+        self.expectation_cache_entries = int(expectation_cache_entries)
         self._simulator = StatevectorSimulator()
         self._states = _LRUCache(state_cache_entries)
         self._expectations = _LRUCache(expectation_cache_entries)
@@ -85,6 +93,9 @@ class StatevectorEngine(ExecutionEngine):
         )
 
     def probabilities(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Exact computational-basis distribution of the full register
+        (measurement instructions are irrelevant here; compare
+        ``result.probabilities``, which marginalises onto classical bits)."""
         state, _, _ = self._state_for(circuit)
         return np.abs(state) ** 2
 
@@ -124,7 +135,71 @@ class StatevectorEngine(ExecutionEngine):
         return value
 
     # ------------------------------------------------------------------
+    # Process-tier worker protocol (see repro.engine.parallel)
+    # ------------------------------------------------------------------
+    def _process_spec(self):
+        from .parallel import EngineWorkerSpec
+
+        return EngineWorkerSpec(
+            engine_class=type(self),
+            kwargs={
+                "seed": self.seed,
+                "state_cache_entries": self.state_cache_entries,
+                "expectation_cache_entries": self.expectation_cache_entries,
+            },
+            cache_key=f"{self.name}:{self.seed}",
+        )
+
+    def _shard_chain(self, kind: str, circuit: QuantumCircuit) -> List[str]:
+        return circuit_hash_chain(circuit)
+
+    def _worker_execute(self, kind: str, item, kwargs):
+        from .parallel import CacheRecord
+
+        result = self._serial_call(kind, item, kwargs)
+        records = []
+        if kind == "run":
+            fingerprint = circuit_fingerprint(item)
+            with self._lock:
+                state = self._states.get(fingerprint)
+            if state is not None:
+                records.append(CacheRecord("state", fingerprint, state, int(state.nbytes)))
+        elif kind == "expectation":
+            bare = item.remove_final_measurements()
+            bare_fingerprint = circuit_fingerprint(bare)
+            key = (bare_fingerprint, observable_fingerprint(kwargs["observable"]))
+            with self._lock:
+                state = self._states.get(bare_fingerprint)
+                value = self._expectations.get(key)
+            if state is not None:
+                records.append(CacheRecord("state", bare_fingerprint, state, int(state.nbytes)))
+            if value is not None:
+                records.append(CacheRecord("expectation", key, value))
+        return result, records
+
+    def _is_locally_cached(self, kind: str, item, kwargs, chain) -> bool:
+        with self._lock:
+            if kind == "run":
+                return self._states.get(circuit_fingerprint(item)) is not None
+            if kind == "expectation":
+                bare = item.remove_final_measurements()
+                key = (circuit_fingerprint(bare), observable_fingerprint(kwargs["observable"]))
+                return self._expectations.get(key) is not None
+        return False
+
+    def _absorb_records(self, records) -> None:
+        with self._lock:
+            for record in records:
+                if record.kind == "state":
+                    state = np.asarray(record.value)
+                    state.flags.writeable = False
+                    self._states.put(record.key, state)
+                elif record.kind == "expectation":
+                    self._expectations.put(record.key, record.value)
+
+    # ------------------------------------------------------------------
     def clear_caches(self) -> None:
+        """Drop the cached statevectors and memoised expectation values."""
         with self._lock:
             self._states.clear()
             self._expectations.clear()

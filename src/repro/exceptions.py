@@ -24,6 +24,11 @@ class SimulationError(ReproError):
     """Raised when a simulator cannot execute the requested circuit."""
 
 
+class EngineError(ReproError):
+    """Raised when the execution-engine layer is misused (e.g. an unknown
+    ``parallelism`` mode or an uninitialised worker process)."""
+
+
 class NoiseModelError(SimulationError):
     """Raised when a noise model is inconsistent or incomplete."""
 

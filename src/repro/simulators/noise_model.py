@@ -102,8 +102,16 @@ class NoiseModel:
         return cached
 
     def invalidate_channel_cache(self) -> None:
-        """Drop memoised channels (call after mutating the device calibration)."""
+        """Drop memoised channels (call after mutating the device calibration).
+
+        Also drops the engine layer's memoised fingerprint of the device, so
+        result caches and process-pool workers keyed on the old calibration
+        miss instead of serving pre-mutation states.
+        """
         self._channel_cache.clear()
+        from ..engine.fingerprint import invalidate_device_fingerprint
+
+        invalidate_device_fingerprint(self.device)
 
     def _flag_key(self) -> Tuple:
         return (

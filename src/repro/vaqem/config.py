@@ -69,12 +69,28 @@ class VAQEMConfig:
     angle_tuning_iterations: int = 200
     #: Random seed for the whole flow.
     seed: int = 11
+    #: Execution tier for the tuner's batched sweeps: ``"serial"``,
+    #: ``"thread"`` or ``"process"`` (``None`` keeps the engine's serial
+    #: default).  The process tier scales the sweeps across cores while the
+    #: tuned energies stay bit-identical at ``shots=None`` — see
+    #: :mod:`repro.engine.parallel`.
+    parallelism: Optional[str] = None
+    #: Worker cap for the thread/process tiers (``None`` = one per core).
+    max_workers: Optional[int] = None
 
     def __post_init__(self):
         if self.dd_sequence not in DD_SEQUENCES:
             raise VAQEMError(f"unknown DD sequence '{self.dd_sequence}'")
         if not (self.tune_gate_scheduling or self.tune_dd):
             raise VAQEMError("at least one mitigation technique must be tuned")
+        if self.parallelism is not None:
+            from ..engine.parallel import PARALLELISM_MODES
+
+            if self.parallelism not in PARALLELISM_MODES:
+                raise VAQEMError(
+                    f"unknown parallelism mode '{self.parallelism}' "
+                    f"(expected one of {PARALLELISM_MODES})"
+                )
 
     def describe(self) -> str:
         parts = []

@@ -219,12 +219,22 @@ class VAQEMPipeline:
         This is the path the window tuner sweeps run through: the shared
         engine resolves duplicates from its result cache and simulates the
         remaining candidates from their deepest common-prefix snapshots.
+        ``config.parallelism`` / ``config.max_workers`` select the execution
+        tier each sweep fans out on — with ``"process"`` the candidates are
+        sharded across worker processes along their prefix-reuse chains and
+        the workers' results repopulate the shared engine's caches.
         """
         estimator = self._make_estimator(use_mem)
         hamiltonian = self.application.hamiltonian
 
         def batch_objective(schedules: Sequence[ScheduledCircuit]) -> List[float]:
-            return [r.value for r in estimator.estimate_batch(schedules, hamiltonian)]
+            results = estimator.estimate_batch(
+                schedules,
+                hamiltonian,
+                max_workers=self.config.max_workers,
+                parallelism=self.config.parallelism,
+            )
+            return [r.value for r in results]
 
         return batch_objective
 

@@ -113,6 +113,7 @@ class ExpectationEstimator:
         schedules: Sequence[ScheduledCircuit],
         hamiltonian: PauliSum,
         max_workers: Optional[int] = None,
+        parallelism: Optional[str] = None,
     ) -> List[ExpectationResult]:
         """Estimate ``<H>`` for many schedules through the engine's batch path.
 
@@ -120,14 +121,21 @@ class ExpectationEstimator:
         derived from content, so the output is order-stable and identical
         across repeated invocations.  With ``shots=None`` (exact mode) the
         values equal sequential :meth:`estimate` calls bit for bit.
-        """
-        def one(scheduled: ScheduledCircuit) -> ExpectationResult:
-            data = self.engine.expectation_full(
-                scheduled, hamiltonian, shots=self.shots, mitigator=self.mitigator
-            )
-            return self._to_result(data)
 
-        return self.engine._map_batch(one, schedules, max_workers)
+        ``parallelism="serial" | "thread" | "process"`` and ``max_workers``
+        select the engine's execution tier (see
+        :meth:`~repro.engine.base.ExecutionEngine.run_batch`); results are
+        identical across tiers.
+        """
+        data = self.engine.expectation_batch_full(
+            schedules,
+            hamiltonian,
+            shots=self.shots,
+            mitigator=self.mitigator,
+            max_workers=max_workers,
+            parallelism=parallelism,
+        )
+        return [self._to_result(item) for item in data]
 
     def _to_result(self, data: ExpectationData) -> ExpectationResult:
         return ExpectationResult(

@@ -105,6 +105,10 @@ class VQE:
         created here), so replaying a parameter trajectory twice — e.g. with
         and without MEM — only simulates each distinct circuit once.
         """
+        if noise_model is None and engine is not None:
+            # An injected engine brings its own noise model; building a fresh
+            # one here would fail the estimator's shared-model check below.
+            noise_model = engine.noise_model
         noise_model = noise_model or NoiseModel.from_device(device)
         engine = engine or NoisyDensityMatrixEngine(noise_model, seed=self.seed)
 
@@ -149,9 +153,24 @@ class VQE:
         result = self.optimizer.minimize(objective, point)
         return self._to_vqe_result(result, "noisy")
 
-    def evaluate_trajectory_ideal(self, parameter_history: Sequence[np.ndarray]) -> List[float]:
-        """Ideal objective along a parameter trajectory (Fig. 8 top panel)."""
-        return [self.ideal_objective(p) for p in parameter_history]
+    def evaluate_trajectory_ideal(
+        self,
+        parameter_history: Sequence[np.ndarray],
+        max_workers: Optional[int] = None,
+        parallelism: Optional[str] = None,
+    ) -> List[float]:
+        """Ideal objective along a parameter trajectory (Fig. 8 top panel).
+
+        The whole trajectory is submitted as one
+        :meth:`~repro.engine.base.ExecutionEngine.expectation_batch`;
+        ``parallelism`` / ``max_workers`` select the engine's execution tier.
+        Values equal per-point :meth:`ideal_objective` calls bit for bit.
+        """
+        circuits = [self.bind(p) for p in parameter_history]
+        values = self.engine.expectation_batch(
+            circuits, self.hamiltonian, max_workers=max_workers, parallelism=parallelism
+        )
+        return [float(v) for v in values]
 
     def evaluate_trajectory_noisy(
         self,
@@ -160,10 +179,42 @@ class VQE:
         noise_model: Optional[NoiseModel] = None,
         shots: Optional[int] = None,
         use_mem: bool = True,
+        max_workers: Optional[int] = None,
+        parallelism: Optional[str] = None,
     ) -> List[float]:
-        """Noisy objective along a parameter trajectory (Fig. 8 bottom panel)."""
-        objective = self.noisy_objective_factory(device, noise_model, shots, use_mem)
-        return [float(objective(p)) for p in parameter_history]
+        """Noisy objective along a parameter trajectory (Fig. 8 bottom panel).
+
+        Every point is transpiled for the device and the resulting schedules
+        are estimated as one batch on a shared
+        :class:`NoisyDensityMatrixEngine`, so repeated parameter vectors cost
+        one simulation and ``parallelism="process"`` spreads the trajectory
+        across cores.  With ``shots=None`` the values are bit-identical to
+        the historical per-point loop.
+        """
+        noise_model = noise_model or NoiseModel.from_device(device)
+        engine = NoisyDensityMatrixEngine(noise_model, seed=self.seed)
+        schedules = []
+        mitigator: Optional[MeasurementMitigator] = None
+        for parameters in parameter_history:
+            circuit = self.bind(parameters)
+            circuit.measure_all()
+            result = transpile(circuit, device)
+            schedules.append(result.scheduled)
+            if use_mem and mitigator is None:
+                # Identical for every point: the ansatz (and therefore the
+                # measured layout) does not change along a trajectory.
+                measured = result.scheduled.measured_positions()
+                ordered = [pos for pos, _ in sorted(measured, key=lambda pair: pair[1])]
+                mitigator = MeasurementMitigator.from_device(
+                    device, [result.scheduled.physical_qubit(pos) for pos in ordered]
+                )
+        estimator = ExpectationEstimator(
+            noise_model, shots=shots, mitigator=mitigator, seed=self.seed, engine=engine
+        )
+        results = estimator.estimate_batch(
+            schedules, self.hamiltonian, max_workers=max_workers, parallelism=parallelism
+        )
+        return [float(r.value) for r in results]
 
     @staticmethod
     def _to_vqe_result(result: OptimizationResult, mode: str) -> VQEResult:
