@@ -8,9 +8,10 @@ Each benchmark's underlying sweep runs with deliberately small parameters
 (one application, tiny tuning budgets) so the whole suite completes in well
 under a minute.  The driver measures per-benchmark wall-clock, collects the
 execution engine's cache/prefix-reuse counters from every pipeline run, and
-re-times the H2 window-tuner sweep through both the sequential (no cache, no
-prefix reuse) and the batched engine path, so future perf PRs have a
-machine-readable trajectory (``BENCH_engine.json``) to compare against.
+re-times the H2 window-tuner sweep through the sequential (no cache, no
+prefix reuse) path, the batched engine path on every execution tier, and the
+pipelined async-submission path, so future perf PRs have a machine-readable
+trajectory (``BENCH_engine.json``) to compare against.
 """
 
 from __future__ import annotations
@@ -71,11 +72,14 @@ _PARALLEL_WORKERS = 4
 def _h2_tuner_comparison():
     """Time the H2 window-tuner sweep across every execution tier.
 
-    Four legs tune from the same compiled schedule: the legacy *sequential*
-    path (no cache, no prefix reuse — what the pre-engine code did), then the
-    batched engine path in its *serial*, *thread* and *process* tiers.  With
-    ``shots=None`` the tuned energies of all legs must agree bit for bit (the
-    engine acceptance criterion); only wall-clock may differ.
+    Five legs tune from the same compiled schedule: the legacy *sequential*
+    path (no cache, no prefix reuse — what the pre-engine code did), the
+    batched engine path in its *serial*, *thread* and *process* tiers, and
+    the *pipelined* leg — asynchronous submission over the process tier,
+    where the tuner builds window N+1's candidates while window N's execute
+    (``docs/async.md``).  With ``shots=None`` the tuned energies of all legs
+    must agree bit for bit (the engine acceptance criterion); only wall-clock
+    may differ.
     """
     from repro.engine import NoisyDensityMatrixEngine
     from repro.simulators import NoiseModel
@@ -97,6 +101,8 @@ def _h2_tuner_comparison():
         # A fresh noise model per leg: otherwise the legs timed later would
         # inherit the first leg's warmed channel cache and bias the speedups.
         batched = leg != "sequential"
+        pipelined = leg == "pipelined"
+        tier = "process" if pipelined else leg
         noise_model = NoiseModel.from_device(device)
         engine = NoisyDensityMatrixEngine(
             noise_model,
@@ -118,11 +124,29 @@ def _h2_tuner_comparison():
                             ss,
                             application.hamiltonian,
                             max_workers=_PARALLEL_WORKERS,
-                            parallelism=leg,
+                            parallelism=tier,
                         )
                     ]
                 )
-                if batched
+                if batched and not pipelined
+                else None
+            ),
+            # The pipelined leg submits through the async layer: candidate
+            # generation for the next window overlaps execution of the
+            # current one on the same process tier (docs/async.md).
+            async_batch_objective=(
+                (
+                    lambda ss: [
+                        future.map(lambda r: r.value)
+                        for future in estimator.submit_batch(
+                            ss,
+                            application.hamiltonian,
+                            max_workers=_PARALLEL_WORKERS,
+                            parallelism=tier,
+                        )
+                    ]
+                )
+                if pipelined
                 else None
             ),
         )
@@ -136,11 +160,13 @@ def _h2_tuner_comparison():
     serial_s, serial, engine = tune("serial")
     thread_s, thread, _ = tune("thread")
     process_s, process, _ = tune("process")
+    pipelined_s, pipelined, _ = tune("pipelined")
     energies = {
         "sequential": sequential.tuned_value,
         "serial": serial.tuned_value,
         "thread": thread.tuned_value,
         "process": process.tuned_value,
+        "pipelined": pipelined.tuned_value,
     }
     return {
         "sequential_seconds": sequential_s,
@@ -157,7 +183,11 @@ def _h2_tuner_comparison():
             "serial_seconds": serial_s,
             "thread_seconds": thread_s,
             "process_seconds": process_s,
+            "pipelined_seconds": pipelined_s,
             "process_vs_thread_speedup": thread_s / process_s if process_s else float("inf"),
+            "pipelined_vs_process_speedup": (
+                process_s / pipelined_s if pipelined_s else float("inf")
+            ),
             "tuned_energies": energies,
         },
     }
@@ -204,8 +234,10 @@ def main() -> None:
             f"[run_all] h2 tuner tiers ({parallel['workers']} workers, "
             f"{parallel['cpu_count']} cores): serial {parallel['serial_seconds']:.2f}s, "
             f"thread {parallel['thread_seconds']:.2f}s, "
-            f"process {parallel['process_seconds']:.2f}s "
-            f"(process vs thread: {parallel['process_vs_thread_speedup']:.2f}x)"
+            f"process {parallel['process_seconds']:.2f}s, "
+            f"pipelined {parallel['pipelined_seconds']:.2f}s "
+            f"(process vs thread: {parallel['process_vs_thread_speedup']:.2f}x, "
+            f"pipelined vs process: {parallel['pipelined_vs_process_speedup']:.2f}x)"
         )
 
     payload = {

@@ -59,12 +59,14 @@ from .backends import (
 )
 from .simulators import DensityMatrix, NoiseModel, NoisySimulator, StatevectorSimulator
 from .engine import (
+    EngineFuture,
     EngineResult,
     EngineStats,
     ExecutionEngine,
     FakeDeviceEngine,
     NoisyDensityMatrixEngine,
     StatevectorEngine,
+    gather,
 )
 from .transpiler import ScheduledCircuit, TranspileResult, find_idle_windows, transpile
 from .mitigation import DDConfig, GSConfig, MeasurementMitigator, insert_dd_sequences, uniform_dd
@@ -102,7 +104,7 @@ __all__ = [
     "StatevectorSimulator", "NoisySimulator", "NoiseModel", "DensityMatrix",
     # engine
     "ExecutionEngine", "EngineResult", "EngineStats", "StatevectorEngine",
-    "NoisyDensityMatrixEngine", "FakeDeviceEngine",
+    "NoisyDensityMatrixEngine", "FakeDeviceEngine", "EngineFuture", "gather",
     # transpiler
     "transpile", "TranspileResult", "ScheduledCircuit", "find_idle_windows",
     # mitigation

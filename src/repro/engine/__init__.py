@@ -3,6 +3,7 @@
 from .base import EngineResult, EngineStats, ExecutionEngine, ExpectationData
 from .density_engine import NoisyDensityMatrixEngine, measure_pauli_sum
 from .fake_device_engine import FakeDeviceEngine
+from .futures import AsyncDispatcher, EngineFuture, gather
 from .fingerprint import (
     circuit_fingerprint,
     circuit_hash_chain,
@@ -29,6 +30,9 @@ __all__ = [
     "NoisyDensityMatrixEngine",
     "FakeDeviceEngine",
     "measure_pauli_sum",
+    "EngineFuture",
+    "AsyncDispatcher",
+    "gather",
     "circuit_fingerprint",
     "circuit_hash_chain",
     "schedule_fingerprint",

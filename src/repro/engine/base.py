@@ -21,6 +21,14 @@ shards the batch so prefix-reuse chains stay within one worker, and merges
 worker cache entries back into the parent.  Results are identical across all
 three modes for a seeded engine (see the seeding contract below).
 
+Every batch method also has an asynchronous counterpart — :meth:`submit`,
+:meth:`submit_batch`, :meth:`submit_expectation_batch` — returning ordered
+:class:`~repro.engine.futures.EngineFuture` handles instead of blocking.
+Submissions are drained FIFO by a persistent per-engine dispatcher that feeds
+the same tiers (pools are never torn down between batches), so async results
+are bit-identical to blocking calls; see :mod:`repro.engine.futures` and
+``docs/async.md``.
+
 Three concrete engines cover the reproduction's backends:
 
 * :class:`~repro.engine.statevector_engine.StatevectorEngine` — ideal,
@@ -65,6 +73,8 @@ served from the cache.  Passing ``shots=None`` requests the exact
 from __future__ import annotations
 
 import abc
+import threading
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -72,6 +82,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import EngineError
+from .futures import DEFAULT_MAX_PENDING, AsyncDispatcher, EngineFuture
 from .parallel import (
     CacheRecord,
     EngineWorkerSpec,
@@ -168,11 +179,25 @@ class ExecutionEngine(abc.ABC):
 
     name = "engine"
 
+    #: Backpressure bound for :meth:`submit_batch` and friends: the number of
+    #: submitted-but-not-yet-executing batches the dispatcher queues before
+    #: further ``submit*`` calls block (see ``docs/async.md``).  Assign on an
+    #: instance before its first submission to resize.
+    max_pending_batches: int = DEFAULT_MAX_PENDING
+
     def __init__(self, seed: Optional[int] = None):
         self.seed = seed
         self.stats = EngineStats()
         #: Persistent process-pool handle (created lazily by the process tier).
         self._pool_handle: Optional[ProcessPoolHandle] = None
+        #: Serializes pool-handle churn: the dispatcher thread and the calling
+        #: thread may both reach the process tier concurrently.
+        self._pool_lock = threading.Lock()
+        #: Persistent async dispatcher (created lazily by the first submit)
+        #: and the lock guarding its creation — two threads racing their
+        #: first submit must share one dispatcher or FIFO ordering breaks.
+        self._dispatcher: Optional[AsyncDispatcher] = None
+        self._dispatcher_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -204,9 +229,11 @@ class ExecutionEngine(abc.ABC):
 
         ``max_workers`` bounds the pool size (default: one per core).  With
         ``parallelism=None`` the historical behaviour applies: ``max_workers
-        > 1`` requests threads, anything else runs serially.  Because of the
-        content-derived seeding contract a seeded engine returns identical
-        results on every tier.
+        > 1`` requests threads, anything else runs serially — that implicit
+        tier selection is deprecated (it emits a ``DeprecationWarning``; pass
+        ``parallelism="thread"`` explicitly, see the migration notes in
+        ``docs/api.md``).  Because of the content-derived seeding contract a
+        seeded engine returns identical results on every tier.
         """
         return self._dispatch_batch("run", circuits, {}, max_workers, parallelism)
 
@@ -224,6 +251,75 @@ class ExecutionEngine(abc.ABC):
         """
         kwargs = {"observable": observable, "shots": shots}
         return self._dispatch_batch("expectation", circuits, kwargs, max_workers, parallelism)
+
+    # ------------------------------------------------------------------
+    # Asynchronous submission (see repro.engine.futures and docs/async.md)
+    # ------------------------------------------------------------------
+    def submit(self, circuit) -> EngineFuture:
+        """Asynchronously execute one circuit; resolves to an :class:`EngineResult`."""
+        return self.submit_batch([circuit])[0]
+
+    def submit_batch(
+        self,
+        circuits: Sequence,
+        max_workers: Optional[int] = None,
+        parallelism: Optional[str] = None,
+    ) -> List[EngineFuture]:
+        """Asynchronous :meth:`run_batch`: one future per circuit, in order.
+
+        The batch is queued on the engine's persistent dispatcher and executed
+        FIFO relative to other submissions, through exactly the tier the
+        ``parallelism`` / ``max_workers`` knobs resolve to; per the seeding
+        contract the resolved results are bit-identical to a blocking
+        :meth:`run_batch` call.  ``future.cancel()`` prunes an item whose
+        batch has not started; exceptions raised while executing the batch
+        re-raise from ``future.result()``.
+        """
+        return self._submit_job("run", circuits, {}, max_workers, parallelism)
+
+    def submit_expectation_batch(
+        self,
+        circuits: Sequence,
+        observable,
+        shots: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        parallelism: Optional[str] = None,
+    ) -> List[EngineFuture]:
+        """Asynchronous :meth:`expectation_batch`: futures resolving to floats."""
+        kwargs = {"observable": observable, "shots": shots}
+        return self._submit_job("expectation", circuits, kwargs, max_workers, parallelism)
+
+    def _submit_job(
+        self,
+        kind: str,
+        items: Sequence,
+        kwargs: Dict[str, Any],
+        max_workers: Optional[int],
+        parallelism: Optional[str],
+    ) -> List[EngineFuture]:
+        """Queue one batch on the (lazily created) dispatcher."""
+        return self._ensure_dispatcher().submit(
+            kind, list(items), kwargs, max_workers, parallelism
+        )
+
+    def _ensure_dispatcher(self) -> AsyncDispatcher:
+        """The engine's persistent dispatcher, (re)created after a close().
+
+        The dispatcher holds the engine weakly and a finalizer stops its
+        thread, so an abandoned engine is still collectable without an
+        explicit :meth:`close`.
+        """
+        with self._dispatcher_lock:
+            dispatcher = self._dispatcher
+            if dispatcher is None or dispatcher.closed:
+                dispatcher = AsyncDispatcher(
+                    self,
+                    max_pending=self.max_pending_batches,
+                    name=f"{self.name}-dispatcher",
+                )
+                weakref.finalize(self, AsyncDispatcher.shutdown, dispatcher, False)
+                self._dispatcher = dispatcher
+            return dispatcher
 
     # ------------------------------------------------------------------
     # Batch dispatch (serial / thread / process tiers)
@@ -342,25 +438,36 @@ class ExecutionEngine(abc.ABC):
         retires the stale pool — its worker engines were built from an
         outdated spec — and starts a fresh one.
         """
-        handle: Optional[ProcessPoolHandle] = getattr(self, "_pool_handle", None)
-        key = (spec.cache_key, int(workers))
-        if handle is None or handle.key != key:
-            if handle is not None:
-                handle.shutdown()
-            handle = ProcessPoolHandle(spec, workers)
-            self._pool_handle = handle
-        return handle.executor
+        with self._pool_lock:
+            handle: Optional[ProcessPoolHandle] = getattr(self, "_pool_handle", None)
+            key = (spec.cache_key, int(workers))
+            if handle is None or handle.key != key:
+                if handle is not None:
+                    handle.shutdown()
+                handle = ProcessPoolHandle(spec, workers)
+                self._pool_handle = handle
+            return handle.executor
 
     def close(self) -> None:
-        """Release pooled resources (joins any process-pool workers).
+        """Release pooled resources (drains the async dispatcher, joins any
+        process-pool workers).
 
-        Engines are usable again afterwards — the next process-tier batch
-        simply starts a fresh pool.  Garbage collection performs the same
-        cleanup, so calling this is optional but makes teardown prompt.
+        Already-submitted batches finish first, so pending futures resolve
+        rather than hang.  Engines are usable again afterwards — the next
+        submission starts a fresh dispatcher and the next process-tier batch
+        a fresh pool.  Garbage collection performs the same cleanup, so
+        calling this is optional but makes teardown prompt.
         """
-        handle: Optional[ProcessPoolHandle] = getattr(self, "_pool_handle", None)
+        with self._dispatcher_lock:
+            dispatcher = self._dispatcher
+            self._dispatcher = None
+        if dispatcher is not None:
+            dispatcher.shutdown(wait=True)
+        with self._pool_lock:
+            handle: Optional[ProcessPoolHandle] = getattr(self, "_pool_handle", None)
+            if handle is not None:
+                self._pool_handle = None
         if handle is not None:
-            self._pool_handle = None
             handle.shutdown()
 
     # ------------------------------------------------------------------

@@ -136,6 +136,7 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         expectation_cache_entries: int = 2048,
         snapshot_budget_bytes: int = 64 << 20,
         enable_prefix_reuse: bool = True,
+        expectations_only_ipc: bool = False,
     ):
         super().__init__(seed=seed)
         self.noise_model = noise_model
@@ -143,6 +144,13 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         self.result_cache_bytes = int(result_cache_bytes)
         self.expectation_cache_entries = int(expectation_cache_entries)
         self.snapshot_budget_bytes = int(snapshot_budget_bytes)
+        #: Process-tier IPC mode for expectation batches: with this set,
+        #: workers ship back only expectation records and keep the full
+        #: density-matrix states local, cutting per-item IPC from O(4^n)
+        #: to O(1) bytes on expectation-only sweeps.  The parent's result
+        #: cache then stays cold for those schedules (a later ``run`` of the
+        #: same schedule re-simulates); values are unchanged either way.
+        self.expectations_only_ipc = bool(expectations_only_ipc)
         self._simulator = NoisySimulator(noise_model)
         self._results = _ByteBudgetStore(result_cache_bytes)
         self._expectations = _LRUCache(expectation_cache_entries)
@@ -187,7 +195,9 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         interval = int(np.ceil(num_instructions * state_bytes / per_run_budget))
         return max(1, interval)
 
-    def _state_for(self, scheduled: ScheduledCircuit) -> Tuple[DensityMatrix, str, bool]:
+    def _state_for(
+        self, scheduled: ScheduledCircuit, prepared=None
+    ) -> Tuple[DensityMatrix, str, bool]:
         """The (cached) end-of-schedule density matrix and its fingerprint.
 
         The returned state is shared with the cache — treat it as read-only.
@@ -195,8 +205,12 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         runs outside the lock so thread fan-out overlaps real work.  Two
         threads racing on the same schedule would both simulate it and store
         bit-identical states, so correctness never depends on the race.
+
+        ``prepared`` optionally carries a precomputed ``(context, chain)``
+        pair so callers that already hashed the schedule (the expectation
+        cache-first path) skip the second preparation pass.
         """
-        context, chain = self._chain(scheduled)
+        context, chain = prepared if prepared is not None else self._chain(scheduled)
         fingerprint = chain[-1]
         with self._lock:
             self.stats.executions += 1
@@ -334,8 +348,16 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         mitigator=None,
         seed: Optional[int] = None,
     ) -> ExpectationData:
-        """``<observable>`` plus per-group diagnostics, content-cached."""
-        state, fingerprint, _ = self._state_for(scheduled)
+        """``<observable>`` plus per-group diagnostics, content-cached.
+
+        The expectation cache is consulted *before* the state is computed (the
+        cache key only needs the schedule's content fingerprint), so a cached
+        value never costs a simulation — even when the corresponding state was
+        evicted or, in the process tier's expectations-only IPC mode, never
+        shipped to this engine at all.
+        """
+        prepared = self._chain(scheduled)
+        fingerprint = prepared[1][-1]
         key = self._expectation_key(fingerprint, observable, shots, mitigator, seed)
         cacheable = self._expectation_cacheable(shots, seed)
         if cacheable:
@@ -349,6 +371,7 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         else:
             with self._lock:
                 self.stats.expectation_calls += 1
+        state, fingerprint, _ = self._state_for(scheduled, prepared=prepared)
         rng = None
         if shots is not None:
             rng = self._sampling_rng(seed, "expectation", *map(str, key[:4]))
@@ -397,6 +420,39 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         return self._dispatch_batch("expectation_full", circuits, kwargs, max_workers, parallelism)
 
     # ------------------------------------------------------------------
+    # Asynchronous submission (see repro.engine.futures)
+    # ------------------------------------------------------------------
+    def submit_expectation_batch(
+        self,
+        circuits: Sequence[ScheduledCircuit],
+        observable: PauliSum,
+        shots: Optional[int] = None,
+        mitigator=None,
+        max_workers: Optional[int] = None,
+        parallelism: Optional[str] = None,
+    ):
+        """Asynchronous :meth:`expectation_batch` (futures resolving to floats)."""
+        kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator}
+        return self._submit_job("expectation", circuits, kwargs, max_workers, parallelism)
+
+    def submit_expectation_batch_full(
+        self,
+        circuits: Sequence[ScheduledCircuit],
+        observable: PauliSum,
+        shots: Optional[int] = None,
+        mitigator=None,
+        max_workers: Optional[int] = None,
+        parallelism: Optional[str] = None,
+    ):
+        """Asynchronous :meth:`expectation_batch_full` (futures resolving to
+        :class:`~repro.engine.base.ExpectationData`); the path
+        :meth:`ExpectationEstimator.submit_batch
+        <repro.vqe.expectation.ExpectationEstimator.submit_batch>` and the
+        pipelined window tuner route through."""
+        kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator}
+        return self._submit_job("expectation_full", circuits, kwargs, max_workers, parallelism)
+
+    # ------------------------------------------------------------------
     # Process-tier worker protocol (see repro.engine.parallel)
     # ------------------------------------------------------------------
     def _serial_call(self, kind: str, item, kwargs):
@@ -424,10 +480,16 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
                 "expectation_cache_entries": self.expectation_cache_entries,
                 "snapshot_budget_bytes": self.snapshot_budget_bytes,
                 "enable_prefix_reuse": self.enable_prefix_reuse,
+                "expectations_only_ipc": self.expectations_only_ipc,
             },
             # The noise key already digests the device calibration and every
             # noise-model flag, so post-construction toggles retire the pool.
-            cache_key=f"{self.name}:{self._noise_key()}:{self.seed}:{self.enable_prefix_reuse}",
+            # The IPC mode is part of the key too: workers decide what they
+            # export, so a toggled parent needs freshly-configured workers.
+            cache_key=(
+                f"{self.name}:{self._noise_key()}:{self.seed}:"
+                f"{self.enable_prefix_reuse}:{self.expectations_only_ipc}"
+            ),
         )
 
     def _shard_chain(self, kind: str, scheduled: ScheduledCircuit) -> Sequence[str]:
@@ -441,16 +503,19 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         # (a distinct object from anything in `result`, so the parent's cache
         # entry is never aliased with what the caller receives).  Read the
         # store directly — a second `_state_for` would distort the stats
-        # delta with a synthetic cache hit.
+        # delta with a synthetic cache hit.  In expectations-only IPC mode the
+        # state stays worker-local for expectation kinds: the scalar record
+        # below is all the parent needs, and skipping the O(4^n) state ships
+        # is the whole point of the mode.
         fingerprint = self._chain(item)[1][-1]
-        with self._lock:
-            state = self._results.get(fingerprint)
         records = []
-        if state is not None:
-            records.append(CacheRecord("result", fingerprint, state, int(state.data.nbytes)))
-        if kind in ("expectation", "expectation_full") and self._expectation_cacheable(
-            kwargs["shots"], None
-        ):
+        expectation_kind = kind in ("expectation", "expectation_full")
+        if not (self.expectations_only_ipc and expectation_kind):
+            with self._lock:
+                state = self._results.get(fingerprint)
+            if state is not None:
+                records.append(CacheRecord("result", fingerprint, state, int(state.data.nbytes)))
+        if expectation_kind and self._expectation_cacheable(kwargs["shots"], None):
             key = self._expectation_key(
                 fingerprint, kwargs["observable"], kwargs["shots"], kwargs.get("mitigator"), None
             )

@@ -46,6 +46,7 @@ class FakeDeviceEngine(ExecutionEngine):
         physical_qubits: Optional[Sequence[int]] = None,
         scheduling_policy: str = "alap",
         transpile_cache_entries: int = 256,
+        expectations_only_ipc: bool = False,
     ):
         super().__init__(seed=seed)
         self.device = get_device(device) if isinstance(device, str) else device
@@ -54,7 +55,9 @@ class FakeDeviceEngine(ExecutionEngine):
         self.physical_qubits = list(physical_qubits) if physical_qubits is not None else None
         self.scheduling_policy = scheduling_policy
         self.transpile_cache_entries = int(transpile_cache_entries)
-        self._noisy = NoisyDensityMatrixEngine(self.noise_model, seed=seed)
+        self._noisy = NoisyDensityMatrixEngine(
+            self.noise_model, seed=seed, expectations_only_ipc=expectations_only_ipc
+        )
         self._transpiled = _LRUCache(transpile_cache_entries)
         self._lock = threading.RLock()
 
@@ -175,6 +178,22 @@ class FakeDeviceEngine(ExecutionEngine):
         kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator}
         return self._dispatch_batch("expectation", circuits, kwargs, max_workers, parallelism)
 
+    def submit_expectation_batch(
+        self,
+        circuits: Sequence[QuantumCircuit],
+        observable: PauliSum,
+        shots=_DEFAULT_SHOTS,
+        mitigator=None,
+        max_workers: Optional[int] = None,
+        parallelism: Optional[str] = None,
+    ):
+        """Asynchronous :meth:`expectation_batch`; the configured-``shots``
+        default applies exactly as on the blocking path."""
+        if shots is _DEFAULT_SHOTS:
+            shots = self.shots
+        kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator}
+        return self._submit_job("expectation", circuits, kwargs, max_workers, parallelism)
+
     # ------------------------------------------------------------------
     # Process-tier worker protocol (see repro.engine.parallel)
     # ------------------------------------------------------------------
@@ -195,6 +214,7 @@ class FakeDeviceEngine(ExecutionEngine):
             self.shots,
             tuple(self.physical_qubits or ()),
             self.scheduling_policy,
+            self._noisy.expectations_only_ipc,
         )
         return EngineWorkerSpec(
             engine_class=type(self),
@@ -206,6 +226,7 @@ class FakeDeviceEngine(ExecutionEngine):
                 "physical_qubits": self.physical_qubits,
                 "scheduling_policy": self.scheduling_policy,
                 "transpile_cache_entries": self.transpile_cache_entries,
+                "expectations_only_ipc": self._noisy.expectations_only_ipc,
             },
             cache_key=f"{self.name}:{self._noisy._noise_key()}:{context!r}",
         )
@@ -228,10 +249,13 @@ class FakeDeviceEngine(ExecutionEngine):
             return result, records
         records.append(CacheRecord("transpile", transpile_key, compiled))
         schedule_fp = self._schedule_fingerprint_of(compiled)
-        with self._noisy._lock:
-            state = self._noisy._results.get(schedule_fp)
-        if state is not None:
-            records.append(CacheRecord("result", schedule_fp, state, int(state.data.nbytes)))
+        # Expectations-only IPC (configured on the inner engine): keep the
+        # heavy state worker-local for expectation shards.
+        if not (self._noisy.expectations_only_ipc and kind == "expectation"):
+            with self._noisy._lock:
+                state = self._noisy._results.get(schedule_fp)
+            if state is not None:
+                records.append(CacheRecord("result", schedule_fp, state, int(state.data.nbytes)))
         if kind == "expectation" and self._noisy._expectation_cacheable(kwargs["shots"], None):
             key = self._noisy._expectation_key(
                 schedule_fp, kwargs["observable"], kwargs["shots"], kwargs.get("mitigator"), None

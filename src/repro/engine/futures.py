@@ -1,0 +1,426 @@
+"""Futures-returning asynchronous submission for the engine layer.
+
+Blocking batch calls (:meth:`~repro.engine.base.ExecutionEngine.run_batch`,
+:meth:`~repro.engine.base.ExecutionEngine.expectation_batch`) make the caller
+wait for the whole batch before it can do anything else — which is exactly
+wrong for sweep frontends like the window tuner, whose candidate *generation*
+could overlap with candidate *execution*.  This module provides the two
+pieces the asynchronous ``submit*`` API is built from:
+
+* :class:`EngineFuture` — an ordered handle to one in-flight result, wrapping
+  the result value, a raised exception, or cancellation;
+* :class:`AsyncDispatcher` — a persistent background dispatcher owned by each
+  engine.  Submissions enqueue FIFO; a single dispatcher thread drains the
+  queue and feeds each batch through the engine's existing blocking tier
+  dispatch (serial / thread / process), so the process pools, shard planning
+  and cache merge-back of :mod:`repro.engine.parallel` are reused unchanged
+  and worker pools are never torn down between batches.
+
+Determinism
+-----------
+Async submission changes *when* a batch executes, never *what* it computes:
+each dequeued batch runs through the same ``_dispatch_batch`` path a blocking
+call uses, and the content-derived seeding contract
+(:func:`repro.engine.fingerprint.derive_seed`) makes every sampled value a
+function of ``(engine seed, item content)`` rather than execution order.  A
+seeded engine therefore returns bit-identical results whether a batch is
+submitted asynchronously, blocked on, split across submissions, or
+interleaved with other batches.
+
+Cancellation and errors
+-----------------------
+``EngineFuture.cancel()`` succeeds only while the future's batch has not
+started executing (the dispatcher runs batches FIFO, so anything behind the
+currently-running batch is cancellable).  Cancelled items are pruned from
+their batch before dispatch — they cost nothing.  If executing a batch
+raises, the exception is stored on every unresolved future of that batch and
+re-raised by :meth:`EngineFuture.result`.
+
+Backpressure
+------------
+The dispatcher's submission queue is bounded (``max_pending`` batches, set by
+``engine.max_pending_batches``); ``submit*`` blocks once the queue is full.
+This caps the number of in-flight shards at roughly
+``(max_pending + 1) * max_workers`` and keeps a runaway producer from
+buffering an unbounded sweep in memory.  See ``docs/async.md``.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+import weakref
+from concurrent.futures import CancelledError
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..exceptions import EngineError
+
+__all__ = ["EngineFuture", "AsyncDispatcher", "CancelledError"]
+
+#: Default bound on queued (not yet executing) batches per engine.
+DEFAULT_MAX_PENDING = 8
+
+_PENDING = "pending"
+_RUNNING = "running"
+_CANCELLED = "cancelled"
+_DONE = "done"
+
+
+class EngineFuture:
+    """An ordered handle to one in-flight engine result.
+
+    Futures are created by the ``submit*`` methods and resolved by the
+    engine's dispatcher; user code only ever reads them.  The API mirrors
+    :class:`concurrent.futures.Future` (``result`` / ``exception`` /
+    ``cancel`` / ``done`` / ``add_done_callback``) plus :meth:`map` for
+    deriving transformed views, and cancellation raises the standard
+    :class:`concurrent.futures.CancelledError`.
+    """
+
+    def __init__(self, source: Optional["EngineFuture"] = None):
+        self._condition = threading.Condition()
+        self._state = _PENDING
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["EngineFuture"], None]] = []
+        #: Upstream future this one was :meth:`map`-derived from (cancelling a
+        #: derived future forwards to its source).
+        self._source = source
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    def cancelled(self) -> bool:
+        with self._condition:
+            return self._state == _CANCELLED
+
+    def running(self) -> bool:
+        with self._condition:
+            return self._state == _RUNNING
+
+    def done(self) -> bool:
+        """Whether the future is resolved (result, exception or cancelled)."""
+        with self._condition:
+            return self._state in (_CANCELLED, _DONE)
+
+    # ------------------------------------------------------------------
+    # Resolution (consumer side)
+    # ------------------------------------------------------------------
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """The resolved value; blocks until the batch lands.
+
+        Raises :class:`concurrent.futures.CancelledError` if the future was
+        cancelled, re-raises the batch's exception if execution failed, and
+        raises :class:`~repro.exceptions.EngineError` on timeout.
+        """
+        with self._condition:
+            self._wait_resolved(timeout)
+            if self._state == _CANCELLED:
+                raise CancelledError()
+            if self._exception is not None:
+                raise self._exception
+            return self._result
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The exception execution raised, ``None`` on success.
+
+        Like :meth:`result` this blocks until resolution and raises
+        :class:`~concurrent.futures.CancelledError` for cancelled futures.
+        """
+        with self._condition:
+            self._wait_resolved(timeout)
+            if self._state == _CANCELLED:
+                raise CancelledError()
+            return self._exception
+
+    def _wait_resolved(self, timeout: Optional[float]) -> None:
+        """Wait (under the condition) until the future leaves PENDING/RUNNING."""
+        if self._state in (_CANCELLED, _DONE):
+            return
+        if not self._condition.wait_for(
+            lambda: self._state in (_CANCELLED, _DONE), timeout
+        ):
+            raise EngineError(f"future was not resolved within {timeout} s")
+
+    def add_done_callback(self, callback: Callable[["EngineFuture"], None]) -> None:
+        """Run ``callback(self)`` when the future resolves (immediately if it
+        already has).  As with :class:`concurrent.futures.Future`, a raising
+        callback is logged and swallowed — it must never be able to kill the
+        dispatcher thread mid-batch."""
+        with self._condition:
+            if self._state not in (_CANCELLED, _DONE):
+                self._callbacks.append(callback)
+                return
+        self._run_callbacks([callback])
+
+    def map(self, transform: Callable[[Any], Any]) -> "EngineFuture":
+        """A derived future resolving to ``transform(result)``.
+
+        Exceptions and cancellation pass through unchanged; a ``transform``
+        that raises resolves the derived future with that exception.
+        Cancelling the derived future forwards to the source future.
+        """
+        derived = EngineFuture(source=self)
+
+        def _chain(resolved: "EngineFuture") -> None:
+            if resolved.cancelled():
+                derived._mark_cancelled()
+                return
+            if resolved._exception is not None:
+                derived._set_exception(resolved._exception)
+                return
+            try:
+                derived._set_result(transform(resolved._result))
+            except BaseException as error:  # noqa: BLE001 - stored, not swallowed
+                derived._set_exception(error)
+
+        self.add_done_callback(_chain)
+        return derived
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel(self) -> bool:
+        """Cancel the future if its batch has not started executing.
+
+        Returns ``True`` if the future is (now) cancelled, ``False`` once it
+        is running or resolved.  Cancelling a :meth:`map`-derived future
+        forwards to its source, so the underlying batch item is pruned too.
+        """
+        source = self._source
+        if source is not None:
+            return source.cancel()
+        return self._mark_cancelled()
+
+    def _mark_cancelled(self) -> bool:
+        with self._condition:
+            if self._state == _CANCELLED:
+                return True
+            if self._state != _PENDING:
+                return False
+            self._state = _CANCELLED
+            callbacks = self._drain_callbacks()
+            self._condition.notify_all()
+        self._run_callbacks(callbacks)
+        return True
+
+    # ------------------------------------------------------------------
+    # Resolution (dispatcher side)
+    # ------------------------------------------------------------------
+    def _set_running(self) -> bool:
+        """PENDING -> RUNNING; ``False`` if the future was cancelled first."""
+        with self._condition:
+            if self._state == _CANCELLED:
+                return False
+            self._state = _RUNNING
+            return True
+
+    def _set_result(self, value: Any) -> None:
+        with self._condition:
+            if self._state == _CANCELLED:
+                return
+            self._result = value
+            self._state = _DONE
+            callbacks = self._drain_callbacks()
+            self._condition.notify_all()
+        self._run_callbacks(callbacks)
+
+    def _set_exception(self, error: BaseException) -> None:
+        with self._condition:
+            if self._state == _CANCELLED:
+                return
+            self._exception = error
+            self._state = _DONE
+            callbacks = self._drain_callbacks()
+            self._condition.notify_all()
+        self._run_callbacks(callbacks)
+
+    def _drain_callbacks(self) -> List[Callable[["EngineFuture"], None]]:
+        callbacks, self._callbacks = self._callbacks, []
+        return callbacks
+
+    def _run_callbacks(self, callbacks: Sequence[Callable[["EngineFuture"], None]]) -> None:
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception:  # noqa: BLE001 - a callback must not kill the resolver
+                logging.getLogger(__name__).exception(
+                    "exception in EngineFuture done-callback %r", callback
+                )
+
+    def __repr__(self):
+        with self._condition:
+            state = self._state
+        return f"EngineFuture({state})"
+
+
+def gather(futures: Sequence[EngineFuture], timeout: Optional[float] = None) -> List[Any]:
+    """Resolve many futures in order (a convenience around ``result()``).
+
+    The per-future ``timeout`` applies to each resolution individually.
+    """
+    return [future.result(timeout) for future in futures]
+
+
+# ----------------------------------------------------------------------------
+# The per-engine dispatcher
+# ----------------------------------------------------------------------------
+
+class _Job:
+    """One submitted batch: items, their futures, and the tier knobs."""
+
+    __slots__ = ("kind", "items", "kwargs", "max_workers", "parallelism", "futures")
+
+    def __init__(
+        self,
+        kind: str,
+        items: Sequence[Any],
+        kwargs: Dict[str, Any],
+        max_workers: Optional[int],
+        parallelism: Optional[str],
+        futures: List[EngineFuture],
+    ):
+        self.kind = kind
+        self.items = list(items)
+        self.kwargs = kwargs
+        self.max_workers = max_workers
+        self.parallelism = parallelism
+        self.futures = futures
+
+
+_SHUTDOWN = object()
+
+
+class AsyncDispatcher:
+    """A persistent FIFO dispatcher feeding one engine's blocking tiers.
+
+    One daemon thread per engine drains a bounded queue of :class:`_Job`
+    batches and executes each through ``engine._dispatch_batch`` — the same
+    code path blocking calls use, so pools persist, shard planning stays
+    prefix-aware and cache merge-back works identically.  The engine is held
+    through a weak reference: abandoning an engine without calling ``close()``
+    lets it be collected, and a finalizer (installed by the engine) stops the
+    thread.
+    """
+
+    def __init__(
+        self,
+        engine,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        name: str = "engine-dispatcher",
+    ):
+        self._engine_ref = weakref.ref(engine)
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max(1, int(max_pending)))
+        self._closed = False
+        self._lock = threading.Lock()
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._thread.start()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        items: Sequence[Any],
+        kwargs: Dict[str, Any],
+        max_workers: Optional[int] = None,
+        parallelism: Optional[str] = None,
+    ) -> List[EngineFuture]:
+        """Enqueue one batch; returns one future per item, in item order.
+
+        Blocks while the queue holds ``max_pending`` batches (backpressure).
+        """
+        with self._lock:
+            if self._closed:
+                raise EngineError("cannot submit to a closed dispatcher")
+            futures = [EngineFuture() for _ in items]
+            job = _Job(kind, items, dict(kwargs), max_workers, parallelism, futures)
+        self._queue.put(job)
+        if self._closed:
+            # A shutdown raced this submit and the job may have landed behind
+            # the sentinel, where it would never execute.  Cancel the futures:
+            # ones the dispatcher did pick up are already RUNNING/DONE and
+            # ignore this; the rest resolve as cancelled instead of hanging.
+            for future in futures:
+                future._mark_cancelled()
+        return futures
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _SHUTDOWN:
+                break
+            self._run_job(job)
+            del job  # drop the engine/result references while idle
+
+    def _run_job(self, job: _Job) -> None:
+        # Prune items whose futures were cancelled before the batch started;
+        # everything else transitions to RUNNING and is no longer cancellable.
+        live = [index for index, future in enumerate(job.futures) if future._set_running()]
+        if not live:
+            return
+        engine = self._engine_ref()
+        if engine is None:
+            error = EngineError("the engine owning this future was garbage-collected")
+            for index in live:
+                job.futures[index]._set_exception(error)
+            return
+        try:
+            values = engine._dispatch_batch(
+                job.kind,
+                [job.items[index] for index in live],
+                job.kwargs,
+                job.max_workers,
+                job.parallelism,
+            )
+            if len(values) != len(live):  # pragma: no cover - engine contract
+                raise EngineError(
+                    f"batch kind {job.kind!r} returned {len(values)} values for "
+                    f"{len(live)} items"
+                )
+        except BaseException as error:  # noqa: BLE001 - propagated via futures
+            for index in live:
+                job.futures[index]._set_exception(error)
+            return
+        finally:
+            del engine
+        for index, value in zip(live, values):
+            job.futures[index]._set_result(value)
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the dispatcher after draining already-queued batches.
+
+        Safe to call multiple times and from finalizers; with ``wait`` the
+        calling thread joins the dispatcher thread.
+        """
+        with self._lock:
+            if self._closed:
+                if wait and self._thread.is_alive():
+                    self._thread.join()
+                return
+            self._closed = True
+        self._queue.put(_SHUTDOWN)
+        if wait:
+            self._thread.join()
+        # Cancel whatever is still queued so no future can hang: after a
+        # joined shutdown these are only batches a racing submit enqueued
+        # behind the sentinel; on the unjoined (finalizer) path this also
+        # cancels not-yet-started batches — their engine is gone anyway.  If
+        # the sentinel itself is drained first, it is put back so the
+        # dispatcher thread still observes its exit signal.
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if job is _SHUTDOWN:
+                self._queue.put(job)
+                break
+            for future in job.futures:
+                future._mark_cancelled()

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import warnings
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -83,13 +84,28 @@ def resolve_parallelism(
 
     Backwards compatibility: with ``parallelism=None`` the historical
     ``max_workers`` semantics apply — ``max_workers > 1`` requests the thread
-    pool, anything else runs serially.  An explicit mode uses ``max_workers``
-    as the worker count (default: one per core).  Degenerate requests
-    (single-item batches, one worker) collapse to the serial plan, which is
-    behaviourally identical and avoids pool overhead.
+    pool, anything else runs serially.  That implicit tier selection is
+    **deprecated** (it silently couples a sizing knob to a semantics knob);
+    it still works but emits a :class:`DeprecationWarning` — pass
+    ``parallelism="thread"`` explicitly instead (migration notes in
+    ``docs/api.md``).  An explicit mode uses ``max_workers`` as the worker
+    count (default: one per core).  Degenerate requests (single-item batches,
+    one worker) collapse to the serial plan, which is behaviourally identical
+    and avoids pool overhead.
     """
     if parallelism is None:
-        mode = "thread" if (max_workers is not None and max_workers > 1) else "serial"
+        if max_workers is not None and max_workers > 1:
+            warnings.warn(
+                "passing max_workers > 1 without parallelism= implicitly selects "
+                "the thread tier; this historical behaviour is deprecated — pass "
+                "parallelism='thread' (or 'process') explicitly.  See the "
+                "migration notes in docs/api.md.",
+                DeprecationWarning,
+                stacklevel=4,
+            )
+            mode = "thread"
+        else:
+            mode = "serial"
     elif parallelism in PARALLELISM_MODES:
         mode = parallelism
     else:

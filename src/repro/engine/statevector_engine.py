@@ -32,7 +32,10 @@ class StatevectorEngine(ExecutionEngine):
     Implements the process-tier worker protocol: logical circuits ship to
     worker processes whole (they pickle in a few hundred bytes), evolved
     statevectors and memoised expectation values are merged back into the
-    parent's caches on return.
+    parent's caches on return.  The asynchronous ``submit`` /
+    ``submit_batch`` / ``submit_expectation_batch`` API is inherited
+    unchanged from :class:`~repro.engine.base.ExecutionEngine` — exact
+    expectations need no per-call kwargs beyond the observable.
     """
 
     name = "statevector"

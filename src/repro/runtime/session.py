@@ -135,25 +135,52 @@ class RuntimeSession:
                 f"after {self.num_jobs} jobs ({self.num_circuits} circuits)"
             )
 
-    def submit(self, circuits: Sequence, max_workers: Optional[int] = None) -> List:
+    def submit(
+        self,
+        circuits: Sequence,
+        max_workers: Optional[int] = None,
+        parallelism: Optional[str] = None,
+    ) -> List:
         """Execute ``circuits`` through the session's engine, in charged jobs.
 
         The batch is split into jobs of at most
         ``constraints.max_circuits_per_job`` circuits (Runtime's 07/2021 job
-        limit); each job charges its own overhead.  Results come back in
+        limit); each job charges its own overhead and is queued on the
+        engine's asynchronous dispatcher as soon as it is charged — so later
+        jobs are accounted (and the 5-hour cap enforced) while earlier ones
+        still execute, like a real session's job queue.  Results come back in
         submission order, one :class:`~repro.engine.base.EngineResult` per
-        circuit, following the engine's seeding contract.
+        circuit, following the engine's seeding contract.  ``parallelism``
+        selects the engine tier each job fans out on (pass
+        ``parallelism="thread"`` explicitly rather than relying on the
+        deprecated ``max_workers``-implies-threads behaviour).
         """
         if self.engine is None:
             raise RuntimeSessionError("this session was opened without an execution engine")
         circuits = list(circuits)
-        results: List = []
+        futures: List = []
         job_size = max(1, int(self.constraints.max_circuits_per_job))
-        for start in range(0, len(circuits), job_size):
-            job = circuits[start : start + job_size]
-            self._charge_job(len(job))
-            results.extend(self.engine.run_batch(job, max_workers=max_workers))
-        return results
+        try:
+            for start in range(0, len(circuits), job_size):
+                job = circuits[start : start + job_size]
+                self._charge_job(len(job))
+                futures.extend(
+                    self.engine.submit_batch(job, max_workers=max_workers, parallelism=parallelism)
+                )
+        except Exception:
+            # A mid-loop failure (typically the 5-hour cap) must not leave
+            # already-queued jobs running unobserved: cancel what has not
+            # started and drain the rest before re-raising.
+            for future in futures:
+                future.cancel()
+            for future in futures:
+                if not future.cancelled():
+                    try:
+                        future.result()
+                    except Exception:  # noqa: BLE001 - the cap error wins
+                        pass
+            raise
+        return [future.result() for future in futures]
 
     # ------------------------------------------------------------------
     def run_program(self, optimizer: Optimizer, initial_point: Sequence[float]) -> OptimizationResult:

@@ -77,6 +77,12 @@ class VAQEMConfig:
     parallelism: Optional[str] = None
     #: Worker cap for the thread/process tiers (``None`` = one per core).
     max_workers: Optional[int] = None
+    #: Whether the window tuner pipelines its sweeps through the engine's
+    #: asynchronous ``submit`` API: window *N+1*'s candidate schedules are
+    #: built while window *N*'s execute (see ``docs/async.md``).  Tuned
+    #: energies are bit-identical either way; disable only to debug with a
+    #: strictly single-threaded execution order.
+    pipelined: bool = True
 
     def __post_init__(self):
         if self.dd_sequence not in DD_SEQUENCES:

@@ -238,6 +238,31 @@ class VAQEMPipeline:
 
         return batch_objective
 
+    def make_async_batch_objective(self, use_mem: Optional[bool] = None):
+        """A futures-returning objective ``[ScheduledCircuit] -> [EngineFuture]``.
+
+        This is what lets the window tuner *pipeline* its sweeps
+        (``config.pipelined``, the default): candidates are queued on the
+        shared engine's persistent dispatcher and execute — on whichever tier
+        ``config.parallelism`` selects — while the tuner builds the next
+        window's candidates.  Each future resolves to the candidate's energy;
+        per the engine seeding contract the values are bit-identical to the
+        blocking batch objective.
+        """
+        estimator = self._make_estimator(use_mem)
+        hamiltonian = self.application.hamiltonian
+
+        def async_batch_objective(schedules: Sequence[ScheduledCircuit]):
+            futures = estimator.submit_batch(
+                schedules,
+                hamiltonian,
+                max_workers=self.config.max_workers,
+                parallelism=self.config.parallelism,
+            )
+            return [future.map(lambda result: result.value) for future in futures]
+
+        return async_batch_objective
+
     # ------------------------------------------------------------------
     # Strategy evaluation
     # ------------------------------------------------------------------
@@ -289,6 +314,9 @@ class VAQEMPipeline:
             dd_sequence=sequence,
             budget=self.config.budget,
             batch_objective=self.make_batch_objective(use_mem=True),
+            async_batch_objective=(
+                self.make_async_batch_objective(use_mem=True) if self.config.pipelined else None
+            ),
         )
         return tuner.tune(scheduled, list(windows))
 

@@ -12,10 +12,26 @@ negligible (§VI-C).
 arbitrary objective callable (``ScheduledCircuit -> float``, lower is
 better), so it can minimise a VQE energy (the VAQEM use-case) or maximise a
 micro-benchmark fidelity (by passing the negated fidelity).
+
+Three evaluation protocols are supported, fastest last:
+
+* a scalar ``objective`` — one evaluation per candidate;
+* a ``batch_objective`` — each window sweep submitted as one blocking batch
+  (the execution-engine path, where candidates differing only inside the
+  swept window share the simulated prefix);
+* an ``async_batch_objective`` — a futures-returning submitter
+  (``[ScheduledCircuit] -> [EngineFuture]``, see
+  :mod:`repro.engine.futures`).  :meth:`IndependentWindowTuner.tune` then
+  *pipelines* the sweeps: while window *N*'s candidates execute on the
+  engine's dispatcher, the tuner builds and submits window *N+1*'s
+  candidates, so candidate generation overlaps execution and process-tier
+  workers never sit idle between sweeps.  The engine seeding contract keeps
+  the tuned result bit-identical to the blocking protocols.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -35,6 +51,9 @@ from .config import TuningBudget, WindowConfiguration
 
 Objective = Callable[[ScheduledCircuit], float]
 BatchObjective = Callable[[Sequence[ScheduledCircuit]], Sequence[float]]
+#: Futures-returning submitter: each future resolves to the candidate's
+#: objective value (an ``EngineFuture`` or anything with ``.result()``).
+AsyncBatchObjective = Callable[[Sequence[ScheduledCircuit]], Sequence]
 
 
 @dataclass
@@ -78,6 +97,97 @@ class TuningResult:
         }
 
 
+class _PipelinedWindowSweep:
+    """In-flight tuning state of one window on the pipelined path.
+
+    A window sweep has two phases with a data dependency between them: the
+    gate-scheduling (GS) candidates are independent of everything, but the DD
+    candidates are built *on top of the best GS position*, so they can only
+    be generated once the GS futures resolved.  This object walks one window
+    through ``submit GS -> resolve GS -> submit DD -> resolve DD`` while the
+    driver keeps other windows' phases in flight around it.  The candidate
+    sets and their recording order are exactly those of the blocking
+    :meth:`IndependentWindowTuner._tune_window`, which (with the engine
+    seeding contract) makes the pipelined result bit-identical.
+    """
+
+    def __init__(
+        self,
+        tuner: "IndependentWindowTuner",
+        scheduled: ScheduledCircuit,
+        window: IdleWindow,
+        baseline_value: float,
+    ):
+        self.tuner = tuner
+        self.scheduled = scheduled
+        self.window = window
+        self.record = WindowSweepRecord(window=window)
+        self.record.record(WindowConfiguration(window.index), baseline_value)
+        self._pending: List[Tuple[WindowConfiguration, object]] = []
+        self._dd_submitted = False
+
+    def submit_first(self) -> None:
+        """Build and submit the window's first phase.
+
+        Normally that is the GS sweep; when GS tuning is off (or the window
+        has no movable gate) the DD candidates have no dependency to wait
+        for, so they are submitted eagerly — a DD-only tuner pipelines
+        exactly as well as a combined one.
+        """
+        tuner = self.tuner
+        if tuner.tune_gate_scheduling and movable_gate(self.scheduled, self.window) is not None:
+            configs = [GSConfig(position=position) for position in tuner._gs_candidates()]
+            schedules = [reschedule_gate(self.scheduled, self.window, c) for c in configs]
+            futures = tuner._submit_candidates(schedules)
+            self._pending = [
+                (WindowConfiguration(self.window.index, gs=config), future)
+                for config, future in zip(configs, futures)
+            ]
+        else:
+            self._dd_submitted = True
+            self._submit_dd(None)
+
+    def resolve_next(self) -> bool:
+        """Resolve the in-flight phase; returns ``True`` once the window is done.
+
+        Resolving the GS phase submits the DD phase (whose candidates depend
+        on the GS winner), so a ``False`` return means freshly-queued work.
+        """
+        for candidate, future in self._pending:
+            self.record.record(candidate, float(future.result()))
+        self._pending = []
+        if not self._dd_submitted:
+            self._dd_submitted = True
+            best_gs: Optional[GSConfig] = None
+            if self.record.best is not None and self.record.best.gs is not None:
+                best_gs = self.record.best.gs
+            self._submit_dd(best_gs)
+            return not self._pending
+        return True
+
+    def _submit_dd(self, best_gs: Optional[GSConfig]) -> None:
+        tuner = self.tuner
+        if not tuner.tune_dd:
+            return
+        bases = [(None, self.scheduled)]
+        if best_gs is not None:
+            bases.append((best_gs, reschedule_gate(self.scheduled, self.window, best_gs)))
+        candidates: List[WindowConfiguration] = []
+        schedules: List[ScheduledCircuit] = []
+        for gs_config, base_schedule in bases:
+            for count in tuner._dd_candidates(self.window, self.scheduled):
+                if count == 0:
+                    continue  # baseline already recorded
+                dd_config = DDConfig(tuner.dd_sequence, count)
+                candidates.append(
+                    WindowConfiguration(self.window.index, dd=dd_config, gs=gs_config)
+                )
+                schedules.append(insert_dd_sequences(base_schedule, self.window, dd_config))
+        if candidates:
+            futures = tuner._submit_candidates(schedules)
+            self._pending = list(zip(candidates, futures))
+
+
 class IndependentWindowTuner:
     """Tunes DD and/or GS per idle window against a scalar objective."""
 
@@ -89,9 +199,13 @@ class IndependentWindowTuner:
         dd_sequence: str = "xy4",
         budget: Optional[TuningBudget] = None,
         batch_objective: Optional[BatchObjective] = None,
+        async_batch_objective: Optional[AsyncBatchObjective] = None,
+        pipeline_depth: int = 2,
     ):
         if not (tune_gate_scheduling or tune_dd):
             raise VAQEMError("enable at least one of gate scheduling / DD tuning")
+        if pipeline_depth < 1:
+            raise VAQEMError("pipeline_depth must be at least 1")
         self.objective = objective
         self.tune_gate_scheduling = tune_gate_scheduling
         self.tune_dd = tune_dd
@@ -102,6 +216,16 @@ class IndependentWindowTuner:
         #: execution-engine path, where candidates that only differ inside the
         #: swept window share the simulated prefix up to that window's start.
         self.batch_objective = batch_objective
+        #: Optional futures-returning submitter.  When set it takes precedence
+        #: over ``batch_objective`` and :meth:`tune` pipelines the window
+        #: sweeps: window *N+1*'s candidates are built and submitted while
+        #: window *N*'s execute (see the module docstring).
+        self.async_batch_objective = async_batch_objective
+        #: How many windows may have candidate batches in flight at once on
+        #: the pipelined path.  Depth 1 degenerates to the blocking schedule;
+        #: the default keeps one window ahead, which already hides candidate
+        #: generation entirely.  Deeper pipelines only add queue memory.
+        self.pipeline_depth = int(pipeline_depth)
         self._evaluations = 0
 
     # ------------------------------------------------------------------
@@ -122,14 +246,29 @@ class IndependentWindowTuner:
             return values
         return [float(self.objective(scheduled)) for scheduled in schedules]
 
+    def _submit_candidates(self, schedules: Sequence[ScheduledCircuit]) -> List:
+        """Submit a sweep's candidates through the async protocol, counting
+        each submission as one evaluation (futures always resolve or raise)."""
+        schedules = list(schedules)
+        if not schedules:
+            return []
+        self._evaluations += len(schedules)
+        futures = list(self.async_batch_objective(schedules))
+        if len(futures) != len(schedules):
+            raise VAQEMError("async batch objective returned a mismatched number of futures")
+        return futures
+
     def _evaluate_one(self, scheduled: ScheduledCircuit) -> float:
         """One evaluation through whichever protocol the tuner is using.
 
-        With a batch objective set, *every* value the tuner compares —
-        baseline, sweep candidates and greedy re-validations — goes through
-        the batched path, so under finite shots all values are sampled under
-        the same (content-seeded) protocol and comparisons stay consistent.
+        With a batch (or async batch) objective set, *every* value the tuner
+        compares — baseline, sweep candidates and greedy re-validations —
+        goes through that path, so under finite shots all values are sampled
+        under the same (content-seeded) protocol and comparisons stay
+        consistent.
         """
+        if self.async_batch_objective is not None:
+            return float(self._submit_candidates([scheduled])[0].result())
         if self.batch_objective is not None:
             return self._evaluate_batch([scheduled])[0]
         return self._evaluate(scheduled)
@@ -223,9 +362,13 @@ class IndependentWindowTuner:
         """
         self._evaluations = 0
         baseline_value = self._evaluate_one(scheduled)
-        records: List[WindowSweepRecord] = []
-        for window in self._select_windows(windows):
-            records.append(self._tune_window(scheduled, window, baseline_value))
+        selected = self._select_windows(windows)
+        if self.async_batch_objective is not None:
+            records = self._tune_windows_pipelined(scheduled, selected, baseline_value)
+        else:
+            records = [
+                self._tune_window(scheduled, window, baseline_value) for window in selected
+            ]
 
         improving = [
             r
@@ -253,6 +396,38 @@ class IndependentWindowTuner:
             window_records=records,
             num_evaluations=self._evaluations,
         )
+
+    # ------------------------------------------------------------------
+    def _tune_windows_pipelined(
+        self,
+        scheduled: ScheduledCircuit,
+        windows: Sequence[IdleWindow],
+        baseline_value: float,
+    ) -> List[WindowSweepRecord]:
+        """Producer/consumer sweep over the selected windows.
+
+        Up to :attr:`pipeline_depth` windows have candidate batches queued on
+        the async submitter at once: while the engine's dispatcher executes
+        the front window's batch, this thread builds (reschedules, inserts DD
+        into) and submits the following windows' candidates.  Windows resolve
+        FIFO, so the returned records are ordered exactly as the blocking
+        loop's — and per the seeding contract they are value-identical too.
+        """
+        remaining = deque(windows)
+        in_flight: "deque[_PipelinedWindowSweep]" = deque()
+        records: List[WindowSweepRecord] = []
+        while remaining or in_flight:
+            while remaining and len(in_flight) < self.pipeline_depth:
+                sweep = _PipelinedWindowSweep(self, scheduled, remaining.popleft(), baseline_value)
+                sweep.submit_first()
+                in_flight.append(sweep)
+            sweep = in_flight[0]
+            if sweep.resolve_next():
+                records.append(sweep.record)
+                in_flight.popleft()
+            # A False resolve_next() just queued the window's DD batch; loop
+            # around so the pipeline tops up behind it before blocking again.
+        return records
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..engine.base import ExpectationData
 from ..engine.density_engine import NoisyDensityMatrixEngine, measure_pauli_sum
+from ..engine.futures import EngineFuture
 from ..exceptions import VQEError
 from ..mitigation.mem import MeasurementMitigator
 from ..operators.pauli import PauliSum
@@ -136,6 +137,32 @@ class ExpectationEstimator:
             parallelism=parallelism,
         )
         return [self._to_result(item) for item in data]
+
+    def submit_batch(
+        self,
+        schedules: Sequence[ScheduledCircuit],
+        hamiltonian: PauliSum,
+        max_workers: Optional[int] = None,
+        parallelism: Optional[str] = None,
+    ) -> List["EngineFuture"]:
+        """Asynchronous :meth:`estimate_batch`: one future per schedule.
+
+        The futures resolve to :class:`ExpectationResult` objects and are
+        ordered like the input.  Execution goes through the engine's
+        persistent dispatcher (see ``docs/async.md``), so the resolved values
+        are bit-identical to a blocking :meth:`estimate_batch` call on any
+        tier; the caller can keep building further schedules while these
+        execute — the pipelined window tuner does exactly that.
+        """
+        futures = self.engine.submit_expectation_batch_full(
+            schedules,
+            hamiltonian,
+            shots=self.shots,
+            mitigator=self.mitigator,
+            max_workers=max_workers,
+            parallelism=parallelism,
+        )
+        return [future.map(self._to_result) for future in futures]
 
     def _to_result(self, data: ExpectationData) -> ExpectationResult:
         return ExpectationResult(

@@ -137,7 +137,9 @@ class TestDensityEngineParity:
         engine = NoisyDensityMatrixEngine(device_noise, seed=1)
         forward = engine.run_batch(schedules)
         reverse_engine = NoisyDensityMatrixEngine(device_noise, seed=1)
-        reversed_results = reverse_engine.run_batch(list(reversed(schedules)), max_workers=4)[::-1]
+        reversed_results = reverse_engine.run_batch(
+            list(reversed(schedules)), max_workers=4, parallelism="thread"
+        )[::-1]
         for a, b in zip(forward, reversed_results):
             assert np.array_equal(a.state.data, b.state.data)
 

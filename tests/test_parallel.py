@@ -87,7 +87,10 @@ class TestResolveParallelism:
     def test_legacy_max_workers_semantics(self):
         assert resolve_parallelism(None, None, 8) == ParallelismPlan("serial", 1)
         assert resolve_parallelism(None, 1, 8) == ParallelismPlan("serial", 1)
-        assert resolve_parallelism(None, 4, 8) == ParallelismPlan("thread", 4)
+        # The implied-threads path still works but is deprecated: callers
+        # should pass parallelism="thread" explicitly (docs/api.md).
+        with pytest.deprecated_call():
+            assert resolve_parallelism(None, 4, 8) == ParallelismPlan("thread", 4)
 
     def test_explicit_modes(self):
         assert resolve_parallelism("serial", 16, 8).mode == "serial"

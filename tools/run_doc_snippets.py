@@ -1,0 +1,112 @@
+"""Execute every fenced ``python`` snippet in the given markdown files.
+
+Usage::
+
+    PYTHONPATH=src python tools/run_doc_snippets.py [FILE.md ...]
+
+Without arguments, checks ``README.md`` and every ``docs/*.md``.  All
+snippets of one file run cumulatively in a single namespace (so a reference
+block can use names an earlier example imported), each file starts fresh.
+Snippets are compiled with their markdown path and line number as the
+filename, so a failing snippet's traceback points into the document.
+
+A fence opened with ```` ```python no-run ```` is extracted but not executed
+(for illustrating APIs that need resources the CI container lacks); plain
+```` ``` ```` fences and other languages are ignored entirely.
+
+This is the CI guard that keeps the docs subsystem from rotting: a renamed
+method or changed signature fails the snippet run the same way it would fail
+a user.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import traceback
+from pathlib import Path
+from typing import List, NamedTuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class Snippet(NamedTuple):
+    path: Path
+    line: int  # 1-based line of the snippet's first code line
+    code: str
+    runnable: bool
+
+
+def extract_snippets(path: Path) -> List[Snippet]:
+    """All fenced code blocks of ``path`` whose info string starts ``python``."""
+    snippets: List[Snippet] = []
+    fence: str = ""
+    info: str = ""
+    start = 0
+    lines: List[str] = []
+    for number, raw in enumerate(path.read_text().splitlines(), start=1):
+        stripped = raw.strip()
+        if not fence:
+            if stripped.startswith("```"):
+                fence = "```"
+                info = stripped[3:].strip().lower()
+                start = number + 1
+                lines = []
+            continue
+        if stripped.startswith("```"):
+            if info.split() and info.split()[0] == "python":
+                runnable = "no-run" not in info.split()
+                snippets.append(Snippet(path, start, "\n".join(lines), runnable))
+            fence = ""
+            continue
+        lines.append(raw)
+    return snippets
+
+
+def run_file(path: Path) -> int:
+    """Execute one file's snippets in a shared namespace; returns #failures."""
+    snippets = extract_snippets(path)
+    namespace: dict = {"__name__": f"doc_snippets:{path.name}"}
+    executed = 0
+    for snippet in snippets:
+        if not snippet.runnable:
+            print(f"[doc-snippets] {path}:{snippet.line} skipped (no-run)")
+            continue
+        location = f"{path}:{snippet.line}"
+        try:
+            code = compile(snippet.code, location, "exec")
+            exec(code, namespace)  # noqa: S102 - executing our own docs is the point
+        except Exception:
+            print(f"[doc-snippets] FAILED {location}")
+            traceback.print_exc()
+            return 1
+        executed += 1
+    print(f"[doc-snippets] {path}: {executed} snippet(s) ok, "
+          f"{len(snippets) - executed} skipped")
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="markdown files to check (default: README.md and docs/*.md)",
+    )
+    args = parser.parse_args(argv)
+    files = args.files or [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    failures = 0
+    for path in files:
+        if not path.exists():
+            print(f"[doc-snippets] missing file: {path}")
+            failures += 1
+            continue
+        failures += run_file(path)
+    if failures:
+        print(f"[doc-snippets] {failures} file(s) failed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
