@@ -7,11 +7,14 @@ Usage::
 Each benchmark's underlying sweep runs with deliberately small parameters
 (one application, tiny tuning budgets) so the whole suite completes in well
 under a minute.  The driver measures per-benchmark wall-clock, collects the
-execution engine's cache/prefix-reuse counters from every pipeline run, and
+execution engine's cache/prefix-reuse counters from every pipeline run,
 re-times the H2 window-tuner sweep through the sequential (no cache, no
 prefix reuse) path, the batched engine path on every execution tier, and the
-pipelined async-submission path, so future perf PRs have a machine-readable
-trajectory (``BENCH_engine.json``) to compare against.
+pipelined async-submission path, and times two concurrent estimator
+frontends sharing one engine through the slot scheduler against a serial
+FIFO drain, so future perf PRs have a machine-readable trajectory
+(``BENCH_engine.json``) to compare against.  ``docs/benchmarks.md`` explains
+every leg.
 """
 
 from __future__ import annotations
@@ -193,6 +196,135 @@ def _h2_tuner_comparison():
     }
 
 
+def _concurrent_frontends_leg():
+    """Two estimators sharing one engine: slot scheduler vs serial FIFO drain.
+
+    Each frontend owns a *disjoint* family of H2 schedules (different bound
+    parameters, so no shared simulated prefix across frontends) and submits
+    it in several thread-tier batches from its own thread.  The ``serial_fifo``
+    configuration pins the engine's scheduler to one thread slot — the PR 3
+    dispatcher behaviour, batches drain one at a time — while ``concurrent``
+    uses the default slot table, letting the two frontends' independent
+    batches overlap (``docs/scheduler.md``).  Values must be bit-identical
+    between both configurations and a blocking serial reference; only
+    wall-clock may differ.  The overlap is a genuine parallel win from two
+    cores up — on a single-core host both configurations are bound by the
+    same total simulation work, which the recorded ``cpu_count`` makes
+    legible (``docs/benchmarks.md``).
+    """
+    import threading
+
+    from repro.engine import NoisyDensityMatrixEngine
+    from repro.mitigation import DDConfig, insert_dd_sequences
+    from repro.mitigation.gate_scheduling import GSConfig, reschedule_gate
+    from repro.simulators import NoiseModel
+    from repro.transpiler import transpile
+    from repro.vqe import ExpectationEstimator, get_application
+
+    application = get_application("UCCSD_H2")
+    device = application.device()
+    rng = np.random.default_rng(17)
+
+    def build_family():
+        """One frontend's workload: a base schedule plus sweep-style variants."""
+        circuit = application.ansatz.bind_parameters(
+            rng.uniform(-0.3, 0.3, application.num_parameters)
+        )
+        circuit.measure_all()
+        compiled = transpile(circuit, device)
+        schedules = [compiled.scheduled]
+        for window in compiled.idle_windows[:6]:
+            for position in (0.0, 0.33, 0.66):
+                schedules.append(
+                    reschedule_gate(compiled.scheduled, window, GSConfig(position))
+                )
+            try:
+                schedules.append(
+                    insert_dd_sequences(compiled.scheduled, window, DDConfig("xy4", 1))
+                )
+            except Exception:
+                pass
+        return schedules
+
+    families = [build_family(), build_family()]
+    batch_size = 4
+    batches = [
+        [family[start : start + batch_size] for start in range(0, len(family), batch_size)]
+        for family in families
+    ]
+
+    def run_leg(slots):
+        # A fresh noise model per leg, as in the tuner comparison: later legs
+        # must not inherit the first leg's warmed channel caches.
+        noise_model = NoiseModel.from_device(device)
+        engine = NoisyDensityMatrixEngine(noise_model, seed=11)
+        if slots is not None:
+            engine.scheduler_slots = slots
+        estimators = [
+            ExpectationEstimator(noise_model, seed=11, engine=engine) for _ in families
+        ]
+        values = {}
+        errors = []
+
+        def frontend(index):
+            try:
+                futures = []
+                for batch in batches[index]:
+                    futures.extend(
+                        estimators[index].submit_batch(
+                            batch,
+                            application.hamiltonian,
+                            max_workers=_PARALLEL_WORKERS,
+                            parallelism="thread",
+                        )
+                    )
+                values[index] = tuple(future.result().value for future in futures)
+            except Exception as error:  # pragma: no cover - surfaced via raise below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=frontend, args=(index,)) for index in range(len(families))
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        engine.close()
+        if errors:
+            raise errors[0]
+        return elapsed, tuple(values[index] for index in range(len(families)))
+
+    fifo_seconds, fifo_values = run_leg({"thread": 1, "process": 1})
+    concurrent_seconds, concurrent_values = run_leg(None)
+
+    # Blocking serial reference: the determinism bar for both configurations.
+    noise_model = NoiseModel.from_device(device)
+    reference_engine = NoisyDensityMatrixEngine(noise_model, seed=11)
+    reference_estimator = ExpectationEstimator(noise_model, seed=11, engine=reference_engine)
+    reference_values = tuple(
+        tuple(
+            r.value
+            for r in reference_estimator.estimate_batch(family, application.hamiltonian)
+        )
+        for family in families
+    )
+    reference_engine.close()
+
+    return {
+        "num_frontends": len(families),
+        "schedules_per_frontend": len(families[0]),
+        "batches_per_frontend": len(batches[0]),
+        "workers": _PARALLEL_WORKERS,
+        "cpu_count": os.cpu_count(),
+        "serial_fifo_seconds": fifo_seconds,
+        "concurrent_seconds": concurrent_seconds,
+        "speedup": fifo_seconds / concurrent_seconds if concurrent_seconds else float("inf"),
+        "values_exact_match": fifo_values == concurrent_values == reference_values,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -240,6 +372,26 @@ def main() -> None:
             f"pipelined vs process: {parallel['pipelined_vs_process_speedup']:.2f}x)"
         )
 
+    # The concurrent-frontends leg (docs/scheduler.md): guarded like the
+    # others so a scheduler regression still leaves the rest of the file.
+    concurrent = None
+    try:
+        concurrent = _concurrent_frontends_leg()
+    except Exception as error:
+        failures["h2_concurrent_frontends"] = f"{type(error).__name__}: {error}"
+        print(
+            f"[run_all] concurrent frontends FAILED ({failures['h2_concurrent_frontends']})"
+        )
+    if concurrent is not None:
+        print(
+            f"[run_all] concurrent frontends ({concurrent['num_frontends']} estimators, "
+            f"{concurrent['cpu_count']} cores): serial FIFO "
+            f"{concurrent['serial_fifo_seconds']:.2f}s, concurrent "
+            f"{concurrent['concurrent_seconds']:.2f}s "
+            f"({concurrent['speedup']:.2f}x, exact match: "
+            f"{concurrent['values_exact_match']})"
+        )
+
     payload = {
         "mode": "smoke" if vaqem_shared.smoke_mode() else "default",
         "python": platform.python_version(),
@@ -248,6 +400,7 @@ def main() -> None:
         "failures": failures,
         "pipeline_engine_stats": vaqem_shared.collected_engine_stats(),
         "h2_window_tuner": tuner,
+        "h2_concurrent_frontends": concurrent,
     }
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

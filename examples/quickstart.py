@@ -23,8 +23,9 @@ execution.
 
 The full design is documented in ``docs/architecture.md`` (layers, caching,
 prefix reuse, the multi-core worker protocol), ``docs/async.md`` (the
-futures-returning submission layer) and ``docs/api.md`` (the public engine
-API).
+futures-returning submission layer), ``docs/scheduler.md`` (the slot-based
+batch scheduler that overlaps independent frontends on a shared engine) and
+``docs/api.md`` (the public engine API).
 
 Run with::
 
@@ -94,8 +95,8 @@ def async_tour() -> None:
         circuit.measure_all()
         schedules.append(transpile(circuit, device).scheduled)
 
-    # Submit: the futures return immediately and the engine's dispatcher
-    # executes behind this thread (docs/async.md).
+    # Submit: the futures return immediately and the engine's batch
+    # scheduler executes behind this thread (docs/async.md).
     futures = estimator.submit_batch(schedules, application.hamiltonian)
 
     # ... overlap: any work here runs while the sweep executes ...
@@ -110,6 +111,16 @@ def async_tour() -> None:
     # Bit-identical to the blocking batch, per the engine seeding contract.
     blocking = [r.value for r in estimator.estimate_batch(schedules, application.hamiltonian)]
     print(f"  async == blocking: {energies == blocking}")
+
+    # Multi-tenant: a second estimator can share the same engine.  Each
+    # submits under its own identity, so the scheduler overlaps their
+    # independent batches on its per-tier slots and serves both fairly
+    # (docs/scheduler.md) — values stay bit-identical regardless.
+    second = ExpectationEstimator(noise_model, seed=7, engine=estimator.engine)
+    first_futures = estimator.submit_batch(schedules[:2], application.hamiltonian)
+    second_futures = second.submit_batch(schedules[2:], application.hamiltonian)
+    shared = [r.value for r in gather(first_futures + second_futures)]
+    print(f"  two frontends, one engine: {shared == blocking}")
     estimator.engine.close()
 
 

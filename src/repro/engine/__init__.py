@@ -3,7 +3,8 @@
 from .base import EngineResult, EngineStats, ExecutionEngine, ExpectationData
 from .density_engine import NoisyDensityMatrixEngine, measure_pauli_sum
 from .fake_device_engine import FakeDeviceEngine
-from .futures import AsyncDispatcher, EngineFuture, gather
+from .futures import EngineFuture, gather
+from .scheduler import BatchScheduler
 from .fingerprint import (
     circuit_fingerprint,
     circuit_hash_chain,
@@ -31,7 +32,7 @@ __all__ = [
     "FakeDeviceEngine",
     "measure_pauli_sum",
     "EngineFuture",
-    "AsyncDispatcher",
+    "BatchScheduler",
     "gather",
     "circuit_fingerprint",
     "circuit_hash_chain",

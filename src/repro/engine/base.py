@@ -24,9 +24,12 @@ three modes for a seeded engine (see the seeding contract below).
 Every batch method also has an asynchronous counterpart — :meth:`submit`,
 :meth:`submit_batch`, :meth:`submit_expectation_batch` — returning ordered
 :class:`~repro.engine.futures.EngineFuture` handles instead of blocking.
-Submissions are drained FIFO by a persistent per-engine dispatcher that feeds
-the same tiers (pools are never torn down between batches), so async results
-are bit-identical to blocking calls; see :mod:`repro.engine.futures` and
+Submissions land on a persistent per-engine slot scheduler
+(:mod:`repro.engine.scheduler`): independent batches from different
+frontends overlap up to per-tier slot limits, batches whose schedules share
+simulated prefixes serialize, submitters are served round-robin, and pools
+are never torn down between batches.  Per the seeding contract async results
+are bit-identical to blocking calls; see ``docs/scheduler.md`` and
 ``docs/async.md``.
 
 Three concrete engines cover the reproduction's backends:
@@ -77,20 +80,21 @@ import threading
 import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import EngineError
-from .futures import DEFAULT_MAX_PENDING, AsyncDispatcher, EngineFuture
+from .futures import DEFAULT_MAX_PENDING, EngineFuture
 from .parallel import (
     CacheRecord,
     EngineWorkerSpec,
     ParallelismPlan,
-    ProcessPoolHandle,
+    ProcessPoolRegistry,
     process_map,
     resolve_parallelism,
 )
+from .scheduler import DEFAULT_SLOTS, BatchScheduler
 
 
 @dataclass
@@ -180,24 +184,36 @@ class ExecutionEngine(abc.ABC):
     name = "engine"
 
     #: Backpressure bound for :meth:`submit_batch` and friends: the number of
-    #: submitted-but-not-yet-executing batches the dispatcher queues before
-    #: further ``submit*`` calls block (see ``docs/async.md``).  Assign on an
-    #: instance before its first submission to resize.
+    #: submitted-but-not-yet-executing batches the scheduler queues before
+    #: further ``submit*`` calls block (see ``docs/scheduler.md``).  Assign on
+    #: an instance before its first submission to resize.
     max_pending_batches: int = DEFAULT_MAX_PENDING
 
     def __init__(self, seed: Optional[int] = None):
         self.seed = seed
         self.stats = EngineStats()
-        #: Persistent process-pool handle (created lazily by the process tier).
-        self._pool_handle: Optional[ProcessPoolHandle] = None
-        #: Serializes pool-handle churn: the dispatcher thread and the calling
-        #: thread may both reach the process tier concurrently.
-        self._pool_lock = threading.Lock()
-        #: Persistent async dispatcher (created lazily by the first submit)
+        #: Concurrent-batch slots per execution tier for this engine's
+        #: scheduler (``{"serial": 1, "thread": 2, "process": 2}`` by
+        #: default; the serial tier is always pinned to one slot).  A private
+        #: copy per instance — reassign or mutate it before the first
+        #: submission to resize; see ``docs/scheduler.md``.
+        self.scheduler_slots: Dict[str, int] = dict(DEFAULT_SLOTS)
+        #: Persistent process pools, shared by concurrent batches (see
+        #: :class:`~repro.engine.parallel.ProcessPoolRegistry`).
+        self._pools = ProcessPoolRegistry()
+        #: Serializes stats merge-back: with the slot scheduler several
+        #: process-tier batches can complete (and fold worker counter deltas)
+        #: concurrently.
+        self._stats_lock = threading.Lock()
+        #: Persistent batch scheduler (created lazily by the first submit)
         #: and the lock guarding its creation — two threads racing their
-        #: first submit must share one dispatcher or FIFO ordering breaks.
-        self._dispatcher: Optional[AsyncDispatcher] = None
-        self._dispatcher_lock = threading.Lock()
+        #: first submit must share one scheduler or fairness accounting and
+        #: per-submitter ordering break.  One finalizer handle per engine:
+        #: recreating the scheduler after a close() replaces it rather than
+        #: accumulating finalizers that would pin dead schedulers.
+        self._scheduler: Optional[BatchScheduler] = None
+        self._scheduler_finalizer: Optional[weakref.finalize] = None
+        self._scheduler_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -227,12 +243,12 @@ class ExecutionEngine(abc.ABC):
           sharing a simulated prefix stay on one worker, and worker cache
           entries are merged back on return (:mod:`repro.engine.parallel`).
 
-        ``max_workers`` bounds the pool size (default: one per core).  With
-        ``parallelism=None`` the historical behaviour applies: ``max_workers
-        > 1`` requests threads, anything else runs serially — that implicit
-        tier selection is deprecated (it emits a ``DeprecationWarning``; pass
+        ``max_workers`` bounds the pool size (default: one per core).
+        ``parallelism=None`` runs serially; the historical implicit thread
+        tier (``max_workers > 1`` without ``parallelism=``) has been removed
+        and now raises :class:`~repro.exceptions.EngineError` — pass
         ``parallelism="thread"`` explicitly, see the migration notes in
-        ``docs/api.md``).  Because of the content-derived seeding contract a
+        ``docs/api.md``.  Because of the content-derived seeding contract a
         seeded engine returns identical results on every tier.
         """
         return self._dispatch_batch("run", circuits, {}, max_workers, parallelism)
@@ -253,7 +269,7 @@ class ExecutionEngine(abc.ABC):
         return self._dispatch_batch("expectation", circuits, kwargs, max_workers, parallelism)
 
     # ------------------------------------------------------------------
-    # Asynchronous submission (see repro.engine.futures and docs/async.md)
+    # Asynchronous submission (see repro.engine.scheduler, docs/scheduler.md)
     # ------------------------------------------------------------------
     def submit(self, circuit) -> EngineFuture:
         """Asynchronously execute one circuit; resolves to an :class:`EngineResult`."""
@@ -264,18 +280,29 @@ class ExecutionEngine(abc.ABC):
         circuits: Sequence,
         max_workers: Optional[int] = None,
         parallelism: Optional[str] = None,
+        submitter: Any = None,
+        priority: int = 0,
     ) -> List[EngineFuture]:
         """Asynchronous :meth:`run_batch`: one future per circuit, in order.
 
-        The batch is queued on the engine's persistent dispatcher and executed
-        FIFO relative to other submissions, through exactly the tier the
-        ``parallelism`` / ``max_workers`` knobs resolve to; per the seeding
+        The batch is queued on the engine's persistent slot scheduler and
+        executed through exactly the tier the ``parallelism`` /
+        ``max_workers`` knobs resolve to.  Batches from one ``submitter``
+        (default: the calling thread) execute FIFO among themselves;
+        independent batches from *different* submitters may overlap, up to
+        the per-tier limits in :attr:`scheduler_slots`, while batches whose
+        schedules share simulated prefixes serialize (see
+        ``docs/scheduler.md``).  ``priority`` (higher first) breaks ties
+        between runnable batches of different submitters.  Per the seeding
         contract the resolved results are bit-identical to a blocking
-        :meth:`run_batch` call.  ``future.cancel()`` prunes an item whose
-        batch has not started; exceptions raised while executing the batch
-        re-raise from ``future.result()``.
+        :meth:`run_batch` call no matter how batches overlap.
+        ``future.cancel()`` prunes an item whose batch has not started;
+        exceptions raised while executing the batch re-raise from
+        ``future.result()``.
         """
-        return self._submit_job("run", circuits, {}, max_workers, parallelism)
+        return self._submit_job(
+            "run", circuits, {}, max_workers, parallelism, submitter, priority
+        )
 
     def submit_expectation_batch(
         self,
@@ -284,10 +311,14 @@ class ExecutionEngine(abc.ABC):
         shots: Optional[int] = None,
         max_workers: Optional[int] = None,
         parallelism: Optional[str] = None,
+        submitter: Any = None,
+        priority: int = 0,
     ) -> List[EngineFuture]:
         """Asynchronous :meth:`expectation_batch`: futures resolving to floats."""
         kwargs = {"observable": observable, "shots": shots}
-        return self._submit_job("expectation", circuits, kwargs, max_workers, parallelism)
+        return self._submit_job(
+            "expectation", circuits, kwargs, max_workers, parallelism, submitter, priority
+        )
 
     def _submit_job(
         self,
@@ -296,30 +327,38 @@ class ExecutionEngine(abc.ABC):
         kwargs: Dict[str, Any],
         max_workers: Optional[int],
         parallelism: Optional[str],
+        submitter: Any = None,
+        priority: int = 0,
     ) -> List[EngineFuture]:
-        """Queue one batch on the (lazily created) dispatcher."""
-        return self._ensure_dispatcher().submit(
-            kind, list(items), kwargs, max_workers, parallelism
+        """Queue one batch on the (lazily created) scheduler."""
+        return self._ensure_scheduler().submit(
+            kind, list(items), kwargs, max_workers, parallelism,
+            submitter=submitter, priority=priority,
         )
 
-    def _ensure_dispatcher(self) -> AsyncDispatcher:
-        """The engine's persistent dispatcher, (re)created after a close().
+    def _ensure_scheduler(self) -> BatchScheduler:
+        """The engine's persistent scheduler, (re)created after a close().
 
-        The dispatcher holds the engine weakly and a finalizer stops its
-        thread, so an abandoned engine is still collectable without an
-        explicit :meth:`close`.
+        The scheduler holds the engine weakly and a finalizer cancels
+        whatever is still queued, so an abandoned engine is still collectable
+        without an explicit :meth:`close`.
         """
-        with self._dispatcher_lock:
-            dispatcher = self._dispatcher
-            if dispatcher is None or dispatcher.closed:
-                dispatcher = AsyncDispatcher(
+        with self._scheduler_lock:
+            scheduler = self._scheduler
+            if scheduler is None or scheduler.closed:
+                scheduler = BatchScheduler(
                     self,
+                    slots=self.scheduler_slots,
                     max_pending=self.max_pending_batches,
-                    name=f"{self.name}-dispatcher",
+                    name=f"{self.name}-scheduler",
                 )
-                weakref.finalize(self, AsyncDispatcher.shutdown, dispatcher, False)
-                self._dispatcher = dispatcher
-            return dispatcher
+                if self._scheduler_finalizer is not None:
+                    self._scheduler_finalizer.detach()
+                self._scheduler_finalizer = weakref.finalize(
+                    self, BatchScheduler.shutdown, scheduler, False
+                )
+                self._scheduler = scheduler
+            return scheduler
 
     # ------------------------------------------------------------------
     # Batch dispatch (serial / thread / process tiers)
@@ -331,8 +370,14 @@ class ExecutionEngine(abc.ABC):
         kwargs: Dict[str, Any],
         max_workers: Optional[int],
         parallelism: Optional[str],
+        chains: Optional[Sequence[Sequence[str]]] = None,
     ) -> List:
-        """Route one batch through the tier the knobs resolve to."""
+        """Route one batch through the tier the knobs resolve to.
+
+        ``chains`` optionally carries the items' precomputed hash chains
+        (the scheduler hashes them once at submit time for conflict
+        detection); the process tier reuses them instead of re-hashing.
+        """
         items = list(items)
         plan = resolve_parallelism(parallelism, max_workers, len(items))
         if plan.mode == "process":
@@ -342,7 +387,7 @@ class ExecutionEngine(abc.ABC):
                 # the thread tier rather than failing the batch.
                 plan = plan.thread_fallback()
             else:
-                return process_map(self, spec, kind, items, kwargs, plan)
+                return process_map(self, spec, kind, items, kwargs, plan, chains=chains)
         func = lambda item: self._serial_call(kind, item, kwargs)  # noqa: E731
         if plan.mode == "thread":
             with ThreadPoolExecutor(max_workers=plan.workers) as pool:
@@ -357,17 +402,6 @@ class ExecutionEngine(abc.ABC):
         if kind == "expectation":
             return self.expectation(item, kwargs["observable"], shots=kwargs["shots"])
         raise EngineError(f"engine {self.name!r} does not implement batch kind {kind!r}")
-
-    @staticmethod
-    def _map_batch(func: Callable, items: Sequence, max_workers: Optional[int]) -> List:
-        """Legacy callable-based fan-out (serial, or threads when
-        ``max_workers > 1``); kept for frontends that batch arbitrary
-        closures rather than engine batch kinds."""
-        items = list(items)
-        if max_workers is not None and max_workers > 1 and len(items) > 1:
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                return list(pool.map(func, items))
-        return [func(item) for item in items]
 
     # ------------------------------------------------------------------
     # Process-tier hooks (see repro.engine.parallel)
@@ -423,52 +457,64 @@ class ExecutionEngine(abc.ABC):
         return {"self": self.stats}
 
     def _absorb_stats(self, delta: Dict[str, Dict[str, int]]) -> None:
-        """Fold a worker's stats delta into the parent's counters."""
-        registry = self._stats_registry()
-        for name, counters in delta.items():
-            stats = registry.get(name)
-            if stats is not None:
-                stats.add_counters(counters)
+        """Fold a worker's stats delta into the parent's counters.
 
-    def _process_pool_executor(self, spec: EngineWorkerSpec, workers: int):
-        """The persistent worker pool for ``spec``, (re)created on demand.
-
-        The pool is keyed by ``(spec.cache_key, workers)``: a changed
-        execution context (e.g. a toggled noise-model flag) or worker count
-        retires the stale pool — its worker engines were built from an
-        outdated spec — and starts a fresh one.
+        Counter folding is plain ``+=`` on the stats dataclasses, so with the
+        slot scheduler — where several process-tier batches can complete
+        concurrently — the merge is serialized under ``_stats_lock``.
         """
-        with self._pool_lock:
-            handle: Optional[ProcessPoolHandle] = getattr(self, "_pool_handle", None)
-            key = (spec.cache_key, int(workers))
-            if handle is None or handle.key != key:
-                if handle is not None:
-                    handle.shutdown()
-                handle = ProcessPoolHandle(spec, workers)
-                self._pool_handle = handle
-            return handle.executor
+        registry = self._stats_registry()
+        with self._stats_lock:
+            for name, counters in delta.items():
+                stats = registry.get(name)
+                if stats is not None:
+                    stats.add_counters(counters)
+
+    def _acquire_process_pool(self, spec: EngineWorkerSpec, workers: int):
+        """A worker-pool executor for ``spec`` plus its release key.
+
+        Pools are persistent and shared by concurrent batches through the
+        engine's :class:`~repro.engine.parallel.ProcessPoolRegistry`: a
+        changed execution context (e.g. a toggled noise-model flag) retires
+        stale pools — immediately when idle, on last release while batches
+        still run on them — and a concurrent batch never retires workers
+        another batch is using.  Callers must pass the returned key to
+        :meth:`_release_process_pool` when their batch completes.
+        """
+        return self._pools.acquire(spec, workers)
+
+    def _release_process_pool(self, key) -> None:
+        self._pools.release(key)
 
     def close(self) -> None:
-        """Release pooled resources (drains the async dispatcher, joins any
+        """Release pooled resources (drains the batch scheduler, joins any
         process-pool workers).
 
         Already-submitted batches finish first, so pending futures resolve
-        rather than hang.  Engines are usable again afterwards — the next
-        submission starts a fresh dispatcher and the next process-tier batch
-        a fresh pool.  Garbage collection performs the same cleanup, so
-        calling this is optional but makes teardown prompt.
+        rather than hang.  Idempotent: repeated closes (including with
+        futures still in flight) drain and return instead of raising, and a
+        close issued from inside a scheduler callback returns without
+        deadlocking on its own batch.  Engines are usable again afterwards —
+        the next submission starts a fresh scheduler and the next
+        process-tier batch a fresh pool.  Garbage collection performs the
+        same cleanup, so calling this is optional but makes teardown prompt.
         """
-        with self._dispatcher_lock:
-            dispatcher = self._dispatcher
-            self._dispatcher = None
-        if dispatcher is not None:
-            dispatcher.shutdown(wait=True)
-        with self._pool_lock:
-            handle: Optional[ProcessPoolHandle] = getattr(self, "_pool_handle", None)
-            if handle is not None:
-                self._pool_handle = None
-        if handle is not None:
-            handle.shutdown()
+        with self._scheduler_lock:
+            scheduler = self._scheduler
+            self._scheduler = None
+            finalizer = self._scheduler_finalizer
+            self._scheduler_finalizer = None
+        if finalizer is not None:
+            finalizer.detach()
+        drained = True
+        if scheduler is not None:
+            drained = scheduler.shutdown(wait=True)
+        if drained:
+            self._pools.shutdown()
+        # A not-fully-drained shutdown (close() issued from inside one of the
+        # scheduler's own worker threads) must leave the pools alone: other
+        # batches may still be running on them.  Their handles are joined by
+        # a later close() or by the pool finalizers on collection.
 
     # ------------------------------------------------------------------
     def _sampling_rng(self, seed, *content: str) -> np.random.Generator:

@@ -30,6 +30,7 @@ expectation values are merged back into this engine's caches on return.
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -155,6 +156,14 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         self._results = _ByteBudgetStore(result_cache_bytes)
         self._expectations = _LRUCache(expectation_cache_entries)
         self._snapshots = _ByteBudgetStore(snapshot_budget_bytes)
+        #: Per-object memo of prepared ``(context, chain)`` pairs: one
+        #: schedule object is hashed several times per execution (scheduler
+        #: conflict detection, shard planning, the expectation cache-first
+        #: path), and re-preparing it each time is pure overhead.  Entries
+        #: are keyed by ``id`` with a weak reference for eviction (schedules
+        #: are treated as immutable, like device models) and salted with the
+        #: noise key so post-construction flag toggles recompute.
+        self._chain_memo: Dict[int, Tuple] = {}
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -180,10 +189,24 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         )
 
     def _chain(self, scheduled: ScheduledCircuit) -> Tuple[ScheduleContext, List[str]]:
+        noise_key = self._noise_key()
+        key = id(scheduled)
+        entry = self._chain_memo.get(key)
+        # The liveness check (`entry[0]() is scheduled`) guards against id
+        # reuse racing the weakref eviction callback.
+        if entry is not None and entry[0]() is scheduled and entry[1] == noise_key:
+            return entry[2], entry[3]
         context = self._simulator.prepare(scheduled)
         chain = schedule_hash_chain(
-            scheduled, context.ordered, context.initial_last_time, salt=self._noise_key()
+            scheduled, context.ordered, context.initial_last_time, salt=noise_key
         )
+        try:
+            reference = weakref.ref(
+                scheduled, lambda _, key=key, memo=self._chain_memo: memo.pop(key, None)
+            )
+        except TypeError:  # exotic un-weakref-able stand-ins
+            return context, chain
+        self._chain_memo[key] = (reference, noise_key, context, chain)
         return context, chain
 
     def _checkpoint_interval(self, num_instructions: int, state_bytes: int) -> int:
@@ -430,10 +453,18 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         mitigator=None,
         max_workers: Optional[int] = None,
         parallelism: Optional[str] = None,
+        submitter=None,
+        priority: int = 0,
     ):
-        """Asynchronous :meth:`expectation_batch` (futures resolving to floats)."""
+        """Asynchronous :meth:`expectation_batch` (futures resolving to floats).
+
+        ``submitter`` / ``priority`` feed the engine's slot scheduler exactly
+        as on :meth:`~repro.engine.base.ExecutionEngine.submit_batch`.
+        """
         kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator}
-        return self._submit_job("expectation", circuits, kwargs, max_workers, parallelism)
+        return self._submit_job(
+            "expectation", circuits, kwargs, max_workers, parallelism, submitter, priority
+        )
 
     def submit_expectation_batch_full(
         self,
@@ -443,6 +474,8 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         mitigator=None,
         max_workers: Optional[int] = None,
         parallelism: Optional[str] = None,
+        submitter=None,
+        priority: int = 0,
     ):
         """Asynchronous :meth:`expectation_batch_full` (futures resolving to
         :class:`~repro.engine.base.ExpectationData`); the path
@@ -450,7 +483,9 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         <repro.vqe.expectation.ExpectationEstimator.submit_batch>` and the
         pipelined window tuner route through."""
         kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator}
-        return self._submit_job("expectation_full", circuits, kwargs, max_workers, parallelism)
+        return self._submit_job(
+            "expectation_full", circuits, kwargs, max_workers, parallelism, submitter, priority
+        )
 
     # ------------------------------------------------------------------
     # Process-tier worker protocol (see repro.engine.parallel)

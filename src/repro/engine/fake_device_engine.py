@@ -186,13 +186,18 @@ class FakeDeviceEngine(ExecutionEngine):
         mitigator=None,
         max_workers: Optional[int] = None,
         parallelism: Optional[str] = None,
+        submitter=None,
+        priority: int = 0,
     ):
         """Asynchronous :meth:`expectation_batch`; the configured-``shots``
-        default applies exactly as on the blocking path."""
+        default applies exactly as on the blocking path, and ``submitter`` /
+        ``priority`` feed the engine's slot scheduler."""
         if shots is _DEFAULT_SHOTS:
             shots = self.shots
         kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator}
-        return self._submit_job("expectation", circuits, kwargs, max_workers, parallelism)
+        return self._submit_job(
+            "expectation", circuits, kwargs, max_workers, parallelism, submitter, priority
+        )
 
     # ------------------------------------------------------------------
     # Process-tier worker protocol (see repro.engine.parallel)

@@ -1,64 +1,54 @@
-"""Futures-returning asynchronous submission for the engine layer.
+"""Future primitives for the engine layer's asynchronous submission API.
 
 Blocking batch calls (:meth:`~repro.engine.base.ExecutionEngine.run_batch`,
 :meth:`~repro.engine.base.ExecutionEngine.expectation_batch`) make the caller
 wait for the whole batch before it can do anything else — which is exactly
 wrong for sweep frontends like the window tuner, whose candidate *generation*
-could overlap with candidate *execution*.  This module provides the two
-pieces the asynchronous ``submit*`` API is built from:
+could overlap with candidate *execution*.  This module provides
+:class:`EngineFuture`, the ordered handle the ``submit*`` API returns: it
+wraps one in-flight result value, a raised exception, or cancellation, and
+mirrors the :class:`concurrent.futures.Future` surface plus :meth:`map` for
+derived views.
 
-* :class:`EngineFuture` — an ordered handle to one in-flight result, wrapping
-  the result value, a raised exception, or cancellation;
-* :class:`AsyncDispatcher` — a persistent background dispatcher owned by each
-  engine.  Submissions enqueue FIFO; a single dispatcher thread drains the
-  queue and feeds each batch through the engine's existing blocking tier
-  dispatch (serial / thread / process), so the process pools, shard planning
-  and cache merge-back of :mod:`repro.engine.parallel` are reused unchanged
-  and worker pools are never torn down between batches.
+Execution of submitted batches is the job of the slot-based
+:class:`~repro.engine.scheduler.BatchScheduler` (see
+:mod:`repro.engine.scheduler` and ``docs/scheduler.md``), which resolves
+these futures from its worker threads.
 
 Determinism
 -----------
 Async submission changes *when* a batch executes, never *what* it computes:
-each dequeued batch runs through the same ``_dispatch_batch`` path a blocking
-call uses, and the content-derived seeding contract
+each dispatched batch runs through the same ``_dispatch_batch`` path a
+blocking call uses, and the content-derived seeding contract
 (:func:`repro.engine.fingerprint.derive_seed`) makes every sampled value a
 function of ``(engine seed, item content)`` rather than execution order.  A
 seeded engine therefore returns bit-identical results whether a batch is
 submitted asynchronously, blocked on, split across submissions, or
-interleaved with other batches.
+interleaved — or overlapped — with other batches.
 
 Cancellation and errors
 -----------------------
 ``EngineFuture.cancel()`` succeeds only while the future's batch has not
-started executing (the dispatcher runs batches FIFO, so anything behind the
-currently-running batch is cancellable).  Cancelled items are pruned from
-their batch before dispatch — they cost nothing.  If executing a batch
-raises, the exception is stored on every unresolved future of that batch and
-re-raised by :meth:`EngineFuture.result`.
-
-Backpressure
-------------
-The dispatcher's submission queue is bounded (``max_pending`` batches, set by
-``engine.max_pending_batches``); ``submit*`` blocks once the queue is full.
-This caps the number of in-flight shards at roughly
-``(max_pending + 1) * max_workers`` and keeps a runaway producer from
-buffering an unbounded sweep in memory.  See ``docs/async.md``.
+started executing (anything the scheduler has not yet dispatched is
+cancellable).  Cancelled items are pruned from their batch before dispatch —
+they cost nothing.  If executing a batch raises, the exception is stored on
+every unresolved future of that batch and re-raised by
+:meth:`EngineFuture.result`.
 """
 
 from __future__ import annotations
 
 import logging
-import queue
 import threading
-import weakref
 from concurrent.futures import CancelledError
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from ..exceptions import EngineError
 
-__all__ = ["EngineFuture", "AsyncDispatcher", "CancelledError"]
+__all__ = ["EngineFuture", "gather", "CancelledError"]
 
-#: Default bound on queued (not yet executing) batches per engine.
+#: Default bound on queued (not yet executing) batches per engine; see
+#: ``engine.max_pending_batches`` and ``docs/scheduler.md``.
 DEFAULT_MAX_PENDING = 8
 
 _PENDING = "pending"
@@ -71,7 +61,7 @@ class EngineFuture:
     """An ordered handle to one in-flight engine result.
 
     Futures are created by the ``submit*`` methods and resolved by the
-    engine's dispatcher; user code only ever reads them.  The API mirrors
+    engine's scheduler; user code only ever reads them.  The API mirrors
     :class:`concurrent.futures.Future` (``result`` / ``exception`` /
     ``cancel`` / ``done`` / ``add_done_callback``) plus :meth:`map` for
     deriving transformed views, and cancellation raises the standard
@@ -147,7 +137,7 @@ class EngineFuture:
         """Run ``callback(self)`` when the future resolves (immediately if it
         already has).  As with :class:`concurrent.futures.Future`, a raising
         callback is logged and swallowed — it must never be able to kill the
-        dispatcher thread mid-batch."""
+        scheduler thread mid-batch."""
         with self._condition:
             if self._state not in (_CANCELLED, _DONE):
                 self._callbacks.append(callback)
@@ -206,7 +196,7 @@ class EngineFuture:
         return True
 
     # ------------------------------------------------------------------
-    # Resolution (dispatcher side)
+    # Resolution (scheduler side)
     # ------------------------------------------------------------------
     def _set_running(self) -> bool:
         """PENDING -> RUNNING; ``False`` if the future was cancelled first."""
@@ -261,166 +251,3 @@ def gather(futures: Sequence[EngineFuture], timeout: Optional[float] = None) -> 
     The per-future ``timeout`` applies to each resolution individually.
     """
     return [future.result(timeout) for future in futures]
-
-
-# ----------------------------------------------------------------------------
-# The per-engine dispatcher
-# ----------------------------------------------------------------------------
-
-class _Job:
-    """One submitted batch: items, their futures, and the tier knobs."""
-
-    __slots__ = ("kind", "items", "kwargs", "max_workers", "parallelism", "futures")
-
-    def __init__(
-        self,
-        kind: str,
-        items: Sequence[Any],
-        kwargs: Dict[str, Any],
-        max_workers: Optional[int],
-        parallelism: Optional[str],
-        futures: List[EngineFuture],
-    ):
-        self.kind = kind
-        self.items = list(items)
-        self.kwargs = kwargs
-        self.max_workers = max_workers
-        self.parallelism = parallelism
-        self.futures = futures
-
-
-_SHUTDOWN = object()
-
-
-class AsyncDispatcher:
-    """A persistent FIFO dispatcher feeding one engine's blocking tiers.
-
-    One daemon thread per engine drains a bounded queue of :class:`_Job`
-    batches and executes each through ``engine._dispatch_batch`` — the same
-    code path blocking calls use, so pools persist, shard planning stays
-    prefix-aware and cache merge-back works identically.  The engine is held
-    through a weak reference: abandoning an engine without calling ``close()``
-    lets it be collected, and a finalizer (installed by the engine) stops the
-    thread.
-    """
-
-    def __init__(
-        self,
-        engine,
-        max_pending: int = DEFAULT_MAX_PENDING,
-        name: str = "engine-dispatcher",
-    ):
-        self._engine_ref = weakref.ref(engine)
-        self._queue: "queue.Queue" = queue.Queue(maxsize=max(1, int(max_pending)))
-        self._closed = False
-        self._lock = threading.Lock()
-        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
-        self._thread.start()
-
-    @property
-    def closed(self) -> bool:
-        return self._closed
-
-    # ------------------------------------------------------------------
-    def submit(
-        self,
-        kind: str,
-        items: Sequence[Any],
-        kwargs: Dict[str, Any],
-        max_workers: Optional[int] = None,
-        parallelism: Optional[str] = None,
-    ) -> List[EngineFuture]:
-        """Enqueue one batch; returns one future per item, in item order.
-
-        Blocks while the queue holds ``max_pending`` batches (backpressure).
-        """
-        with self._lock:
-            if self._closed:
-                raise EngineError("cannot submit to a closed dispatcher")
-            futures = [EngineFuture() for _ in items]
-            job = _Job(kind, items, dict(kwargs), max_workers, parallelism, futures)
-        self._queue.put(job)
-        if self._closed:
-            # A shutdown raced this submit and the job may have landed behind
-            # the sentinel, where it would never execute.  Cancel the futures:
-            # ones the dispatcher did pick up are already RUNNING/DONE and
-            # ignore this; the rest resolve as cancelled instead of hanging.
-            for future in futures:
-                future._mark_cancelled()
-        return futures
-
-    # ------------------------------------------------------------------
-    def _run(self) -> None:
-        while True:
-            job = self._queue.get()
-            if job is _SHUTDOWN:
-                break
-            self._run_job(job)
-            del job  # drop the engine/result references while idle
-
-    def _run_job(self, job: _Job) -> None:
-        # Prune items whose futures were cancelled before the batch started;
-        # everything else transitions to RUNNING and is no longer cancellable.
-        live = [index for index, future in enumerate(job.futures) if future._set_running()]
-        if not live:
-            return
-        engine = self._engine_ref()
-        if engine is None:
-            error = EngineError("the engine owning this future was garbage-collected")
-            for index in live:
-                job.futures[index]._set_exception(error)
-            return
-        try:
-            values = engine._dispatch_batch(
-                job.kind,
-                [job.items[index] for index in live],
-                job.kwargs,
-                job.max_workers,
-                job.parallelism,
-            )
-            if len(values) != len(live):  # pragma: no cover - engine contract
-                raise EngineError(
-                    f"batch kind {job.kind!r} returned {len(values)} values for "
-                    f"{len(live)} items"
-                )
-        except BaseException as error:  # noqa: BLE001 - propagated via futures
-            for index in live:
-                job.futures[index]._set_exception(error)
-            return
-        finally:
-            del engine
-        for index, value in zip(live, values):
-            job.futures[index]._set_result(value)
-
-    # ------------------------------------------------------------------
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop the dispatcher after draining already-queued batches.
-
-        Safe to call multiple times and from finalizers; with ``wait`` the
-        calling thread joins the dispatcher thread.
-        """
-        with self._lock:
-            if self._closed:
-                if wait and self._thread.is_alive():
-                    self._thread.join()
-                return
-            self._closed = True
-        self._queue.put(_SHUTDOWN)
-        if wait:
-            self._thread.join()
-        # Cancel whatever is still queued so no future can hang: after a
-        # joined shutdown these are only batches a racing submit enqueued
-        # behind the sentinel; on the unjoined (finalizer) path this also
-        # cancels not-yet-started batches — their engine is gone anyway.  If
-        # the sentinel itself is drained first, it is put back so the
-        # dispatcher thread still observes its exit signal.
-        while True:
-            try:
-                job = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            if job is _SHUTDOWN:
-                self._queue.put(job)
-                break
-            for future in job.futures:
-                future._mark_cancelled()

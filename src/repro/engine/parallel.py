@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
-import warnings
+import threading
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -82,30 +82,26 @@ def resolve_parallelism(
 ) -> ParallelismPlan:
     """Resolve the ``(parallelism, max_workers)`` knobs into a concrete plan.
 
-    Backwards compatibility: with ``parallelism=None`` the historical
-    ``max_workers`` semantics apply — ``max_workers > 1`` requests the thread
-    pool, anything else runs serially.  That implicit tier selection is
-    **deprecated** (it silently couples a sizing knob to a semantics knob);
-    it still works but emits a :class:`DeprecationWarning` — pass
-    ``parallelism="thread"`` explicitly instead (migration notes in
-    ``docs/api.md``).  An explicit mode uses ``max_workers`` as the worker
-    count (default: one per core).  Degenerate requests (single-item batches,
-    one worker) collapse to the serial plan, which is behaviourally identical
-    and avoids pool overhead.
+    ``parallelism=None`` runs serially.  Historically ``max_workers > 1``
+    with ``parallelism=None`` implicitly selected the thread pool; that
+    implicit tier selection (a sizing knob silently coupled to a semantics
+    knob) went through a :class:`DeprecationWarning` cycle and has been
+    **removed** — it now raises :class:`~repro.exceptions.EngineError`; pass
+    ``parallelism="thread"`` (or ``"process"``) explicitly, see the migration
+    notes in ``docs/api.md``.  An explicit mode uses ``max_workers`` as the
+    worker count (default: one per core).  Degenerate requests (single-item
+    batches, one worker) collapse to the serial plan, which is behaviourally
+    identical and avoids pool overhead.
     """
     if parallelism is None:
         if max_workers is not None and max_workers > 1:
-            warnings.warn(
-                "passing max_workers > 1 without parallelism= implicitly selects "
-                "the thread tier; this historical behaviour is deprecated — pass "
-                "parallelism='thread' (or 'process') explicitly.  See the "
-                "migration notes in docs/api.md.",
-                DeprecationWarning,
-                stacklevel=4,
+            raise EngineError(
+                "passing max_workers > 1 without parallelism= used to implicitly "
+                "select the thread tier; that deprecated behaviour has been "
+                "removed — pass parallelism='thread' (or 'process') explicitly.  "
+                "See the migration notes in docs/api.md."
             )
-            mode = "thread"
-        else:
-            mode = "serial"
+        mode = "serial"
     elif parallelism in PARALLELISM_MODES:
         mode = parallelism
     else:
@@ -350,6 +346,7 @@ class ProcessPoolHandle:
 
     def __init__(self, spec: EngineWorkerSpec, workers: int):
         self.key = (spec.cache_key, int(workers))
+        self.workers = int(workers)
         self.executor = ProcessPoolExecutor(
             max_workers=int(workers),
             initializer=_initialise_worker,
@@ -365,6 +362,111 @@ class ProcessPoolHandle:
             _shutdown_pool(self.executor)
 
 
+class _PoolEntry:
+    """Registry bookkeeping for one live pool."""
+
+    __slots__ = ("handle", "in_use", "retired")
+
+    def __init__(self, handle: ProcessPoolHandle):
+        self.handle = handle
+        #: Number of batches currently executing on this pool.
+        self.in_use = 0
+        #: Set when the pool's configuration went stale while batches were
+        #: still running on it; the last release shuts it down.
+        self.retired = False
+
+
+class ProcessPoolRegistry:
+    """Shares an engine's persistent worker pools among concurrent batches.
+
+    With the slot scheduler several batches of one engine may reach the
+    process tier at once.  The registry keeps each pool keyed by
+    ``(spec.cache_key, workers)`` with an in-use count, so that:
+
+    * concurrent batches with the same execution context **share one pool**
+      (worker-side caches and prefix snapshots stay warm for all of them);
+    * a batch requesting a different worker count while another batch is
+      running does **not** retire the running batch's workers — it shares the
+      live pool (submitting shards to a differently-sized pool just queues);
+    * a *stale* configuration (a changed ``cache_key``, e.g. a toggled
+      noise-model flag) retires idle pools immediately and marks busy ones to
+      shut down when their last batch releases them — exactly the old
+      single-pool semantics, made safe under concurrency.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: Dict[Tuple[str, int], _PoolEntry] = {}
+
+    def acquire(self, spec: EngineWorkerSpec, workers: int) -> Tuple[ProcessPoolExecutor, Tuple[str, int]]:
+        """An executor for ``spec``, plus the key to :meth:`release` it with."""
+        workers = int(workers)
+        doomed: List[ProcessPoolHandle] = []
+        with self._lock:
+            # Retire what can no longer serve: stale-config pools always
+            # (idle ones now, busy ones on their last release); same-config
+            # pools of a different size only when idle — never out from under
+            # a running batch.
+            for key, entry in list(self._entries.items()):
+                stale = key[0] != spec.cache_key
+                if entry.in_use == 0:
+                    if stale or key[1] != workers:
+                        doomed.append(self._entries.pop(key).handle)
+                elif stale:
+                    entry.retired = True
+            entry = self._entries.get((spec.cache_key, workers))
+            if entry is None:
+                # Share a live same-config pool (whatever its size) rather
+                # than spawning a second set of workers next to it.
+                for key, candidate in self._entries.items():
+                    if key[0] == spec.cache_key and not candidate.retired:
+                        entry = candidate
+                        break
+            if entry is None:
+                entry = _PoolEntry(ProcessPoolHandle(spec, workers))
+                self._entries[entry.handle.key] = entry
+            entry.in_use += 1
+            key = entry.handle.key
+        for handle in doomed:
+            handle.shutdown()
+        return entry.handle.executor, key
+
+    def release(self, key: Tuple[str, int]) -> None:
+        doomed: Optional[ProcessPoolHandle] = None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return
+            entry.in_use = max(0, entry.in_use - 1)
+            if entry.retired and entry.in_use == 0:
+                doomed = self._entries.pop(key).handle
+        if doomed is not None:
+            doomed.shutdown()
+
+    def handles(self) -> List[ProcessPoolHandle]:
+        """The currently-live pool handles (inspection/testing)."""
+        with self._lock:
+            return [entry.handle for entry in self._entries.values()]
+
+    def shutdown(self) -> None:
+        """Join every idle pool; mark busy ones to join on their last release.
+
+        Idempotent, and — per the registry's own guarantee — never rips a
+        pool out from under a batch still running on it (a concurrent
+        blocking ``run_batch`` on another thread keeps its workers until it
+        releases them).  The registry stays usable afterwards.
+        """
+        doomed: List[ProcessPoolHandle] = []
+        with self._lock:
+            for key, entry in list(self._entries.items()):
+                if entry.in_use == 0:
+                    doomed.append(self._entries.pop(key).handle)
+                else:
+                    entry.retired = True
+        for handle in doomed:
+            handle.shutdown()
+
+
 def process_map(
     engine,
     spec: EngineWorkerSpec,
@@ -372,6 +474,7 @@ def process_map(
     items: Sequence[Any],
     kwargs: Dict[str, Any],
     plan: ParallelismPlan,
+    chains: Optional[Sequence[Sequence[str]]] = None,
 ) -> List[Any]:
     """Fan a batch out over the engine's process pool, order-stably.
 
@@ -379,9 +482,14 @@ def process_map(
     locally (no serialization); the rest are sharded by
     :func:`plan_shards`, executed on the workers, and their cache records and
     stats deltas are merged back before the ordered results return.
+    ``chains`` optionally carries precomputed per-item hash chains (the batch
+    scheduler hashes them at submit time); absent, they are computed here.
     """
     items = list(items)
-    chains: List[Sequence[str]] = [engine._shard_chain(kind, item) for item in items]
+    if chains is None:
+        chains = [engine._shard_chain(kind, item) for item in items]
+    else:
+        chains = list(chains)
     results: List[Any] = [None] * len(items)
 
     pending: List[int] = []
@@ -394,28 +502,31 @@ def process_map(
         return results
 
     shards = plan_shards([chains[i] for i in pending], plan.workers)
-    pool = engine._process_pool_executor(spec, plan.workers)
-    futures = []
-    for shard in shards:
-        payloads: List[Any] = []
-        slot_by_fingerprint: Dict[str, int] = {}
-        assignments: List[Tuple[int, int]] = []
-        for position in shard:
-            index = pending[position]
-            fingerprint = chains[index][-1]
-            slot = slot_by_fingerprint.get(fingerprint)
-            if slot is None:
-                slot = len(payloads)
-                slot_by_fingerprint[fingerprint] = slot
-                payloads.append(items[index])
-            assignments.append((index, slot))
-        futures.append(
-            pool.submit(_execute_shard, ShardTask(kind, dict(kwargs), payloads, assignments))
-        )
-    for future in futures:
-        outcome = future.result()
-        engine._absorb_records(outcome.records)
-        engine._absorb_stats(outcome.stats_delta)
-        for index, value in outcome.results:
-            results[index] = value
+    pool, pool_key = engine._acquire_process_pool(spec, plan.workers)
+    try:
+        futures = []
+        for shard in shards:
+            payloads: List[Any] = []
+            slot_by_fingerprint: Dict[str, int] = {}
+            assignments: List[Tuple[int, int]] = []
+            for position in shard:
+                index = pending[position]
+                fingerprint = chains[index][-1]
+                slot = slot_by_fingerprint.get(fingerprint)
+                if slot is None:
+                    slot = len(payloads)
+                    slot_by_fingerprint[fingerprint] = slot
+                    payloads.append(items[index])
+                assignments.append((index, slot))
+            futures.append(
+                pool.submit(_execute_shard, ShardTask(kind, dict(kwargs), payloads, assignments))
+            )
+        for future in futures:
+            outcome = future.result()
+            engine._absorb_records(outcome.records)
+            engine._absorb_stats(outcome.stats_delta)
+            for index, value in outcome.results:
+                results[index] = value
+    finally:
+        engine._release_process_pool(pool_key)
     return results

@@ -146,14 +146,17 @@ class RuntimeSession:
         The batch is split into jobs of at most
         ``constraints.max_circuits_per_job`` circuits (Runtime's 07/2021 job
         limit); each job charges its own overhead and is queued on the
-        engine's asynchronous dispatcher as soon as it is charged — so later
-        jobs are accounted (and the 5-hour cap enforced) while earlier ones
-        still execute, like a real session's job queue.  Results come back in
-        submission order, one :class:`~repro.engine.base.EngineResult` per
+        engine's batch scheduler as soon as it is charged — so later jobs are
+        accounted (and the 5-hour cap enforced) while earlier ones still
+        execute, like a real session's job queue.  The session submits under
+        its own identity, so several sessions sharing one engine are
+        scheduled fairly and their independent jobs overlap up to the
+        engine's per-tier slots (``docs/scheduler.md``).  Results come back
+        in submission order, one :class:`~repro.engine.base.EngineResult` per
         circuit, following the engine's seeding contract.  ``parallelism``
-        selects the engine tier each job fans out on (pass
-        ``parallelism="thread"`` explicitly rather than relying on the
-        deprecated ``max_workers``-implies-threads behaviour).
+        selects the engine tier each job fans out on (the historical
+        ``max_workers``-implies-threads behaviour has been removed; pass the
+        tier explicitly).
         """
         if self.engine is None:
             raise RuntimeSessionError("this session was opened without an execution engine")
@@ -165,7 +168,9 @@ class RuntimeSession:
                 job = circuits[start : start + job_size]
                 self._charge_job(len(job))
                 futures.extend(
-                    self.engine.submit_batch(job, max_workers=max_workers, parallelism=parallelism)
+                    self.engine.submit_batch(
+                        job, max_workers=max_workers, parallelism=parallelism, submitter=self
+                    )
                 )
         except Exception:
             # A mid-loop failure (typically the 5-hour cap) must not leave

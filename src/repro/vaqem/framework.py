@@ -243,7 +243,7 @@ class VAQEMPipeline:
 
         This is what lets the window tuner *pipeline* its sweeps
         (``config.pipelined``, the default): candidates are queued on the
-        shared engine's persistent dispatcher and execute — on whichever tier
+        shared engine's slot scheduler and execute — on whichever tier
         ``config.parallelism`` selects — while the tuner builds the next
         window's candidates.  Each future resolves to the candidate's energy;
         per the engine seeding contract the values are bit-identical to the

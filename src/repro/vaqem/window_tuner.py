@@ -23,7 +23,7 @@ Three evaluation protocols are supported, fastest last:
   (``[ScheduledCircuit] -> [EngineFuture]``, see
   :mod:`repro.engine.futures`).  :meth:`IndependentWindowTuner.tune` then
   *pipelines* the sweeps: while window *N*'s candidates execute on the
-  engine's dispatcher, the tuner builds and submits window *N+1*'s
+  engine's batch scheduler, the tuner builds and submits window *N+1*'s
   candidates, so candidate generation overlaps execution and process-tier
   workers never sit idle between sweeps.  The engine seeding contract keeps
   the tuned result bit-identical to the blocking protocols.
@@ -407,11 +407,16 @@ class IndependentWindowTuner:
         """Producer/consumer sweep over the selected windows.
 
         Up to :attr:`pipeline_depth` windows have candidate batches queued on
-        the async submitter at once: while the engine's dispatcher executes
+        the async submitter at once: while the engine's scheduler executes
         the front window's batch, this thread builds (reschedules, inserts DD
-        into) and submits the following windows' candidates.  Windows resolve
-        FIFO, so the returned records are ordered exactly as the blocking
-        loop's — and per the seeding contract they are value-identical too.
+        into) and submits the following windows' candidates.  Sweep records
+        are collected in window order regardless of completion order, and per
+        the seeding contract they are value-identical to the blocking loop's.
+        (On a shared engine the tuner's own batches stay FIFO — one
+        submitter — and deep prefix sharing with its base schedule
+        additionally serializes them against lookalike work, while *other*
+        frontends' disjoint batches overlap freely; see
+        ``docs/scheduler.md``.)
         """
         remaining = deque(windows)
         in_flight: "deque[_PipelinedWindowSweep]" = deque()

@@ -69,7 +69,10 @@ class ExpectationEstimator:
         The execution engine to route runs through.  By default a private
         :class:`NoisyDensityMatrixEngine` is created; inject a shared engine
         to pool caches across estimators (as :class:`~repro.vaqem.framework.
-        VAQEMPipeline` does).
+        VAQEMPipeline` does).  A shared engine is also the multi-tenant
+        story: each estimator submits under its own identity, so the
+        engine's slot scheduler overlaps independent estimators' batches and
+        serves them fairly (see ``docs/scheduler.md``).
     """
 
     def __init__(
@@ -144,15 +147,21 @@ class ExpectationEstimator:
         hamiltonian: PauliSum,
         max_workers: Optional[int] = None,
         parallelism: Optional[str] = None,
+        priority: int = 0,
     ) -> List["EngineFuture"]:
         """Asynchronous :meth:`estimate_batch`: one future per schedule.
 
         The futures resolve to :class:`ExpectationResult` objects and are
         ordered like the input.  Execution goes through the engine's
-        persistent dispatcher (see ``docs/async.md``), so the resolved values
-        are bit-identical to a blocking :meth:`estimate_batch` call on any
-        tier; the caller can keep building further schedules while these
-        execute — the pipelined window tuner does exactly that.
+        persistent slot scheduler (see ``docs/scheduler.md``) with *this
+        estimator* as the submitter: several estimators sharing one engine
+        are served round-robin and their independent batches overlap up to
+        the engine's per-tier slots, while this estimator's own batches stay
+        FIFO.  ``priority`` (higher first) nudges the scheduler between
+        runnable batches of different submitters.  The resolved values are
+        bit-identical to a blocking :meth:`estimate_batch` call on any tier;
+        the caller can keep building further schedules while these execute —
+        the pipelined window tuner does exactly that.
         """
         futures = self.engine.submit_expectation_batch_full(
             schedules,
@@ -161,6 +170,8 @@ class ExpectationEstimator:
             mitigator=self.mitigator,
             max_workers=max_workers,
             parallelism=parallelism,
+            submitter=self,
+            priority=priority,
         )
         return [future.map(self._to_result) for future in futures]
 

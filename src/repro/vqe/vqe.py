@@ -176,14 +176,16 @@ class VQE:
             if len(chunk) >= chunk_size:
                 futures.extend(
                     self.engine.submit_expectation_batch(
-                        chunk, self.hamiltonian, max_workers=max_workers, parallelism=parallelism
+                        chunk, self.hamiltonian, max_workers=max_workers,
+                        parallelism=parallelism, submitter=self,
                     )
                 )
                 chunk = []
         if chunk:
             futures.extend(
                 self.engine.submit_expectation_batch(
-                    chunk, self.hamiltonian, max_workers=max_workers, parallelism=parallelism
+                    chunk, self.hamiltonian, max_workers=max_workers,
+                    parallelism=parallelism, submitter=self,
                 )
             )
         return [float(future.result()) for future in futures]
@@ -215,7 +217,7 @@ class VQE:
         estimator: Optional[ExpectationEstimator] = None
         futures: List = []
         chunk: List = []
-        # One chunk per worker-load keeps the dispatcher busy while the next
+        # One chunk per worker-load keeps the scheduler busy while the next
         # chunk transpiles; the chunk boundaries cannot change any value.
         chunk_size = max(1, int(max_workers)) if max_workers is not None else 4
         for parameters in parameter_history:

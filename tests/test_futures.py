@@ -11,8 +11,12 @@ Covers the guarantees ``docs/async.md`` promises:
 * stats/cache merge correctness with two batches in flight on one engine;
 * the pipelined window tuner — identical tuning outcome, including the
   per-window candidate/value traces, versus the blocking protocols;
-* dispatcher lifecycle — close() drains pending batches, engines are
+* scheduler lifecycle — close() drains pending batches, engines are
   reusable afterwards.
+
+The slot scheduler's own policies (per-tier slots, fingerprint-overlap
+serialization, fairness, priority, pool sharing) are covered in
+``tests/test_scheduler.py``.
 """
 
 from __future__ import annotations
@@ -26,12 +30,13 @@ import pytest
 
 from repro.circuits import efficient_su2
 from repro.engine import (
+    BatchScheduler,
     FakeDeviceEngine,
     NoisyDensityMatrixEngine,
     StatevectorEngine,
     gather,
 )
-from repro.engine.futures import AsyncDispatcher, EngineFuture
+from repro.engine.futures import EngineFuture
 from repro.exceptions import EngineError, SimulationError
 from repro.mitigation import DDConfig, insert_dd_sequences
 from repro.mitigation.gate_scheduling import GSConfig, reschedule_gate
@@ -150,18 +155,26 @@ class TestEngineFuture:
 
 
 # ----------------------------------------------------------------------------
-# Dispatcher behaviour (driven through a controllable fake engine)
+# Scheduler behaviour (driven through a controllable fake engine)
 # ----------------------------------------------------------------------------
 
 class _SlowEngine:
-    """Minimal engine stand-in whose batches block on an event."""
+    """Minimal engine stand-in whose batches block on an event.
+
+    All items share one fingerprint chain, so every batch conflicts with
+    every other and the scheduler drains them strictly one at a time — the
+    serial-drain behaviour the cancellation tests rely on.
+    """
 
     def __init__(self):
         self.release = threading.Event()
         self.started = threading.Event()
         self.executed: list = []
 
-    def _dispatch_batch(self, kind, items, kwargs, max_workers, parallelism):
+    def _shard_chain(self, kind, item):
+        return ("root", "shared-prefix")
+
+    def _dispatch_batch(self, kind, items, kwargs, max_workers, parallelism, chains=None):
         self.started.set()
         if not self.release.wait(timeout=10):  # pragma: no cover - deadlock guard
             raise EngineError("test gate never opened")
@@ -171,16 +184,17 @@ class _SlowEngine:
         return [item * 2 for item in items]
 
 
-class TestAsyncDispatcher:
+class TestBatchScheduler:
     def test_cancellation_of_queued_batch_and_item_pruning(self):
         engine = _SlowEngine()
-        dispatcher = AsyncDispatcher(engine, name="test-dispatcher")
-        first = dispatcher.submit("run", [1, 2], {}, None, None)
+        scheduler = BatchScheduler(engine, name="test-scheduler")
+        first = scheduler.submit("run", [1, 2], {})
         engine.started.wait(timeout=10)
-        # The first batch is now running (uncancellable); the second is
-        # queued behind it and fully cancellable, the third partially.
-        second = dispatcher.submit("run", [3, 4], {}, None, None)
-        third = dispatcher.submit("run", [5, 6], {}, None, None)
+        # The first batch is now running (uncancellable); the second and
+        # third conflict with it, so they are queued — fully cancellable for
+        # the second, partially for the third.
+        second = scheduler.submit("run", [3, 4], {})
+        third = scheduler.submit("run", [5, 6], {})
         assert all(future.cancel() for future in second)
         assert third[0].cancel()
         assert not first[0].cancel()
@@ -190,7 +204,7 @@ class TestAsyncDispatcher:
         with pytest.raises(CancelledError):
             second[0].result()
         # The cancelled batch never executed; the pruned item never shipped.
-        dispatcher.shutdown()
+        scheduler.shutdown()
         assert [1, 2] in engine.executed
         assert [3, 4] not in engine.executed
         assert [6] in engine.executed
@@ -198,38 +212,53 @@ class TestAsyncDispatcher:
     def test_batch_exception_lands_on_every_future(self):
         engine = _SlowEngine()
         engine.release.set()
-        dispatcher = AsyncDispatcher(engine, name="test-dispatcher")
-        futures = dispatcher.submit("run", [1, 2], {"fail": True}, None, None)
+        scheduler = BatchScheduler(engine, name="test-scheduler")
+        futures = scheduler.submit("run", [1, 2], {"fail": True})
         for future in futures:
             assert isinstance(future.exception(), RuntimeError)
-        dispatcher.shutdown()
+        scheduler.shutdown()
 
     def test_submit_after_shutdown_raises(self):
         engine = _SlowEngine()
         engine.release.set()
-        dispatcher = AsyncDispatcher(engine, name="test-dispatcher")
-        dispatcher.shutdown()
+        scheduler = BatchScheduler(engine, name="test-scheduler")
+        scheduler.shutdown()
         with pytest.raises(EngineError):
-            dispatcher.submit("run", [1], {}, None, None)
+            scheduler.submit("run", [1], {})
 
     def test_shutdown_drains_queued_batches(self):
         engine = _SlowEngine()
         engine.release.set()
-        dispatcher = AsyncDispatcher(engine, name="test-dispatcher")
-        futures = dispatcher.submit("run", [7], {}, None, None)
-        dispatcher.shutdown(wait=True)
+        scheduler = BatchScheduler(engine, name="test-scheduler")
+        futures = scheduler.submit("run", [7], {})
+        scheduler.shutdown(wait=True)
         assert futures[0].result() == 14
 
-    def test_raising_done_callback_does_not_kill_dispatcher(self):
+    def test_shutdown_is_idempotent_with_futures_pending(self):
+        engine = _SlowEngine()
+        scheduler = BatchScheduler(engine, name="test-scheduler")
+        first = scheduler.submit("run", [1], {})
+        second = scheduler.submit("run", [2], {})
+        engine.started.wait(timeout=10)
+        closer = threading.Thread(target=scheduler.shutdown)
+        closer.start()
+        engine.release.set()
+        # A second shutdown racing the first must drain, not raise.
+        scheduler.shutdown()
+        closer.join(timeout=10)
+        assert not closer.is_alive()
+        assert gather(first) + gather(second) == [2, 4]
+
+    def test_raising_done_callback_does_not_kill_scheduler(self):
         engine = _SlowEngine()
         engine.release.set()
-        dispatcher = AsyncDispatcher(engine, name="test-dispatcher")
-        poisoned = dispatcher.submit("run", [1], {}, None, None)[0]
+        scheduler = BatchScheduler(engine, name="test-scheduler")
+        poisoned = scheduler.submit("run", [1], {})[0]
         poisoned.add_done_callback(lambda f: 1 / 0)
         assert poisoned.result() == 2
-        # The dispatcher thread survived the raising callback.
-        assert dispatcher.submit("run", [2], {}, None, None)[0].result() == 4
-        dispatcher.shutdown()
+        # The scheduler survived the raising callback.
+        assert scheduler.submit("run", [2], {})[0].result() == 4
+        scheduler.shutdown()
 
 
 # ----------------------------------------------------------------------------
@@ -392,12 +421,13 @@ class TestExpectationsOnlyIPC:
         engine.expectation_batch(
             schedules[:2], tfim4, max_workers=WORKERS, parallelism="process"
         )
-        first_pool = engine._pool_handle
+        (first_pool,) = engine._pools.handles()
         engine.expectations_only_ipc = True
         engine.expectation_batch(
             schedules[2:4], tfim4, max_workers=WORKERS, parallelism="process"
         )
-        assert engine._pool_handle is not first_pool
+        (second_pool,) = engine._pools.handles()
+        assert second_pool is not first_pool
         engine.close()
 
 

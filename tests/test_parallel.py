@@ -8,8 +8,8 @@ Covers the guarantees the parallel subsystem promises:
   content-hash caches as warm as a serial one, and stats deltas fold back;
 * the prefix-aware shard scheduler — common-prefix grouping, duplicate
   co-location, cost balancing, degenerate sizes;
-* the ``(parallelism, max_workers)`` knob resolution, including historical
-  ``max_workers``-only behaviour;
+* the ``(parallelism, max_workers)`` knob resolution, including the removed
+  historical ``max_workers``-only behaviour;
 * frontend routing — estimator batches and window-tuner sweeps produce
   identical outcomes on every tier.
 
@@ -87,10 +87,15 @@ class TestResolveParallelism:
     def test_legacy_max_workers_semantics(self):
         assert resolve_parallelism(None, None, 8) == ParallelismPlan("serial", 1)
         assert resolve_parallelism(None, 1, 8) == ParallelismPlan("serial", 1)
-        # The implied-threads path still works but is deprecated: callers
-        # should pass parallelism="thread" explicitly (docs/api.md).
-        with pytest.deprecated_call():
-            assert resolve_parallelism(None, 4, 8) == ParallelismPlan("thread", 4)
+        # The implied-threads path went through its deprecation cycle and is
+        # now removed: the error points callers at the migration notes.
+        with pytest.raises(EngineError, match="docs/api.md"):
+            resolve_parallelism(None, 4, 8)
+
+    def test_removed_implied_threads_raises_from_batch_calls(self, logical_circuits):
+        engine = StatevectorEngine(seed=1)
+        with pytest.raises(EngineError, match="parallelism='thread'"):
+            engine.run_batch(logical_circuits, max_workers=4)
 
     def test_explicit_modes(self):
         assert resolve_parallelism("serial", 16, 8).mode == "serial"
@@ -325,13 +330,12 @@ class TestPoolLifecycle:
         _, schedules = sweep_schedules
         engine = NoisyDensityMatrixEngine(device_noise, seed=2)
         engine.expectation_batch(schedules[:3], tfim4, max_workers=WORKERS, parallelism="process")
-        first_pool = engine._pool_handle
-        assert first_pool is not None
+        (first_pool,) = engine._pools.handles()
         engine.clear_caches()  # must not kill the pool
         engine.expectation_batch(schedules[3:], tfim4, max_workers=WORKERS, parallelism="process")
-        assert engine._pool_handle is first_pool
+        assert engine._pools.handles() == [first_pool]
         engine.close()
-        assert engine._pool_handle is None
+        assert engine._pools.handles() == []
         engine.close()  # idempotent
         # Engine is usable again after close (a fresh pool spins up).
         values = engine.expectation_batch(
@@ -347,10 +351,10 @@ class TestPoolLifecycle:
         noise = NoiseModel.from_device(device)
         engine = NoisyDensityMatrixEngine(noise, seed=2)
         engine.run_batch(schedules[:3], max_workers=WORKERS, parallelism="process")
-        first_pool = engine._pool_handle
+        (first_pool,) = engine._pools.handles()
         noise.include_relaxation = False
         toggled = engine.run_batch(schedules[:3], max_workers=WORKERS, parallelism="process")
-        assert engine._pool_handle is not first_pool
+        assert engine._pools.handles() != [first_pool]
         fresh = NoisyDensityMatrixEngine(noise, seed=2).run_batch(schedules[:3])
         for a, b in zip(toggled, fresh):
             assert np.array_equal(a.state.data, b.state.data)

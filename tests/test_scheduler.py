@@ -1,0 +1,544 @@
+"""Tests for the slot-based batch scheduler (:mod:`repro.engine.scheduler`).
+
+Covers the policies ``docs/scheduler.md`` promises:
+
+* per-tier slots — independent batches overlap up to the tier's slot limit,
+  the serial tier never overlaps;
+* dependency detection — batches whose schedule hash chains overlap
+  serialize, disjoint ones run concurrently, and the chain root (shared
+  device/layout context) never counts as a conflict;
+* fairness — round-robin across submitters keeps a saturating submitter from
+  starving an occasional one; a priority hint overrides round-robin order;
+* concurrent-frontend parity — two estimators sharing one engine get
+  bit-identical values to a serial drain, with stats and caches merged
+  correctly under racing completions;
+* pool sharing — concurrent process-tier batches share one worker pool and
+  never retire each other's workers;
+* teardown — ``engine.close()`` is idempotent, drains pending futures, and
+  is safe from inside a done-callback.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.circuits import efficient_su2
+from repro.engine import (
+    BatchScheduler,
+    NoisyDensityMatrixEngine,
+    StatevectorEngine,
+    gather,
+)
+from repro.engine.parallel import EngineWorkerSpec, ProcessPoolRegistry
+from repro.engine.scheduler import DEFAULT_SLOTS, job_chains, job_fingerprints
+from repro.exceptions import EngineError
+from repro.mitigation.gate_scheduling import GSConfig, reschedule_gate
+from repro.transpiler import transpile
+from repro.vqe import ExpectationEstimator
+
+WORKERS = 2
+
+
+# ----------------------------------------------------------------------------
+# A controllable probe engine for scheduling-policy tests
+# ----------------------------------------------------------------------------
+
+class _ProbeEngine:
+    """Engine stand-in that records batch concurrency and execution order.
+
+    Batch items *are* their hash chains (tuples of strings), so tests inject
+    conflicts directly; each batch carries a ``tag`` in its kwargs and can be
+    gated on an event to hold it in its executing state.
+    """
+
+    def __init__(self):
+        self.condition = threading.Condition()
+        self.active: list = []
+        self.started: list = []
+        self.finished: list = []
+        self.max_active = 0
+        self.gates: dict = {}
+
+    def _shard_chain(self, kind, item):
+        return item
+
+    def _dispatch_batch(self, kind, items, kwargs, max_workers, parallelism, chains=None):
+        tag = kwargs["tag"]
+        with self.condition:
+            self.active.append(tag)
+            self.started.append(tag)
+            self.max_active = max(self.max_active, len(self.active))
+            self.condition.notify_all()
+        gate = self.gates.get(tag)
+        if gate is not None and not gate.wait(timeout=10):  # pragma: no cover
+            raise EngineError("test gate never opened")
+        with self.condition:
+            self.active.remove(tag)
+            self.finished.append(tag)
+            self.condition.notify_all()
+        return [None] * len(items)
+
+    def wait_started(self, count: int, timeout: float = 10.0) -> bool:
+        with self.condition:
+            return self.condition.wait_for(lambda: len(self.started) >= count, timeout)
+
+
+def _items(prefix: str, count: int = 2):
+    """Disjoint two-entry chains rooted in a shared (excluded) root."""
+    return [("root", f"{prefix}-{index}") for index in range(count)]
+
+
+def _submit(scheduler, tag, items, *, tier="thread", submitter=None, priority=0, gated=None):
+    if gated is not None:
+        gated.engine.gates.setdefault(tag, gated.event)
+    return scheduler.submit(
+        "run", items, {"tag": tag}, max_workers=WORKERS, parallelism=tier,
+        submitter=submitter if submitter is not None else tag[0], priority=priority,
+    )
+
+
+class TestSlotPolicy:
+    def test_disjoint_thread_batches_overlap_up_to_slot_limit(self):
+        engine = _ProbeEngine()
+        scheduler = BatchScheduler(engine, name="test-scheduler")
+        gate = threading.Event()
+        for tag in ("A1", "B1", "C1"):
+            engine.gates[tag] = gate
+        futures = []
+        futures += _submit(scheduler, "A1", _items("a"))
+        futures += _submit(scheduler, "B1", _items("b"))
+        futures += _submit(scheduler, "C1", _items("c"))
+        assert engine.wait_started(2)
+        # The third disjoint batch must wait: the thread tier has two slots.
+        assert not engine.wait_started(3, timeout=0.25)
+        gate.set()
+        gather(futures)
+        scheduler.shutdown()
+        assert engine.max_active == DEFAULT_SLOTS["thread"] == 2
+
+    def test_serial_tier_never_overlaps(self):
+        engine = _ProbeEngine()
+        scheduler = BatchScheduler(engine, name="test-scheduler")
+        gate = threading.Event()
+        engine.gates["A1"] = gate
+        engine.gates["B1"] = gate
+        futures = _submit(scheduler, "A1", _items("a"), tier="serial")
+        futures += _submit(scheduler, "B1", _items("b"), tier="serial")
+        assert engine.wait_started(1)
+        assert not engine.wait_started(2, timeout=0.25)
+        gate.set()
+        gather(futures)
+        scheduler.shutdown()
+        assert engine.max_active == 1
+
+    def test_deep_prefix_conflicts_serialize(self):
+        engine = _ProbeEngine()
+        scheduler = BatchScheduler(engine, name="test-scheduler")
+        gate = threading.Event()
+        engine.gates["A1"] = gate
+        # The shared prefix covers 3 of 4 instructions — deep enough that
+        # serializing preserves real checkpoint reuse.
+        shared = [("root", "s1", "s2", "s3", "a-tail"), ("root", "other-1", "other-2")]
+        overlapping = [("root", "s1", "s2", "s3", "b-tail")]
+        futures = _submit(scheduler, "A1", shared)
+        assert engine.wait_started(1)
+        futures += _submit(scheduler, "B1", overlapping)
+        assert not engine.wait_started(2, timeout=0.25)
+        gate.set()
+        gather(futures)
+        scheduler.shutdown()
+        assert engine.max_active == 1
+        assert engine.started == ["A1", "B1"]
+
+    def test_shallow_shared_prefix_does_not_serialize(self):
+        # Same-ansatz frontends share their parameter-independent leading
+        # instructions; that shallow prefix (1 of 4 here) is not worth
+        # serializing for — the batches must overlap.
+        engine = _ProbeEngine()
+        scheduler = BatchScheduler(engine, name="test-scheduler")
+        gate = threading.Event()
+        engine.gates["A1"] = gate
+        engine.gates["B1"] = gate
+        futures = _submit(
+            scheduler,
+            "A1",
+            [("root", "prep", "a2", "a3", "a4"), ("root", "prep", "a2x", "a3x", "a4x")],
+        )
+        futures += _submit(
+            scheduler,
+            "B1",
+            [("root", "prep", "b2", "b3", "b4"), ("root", "prep", "b2x", "b3x", "b4x")],
+        )
+        assert engine.wait_started(2)
+        gate.set()
+        gather(futures)
+        scheduler.shutdown()
+        assert engine.max_active == 2
+
+    def test_identical_schedules_always_conflict(self):
+        # Content-identical items share the full fingerprint, which is always
+        # part of the conflict key no matter the chain length.
+        engine = _ProbeEngine()
+        scheduler = BatchScheduler(engine, name="test-scheduler")
+        gate = threading.Event()
+        engine.gates["A1"] = gate
+        same = [("root", "x1", "x2", "x3", "x4")]
+        futures = _submit(scheduler, "A1", same)
+        assert engine.wait_started(1)
+        futures += _submit(scheduler, "B1", list(same))
+        assert not engine.wait_started(2, timeout=0.25)
+        gate.set()
+        gather(futures)
+        scheduler.shutdown()
+        assert engine.max_active == 1
+
+    def test_chain_roots_do_not_conflict(self):
+        # Same root, disjoint instruction entries: must overlap.
+        engine = _ProbeEngine()
+        scheduler = BatchScheduler(engine, name="test-scheduler")
+        gate = threading.Event()
+        engine.gates["A1"] = gate
+        engine.gates["B1"] = gate
+        futures = _submit(scheduler, "A1", [("root", "a-1"), ("root", "a-2")])
+        futures += _submit(scheduler, "B1", [("root", "b-1"), ("root", "b-2")])
+        assert engine.wait_started(2)
+        gate.set()
+        gather(futures)
+        scheduler.shutdown()
+        assert engine.max_active == 2
+
+
+class TestFairnessAndPriority:
+    def _single_slot_scheduler(self, engine):
+        return BatchScheduler(
+            engine, slots={"thread": 1, "process": 1}, name="test-scheduler"
+        )
+
+    def test_round_robin_across_submitters(self):
+        engine = _ProbeEngine()
+        scheduler = self._single_slot_scheduler(engine)
+        gate = threading.Event()
+        engine.gates["A1"] = gate
+        futures = _submit(scheduler, "A1", _items("a1"), submitter="A")
+        assert engine.wait_started(1)
+        # A saturates the queue, then B submits one batch.
+        for index in range(2, 5):
+            futures += _submit(scheduler, f"A{index}", _items(f"a{index}"), submitter="A")
+        futures += _submit(scheduler, "B1", _items("b1"), submitter="B")
+        gate.set()
+        gather(futures)
+        scheduler.shutdown()
+        # Round-robin: B's single batch runs right after A's in-flight one,
+        # not behind A's whole backlog.
+        assert engine.finished.index("B1") < engine.finished.index("A3")
+
+    def test_priority_overrides_round_robin(self):
+        engine = _ProbeEngine()
+        scheduler = self._single_slot_scheduler(engine)
+        gate = threading.Event()
+        engine.gates["A1"] = gate
+        futures = _submit(scheduler, "A1", _items("a1"), submitter="A")
+        assert engine.wait_started(1)
+        futures += _submit(scheduler, "A2", _items("a2"), submitter="A")
+        futures += _submit(scheduler, "B1", _items("b1"), submitter="B")
+        futures += _submit(scheduler, "C1", _items("c1"), submitter="C", priority=5)
+        gate.set()
+        gather(futures)
+        scheduler.shutdown()
+        # C outranks both queued heads despite submitting last.
+        assert engine.started.index("C1") == 1
+
+    def test_rotation_survives_emptied_queues(self):
+        """Picking a submitter whose queue then empties must not skip the
+        next submitter in rotation (the cursor is tracked by key, not by
+        index into the mutating key list)."""
+        engine = _ProbeEngine()
+        scheduler = self._single_slot_scheduler(engine)
+        gate = threading.Event()
+        engine.gates["A1"] = gate
+        futures = _submit(scheduler, "A1", _items("a1"), submitter="A")
+        assert engine.wait_started(1)
+        # One single-batch queue per submitter: each pick empties a queue.
+        futures += _submit(scheduler, "A2", _items("a2"), submitter="A")
+        futures += _submit(scheduler, "B1", _items("b1"), submitter="B")
+        futures += _submit(scheduler, "C1", _items("c1"), submitter="C")
+        gate.set()
+        gather(futures)
+        scheduler.shutdown()
+        assert engine.started == ["A1", "B1", "C1", "A2"]
+
+    def test_scheduler_slots_are_per_engine(self):
+        from repro.engine.scheduler import DEFAULT_SLOTS as defaults
+
+        one = StatevectorEngine(seed=1)
+        two = StatevectorEngine(seed=1)
+        one.scheduler_slots["thread"] = 8
+        assert two.scheduler_slots["thread"] == defaults["thread"] == 2
+        one.close()
+        two.close()
+
+    def test_submitters_keep_fifo_among_themselves(self):
+        engine = _ProbeEngine()
+        scheduler = self._single_slot_scheduler(engine)
+        gate = threading.Event()
+        engine.gates["A1"] = gate
+        futures = _submit(scheduler, "A1", _items("a1"), submitter="A")
+        assert engine.wait_started(1)
+        # A higher-priority later batch of the *same* submitter must not
+        # leapfrog its own earlier batch (per-submitter FIFO).
+        futures += _submit(scheduler, "A2", _items("a2"), submitter="A")
+        futures += _submit(scheduler, "A3", _items("a3"), submitter="A", priority=9)
+        gate.set()
+        gather(futures)
+        scheduler.shutdown()
+        assert engine.started == ["A1", "A2", "A3"]
+
+
+# ----------------------------------------------------------------------------
+# Real-engine fingerprints
+# ----------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def two_frontend_workloads(device):
+    """Two disjoint schedule families, as two independent frontends produce."""
+    ansatz = efficient_su2(4, reps=2, entanglement="circular")
+    rng = np.random.default_rng(33)
+    families = []
+    for _ in range(2):
+        bound = ansatz.bind_parameters(
+            rng.uniform(-math.pi, math.pi, ansatz.num_parameters)
+        )
+        bound.measure_all()
+        compiled = transpile(bound, device)
+        schedules = [compiled.scheduled]
+        for window in compiled.idle_windows[:2]:
+            schedules.append(reschedule_gate(compiled.scheduled, window, GSConfig(0.5)))
+        families.append(schedules)
+    return families
+
+
+class TestJobFingerprints:
+    def test_sweep_candidates_conflict_and_frontends_do_not(
+        self, device, device_noise, two_frontend_workloads
+    ):
+        engine = NoisyDensityMatrixEngine(device_noise, seed=1)
+        ansatz = efficient_su2(4, reps=2, entanglement="circular")
+        rng = np.random.default_rng(44)
+        bound = ansatz.bind_parameters(
+            rng.uniform(-math.pi, math.pi, ansatz.num_parameters)
+        )
+        bound.measure_all()
+        compiled = transpile(bound, device)
+        # A candidate modifying a *late* window shares a deep prefix with the
+        # base schedule -> conflict (serializing preserves checkpoint reuse).
+        candidate = reschedule_gate(
+            compiled.scheduled, compiled.idle_windows[-1], GSConfig(0.5)
+        )
+        base = job_fingerprints(job_chains(engine, "run", [compiled.scheduled]))
+        late = job_fingerprints(job_chains(engine, "run", [candidate]))
+        assert base & late
+        # Different frontends' bound circuits share no meaningful prefix
+        # (the chain root and shallow prep prefixes are excluded by design)
+        # -> no conflict.
+        first, second = two_frontend_workloads
+        assert not job_fingerprints(job_chains(engine, "run", first)) & job_fingerprints(
+            job_chains(engine, "run", second)
+        )
+        engine.close()
+
+
+# ----------------------------------------------------------------------------
+# Two frontends sharing one engine (the multi-tenant story)
+# ----------------------------------------------------------------------------
+
+def _run_frontends_concurrently(engine, workloads, hamiltonian, tier="thread"):
+    """Each workload runs on its own thread through its own estimator."""
+    estimators = [
+        ExpectationEstimator(engine.noise_model, seed=9, engine=engine) for _ in workloads
+    ]
+    results: dict = {}
+    errors: list = []
+
+    def frontend(index):
+        try:
+            futures = []
+            for schedules in workloads[index]:
+                futures.extend(
+                    estimators[index].submit_batch(
+                        schedules, hamiltonian, max_workers=WORKERS, parallelism=tier
+                    )
+                )
+            results[index] = [r.value for r in gather(futures)]
+        except Exception as error:  # pragma: no cover - surfaced below
+            errors.append(error)
+
+    threads = [threading.Thread(target=frontend, args=(i,)) for i in range(len(workloads))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors, errors
+    return [results[index] for index in range(len(workloads))]
+
+
+class TestConcurrentFrontendParity:
+    @pytest.mark.parametrize("tier", ("thread", "process"))
+    def test_bit_identical_to_serial_drain(
+        self, device_noise, two_frontend_workloads, tfim4, tier
+    ):
+        # Each frontend submits its family in two batches to exercise
+        # per-submitter FIFO alongside cross-submitter overlap.
+        workloads = [
+            [family[:2], family[2:]] for family in two_frontend_workloads
+        ]
+        shared = NoisyDensityMatrixEngine(device_noise, seed=3)
+        concurrent = _run_frontends_concurrently(shared, workloads, tfim4, tier=tier)
+        # Reference: a fresh engine draining the same schedules serially.
+        reference_engine = NoisyDensityMatrixEngine(device_noise, seed=3)
+        reference_estimator = ExpectationEstimator(
+            device_noise, seed=9, engine=reference_engine
+        )
+        for family, values in zip(two_frontend_workloads, concurrent):
+            blocking = [
+                r.value for r in reference_estimator.estimate_batch(family, tfim4)
+            ]
+            assert values == blocking
+        shared.close()
+        reference_engine.close()
+
+    def test_stats_and_caches_merge_under_racing_completions(
+        self, device_noise, two_frontend_workloads, tfim4
+    ):
+        workloads = [[family] for family in two_frontend_workloads]
+        shared = NoisyDensityMatrixEngine(device_noise, seed=3)
+        _run_frontends_concurrently(shared, workloads, tfim4, tier="process")
+        # The racing merges lost no counter updates: the parent's totals
+        # match a serial drain of the *same* process-tier batches (identical
+        # shard plans, so identical worker-side stats deltas).
+        drain = NoisyDensityMatrixEngine(device_noise, seed=3)
+        drain_estimator = ExpectationEstimator(device_noise, seed=9, engine=drain)
+        for family in two_frontend_workloads:
+            drain_estimator.estimate_batch(
+                family, tfim4, max_workers=WORKERS, parallelism="process"
+            )
+        assert shared.stats.as_dict() == drain.stats.as_dict()
+        # Every schedule's expectation landed in the parent caches exactly
+        # once: a blocking re-query is all hits, no simulation.
+        simulated = shared.stats.instructions_simulated
+        executions = shared.stats.executions
+        all_schedules = [s for family in two_frontend_workloads for s in family]
+        requery = shared.expectation_batch(all_schedules, tfim4)
+        assert shared.stats.instructions_simulated == simulated
+        assert shared.stats.executions == executions
+        assert requery == drain.expectation_batch(all_schedules, tfim4)
+        shared.close()
+        drain.close()
+
+
+# ----------------------------------------------------------------------------
+# Pool sharing across overlapping batches
+# ----------------------------------------------------------------------------
+
+class TestPoolSharing:
+    def test_concurrent_process_batches_share_one_pool(
+        self, device_noise, two_frontend_workloads, tfim4
+    ):
+        workloads = [[family] for family in two_frontend_workloads]
+        shared = NoisyDensityMatrixEngine(device_noise, seed=4)
+        _run_frontends_concurrently(shared, workloads, tfim4, tier="process")
+        # Both frontends' process batches ran on one pool; nobody retired
+        # the other's workers mid-flight.
+        assert len(shared._pools.handles()) == 1
+        shared.close()
+
+    def test_registry_shares_live_pools_and_defers_stale_shutdown(self):
+        registry = ProcessPoolRegistry()
+        spec_a = EngineWorkerSpec(StatevectorEngine, {"seed": 1}, cache_key="ctx-a")
+        executor_1, key_1 = registry.acquire(spec_a, 2)
+        # A concurrent batch with a different worker count shares the live
+        # pool instead of retiring it.
+        executor_2, key_2 = registry.acquire(spec_a, 3)
+        assert executor_2 is executor_1 and key_2 == key_1
+        assert len(registry.handles()) == 1
+        # A stale configuration must not rip the busy pool away: the old pool
+        # survives until its last release, the new one coexists.
+        spec_b = EngineWorkerSpec(StatevectorEngine, {"seed": 1}, cache_key="ctx-b")
+        executor_3, key_3 = registry.acquire(spec_b, 2)
+        assert executor_3 is not executor_1
+        assert len(registry.handles()) == 2
+        registry.release(key_1)
+        assert len(registry.handles()) == 2  # still in use by the sharer
+        registry.release(key_2)
+        assert registry.handles() == [h for h in registry.handles() if h.key == key_3]
+        registry.release(key_3)
+        registry.shutdown()
+        assert registry.handles() == []
+
+    def test_registry_retires_idle_stale_pools_immediately(self):
+        registry = ProcessPoolRegistry()
+        spec_a = EngineWorkerSpec(StatevectorEngine, {"seed": 1}, cache_key="ctx-a")
+        _, key = registry.acquire(spec_a, 2)
+        registry.release(key)
+        spec_b = EngineWorkerSpec(StatevectorEngine, {"seed": 1}, cache_key="ctx-b")
+        _, key_b = registry.acquire(spec_b, 2)
+        handles = registry.handles()
+        assert [handle.key for handle in handles] == [key_b]
+        registry.release(key_b)
+        registry.shutdown()
+
+
+# ----------------------------------------------------------------------------
+# Engine teardown through the scheduler
+# ----------------------------------------------------------------------------
+
+class TestEngineClose:
+    def test_close_is_idempotent_with_futures_pending(self, two_frontend_workloads, tfim4, device_noise):
+        engine = NoisyDensityMatrixEngine(device_noise, seed=5)
+        futures = engine.submit_expectation_batch(two_frontend_workloads[0], tfim4)
+        engine.close()
+        engine.close()  # second close with (now resolved) futures: no raise
+        assert all(future.done() for future in futures)
+        values = gather(futures)
+        assert values == engine.expectation_batch(two_frontend_workloads[0], tfim4)
+        engine.close()
+
+    def test_concurrent_closes_both_drain(self, two_frontend_workloads, tfim4, device_noise):
+        engine = NoisyDensityMatrixEngine(device_noise, seed=6)
+        futures = engine.submit_expectation_batch(two_frontend_workloads[1], tfim4)
+        threads = [threading.Thread(target=engine.close) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads)
+        assert all(future.done() for future in futures)
+        gather(futures)
+
+    def test_close_from_done_callback_does_not_deadlock(self, logical_circuits_sched, tfim4, device_noise):
+        engine = NoisyDensityMatrixEngine(device_noise, seed=7)
+        closed = threading.Event()
+
+        def close_engine(_future):
+            engine.close()
+            closed.set()
+
+        futures = engine.submit_expectation_batch(logical_circuits_sched, tfim4)
+        futures[-1].add_done_callback(close_engine)
+        gather(futures)
+        assert closed.wait(timeout=30)
+        # The engine stays usable afterwards.
+        assert gather(engine.submit_expectation_batch(logical_circuits_sched, tfim4)) == gather(futures)
+        engine.close()
+
+
+@pytest.fixture(scope="module")
+def logical_circuits_sched(device):
+    ansatz = efficient_su2(4, reps=1, entanglement="linear")
+    rng = np.random.default_rng(12)
+    bound = ansatz.bind_parameters(rng.uniform(-math.pi, math.pi, ansatz.num_parameters))
+    bound.measure_all()
+    return [transpile(bound, device).scheduled]

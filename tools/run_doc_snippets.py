@@ -1,4 +1,5 @@
-"""Execute every fenced ``python`` snippet in the given markdown files.
+"""Execute every fenced ``python`` snippet in the given markdown files, and
+validate their intra-repository links.
 
 Usage::
 
@@ -14,18 +15,27 @@ A fence opened with ```` ```python no-run ```` is extracted but not executed
 (for illustrating APIs that need resources the CI container lacks); plain
 ```` ``` ```` fences and other languages are ignored entirely.
 
+In addition to running snippets, every relative markdown link —
+``[text](other.md)``, ``[text](other.md#section)``, ``[text](#section)``,
+``[text](../examples/quickstart.py)`` — is resolved against the repository:
+the target file must exist, and a ``#fragment`` pointing into a markdown
+file must name one of its heading anchors (GitHub slug rules).  External
+links (``http(s)://``, ``mailto:``) are left alone.
+
 This is the CI guard that keeps the docs subsystem from rotting: a renamed
 method or changed signature fails the snippet run the same way it would fail
-a user.
+a user, and a renamed document or section breaks the link check instead of a
+reader.
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 import traceback
 from pathlib import Path
-from typing import List, NamedTuple
+from typing import List, NamedTuple, Set, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -61,6 +71,91 @@ def extract_snippets(path: Path) -> List[Snippet]:
             continue
         lines.append(raw)
     return snippets
+
+
+# ----------------------------------------------------------------------------
+# Intra-repository link validation
+# ----------------------------------------------------------------------------
+
+#: Inline markdown links (and images): ``[text](target)`` with an optional
+#: ``"title"``.  Targets never contain whitespace in this repository.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+_EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _unfenced_lines(path: Path) -> List[Tuple[int, str]]:
+    """``(line number, text)`` for every line outside fenced code blocks."""
+    lines: List[Tuple[int, str]] = []
+    fenced = False
+    for number, raw in enumerate(path.read_text().splitlines(), start=1):
+        if raw.strip().startswith("```"):
+            fenced = not fenced
+            continue
+        if not fenced:
+            lines.append((number, raw))
+    return lines
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, punctuation stripped,
+    spaces to hyphens."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\s-]", "", slug)
+    return re.sub(r"\s+", "-", slug)
+
+
+def heading_anchors(path: Path) -> Set[str]:
+    """Every anchor a ``#fragment`` may target in a markdown file
+    (duplicate headings get ``-1``, ``-2``, ... suffixes, as on GitHub)."""
+    anchors: Set[str] = set()
+    counts: dict = {}
+    for _, line in _unfenced_lines(path):
+        match = re.match(r"(#{1,6})\s+(.*)", line)
+        if not match:
+            continue
+        slug = _slugify(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
+
+
+def check_links(path: Path) -> List[str]:
+    """Broken intra-repo links of one markdown file, as printable errors."""
+    errors: List[str] = []
+    for number, line in _unfenced_lines(path):
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL_SCHEMES):
+                continue
+            file_part, _, fragment = target.partition("#")
+            if file_part:
+                resolved = (path.parent / file_part).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{path}:{number}: broken link '{target}' "
+                        f"(no such file: {file_part})"
+                    )
+                    continue
+            else:
+                resolved = path.resolve()
+            if fragment and resolved.suffix == ".md":
+                if fragment not in heading_anchors(resolved):
+                    errors.append(
+                        f"{path}:{number}: broken link '{target}' "
+                        f"(no heading anchor '#{fragment}' in {resolved.name})"
+                    )
+    return errors
+
+
+def run_link_check(path: Path) -> int:
+    """Validate one file's links; returns 1 on any broken link."""
+    errors = check_links(path)
+    for error in errors:
+        print(f"[doc-links] FAILED {error}")
+    if not errors:
+        print(f"[doc-links] {path}: links ok")
+    return 1 if errors else 0
 
 
 def run_file(path: Path) -> int:
@@ -102,6 +197,7 @@ def main(argv: List[str] | None = None) -> int:
             print(f"[doc-snippets] missing file: {path}")
             failures += 1
             continue
+        failures += run_link_check(path)
         failures += run_file(path)
     if failures:
         print(f"[doc-snippets] {failures} file(s) failed")
