@@ -31,6 +31,9 @@ os.environ.setdefault("REPRO_BENCH_SMOKE", "1")
 
 BENCH_DIR = Path(__file__).resolve().parent
 sys.path.insert(0, str(BENCH_DIR))
+# The randomized-schedule leg shares its generator with the fuzz test suites
+# (one source for fuzz cases and benchmark inputs; see docs/testing.md).
+sys.path.insert(0, str(BENCH_DIR.parent / "tests"))
 
 import numpy as np
 
@@ -75,14 +78,18 @@ _PARALLEL_WORKERS = 4
 def _h2_tuner_comparison():
     """Time the H2 window-tuner sweep across every execution tier.
 
-    Five legs tune from the same compiled schedule: the legacy *sequential*
+    Six legs tune from the same compiled schedule: the legacy *sequential*
     path (no cache, no prefix reuse — what the pre-engine code did), the
-    batched engine path in its *serial*, *thread* and *process* tiers, and
-    the *pipelined* leg — asynchronous submission over the process tier,
-    where the tuner builds window N+1's candidates while window N's execute
-    (``docs/async.md``).  With ``shots=None`` the tuned energies of all legs
-    must agree bit for bit (the engine acceptance criterion); only wall-clock
-    may differ.
+    batched engine path in its *serial*, *thread* and *process* tiers, the
+    *pipelined* leg — asynchronous submission over the process tier, where
+    the tuner builds window N+1's candidates while window N's execute
+    (``docs/async.md``) — and the *serial_exact* leg, which disables the
+    commutation-aware canonical keying (``docs/architecture.md``) to isolate
+    what canonicalisation is worth.  With ``shots=None`` the tuned energies
+    of the five canonical legs must agree bit for bit (the engine acceptance
+    criterion); only wall-clock may differ.  The exact-keying leg processes a
+    mathematically equivalent but differently-ordered operator sequence, so
+    its energy agrees to float tolerance and the delta is recorded.
     """
     from repro.engine import NoisyDensityMatrixEngine
     from repro.simulators import NoiseModel
@@ -105,12 +112,17 @@ def _h2_tuner_comparison():
         # inherit the first leg's warmed channel cache and bias the speedups.
         batched = leg != "sequential"
         pipelined = leg == "pipelined"
-        tier = "process" if pipelined else leg
+        exact_keying = leg == "serial_exact"
+        tier = "process" if pipelined else ("serial" if exact_keying else leg)
         noise_model = NoiseModel.from_device(device)
         engine = NoisyDensityMatrixEngine(
             noise_model,
             seed=11,
             enable_prefix_reuse=batched,
+            # The serial_exact leg keys and processes the plain time-sorted
+            # order (pre-canonicalisation behaviour), isolating what the
+            # commutation-aware canonical keying is worth.
+            enable_canonicalisation=not exact_keying,
             # The sequential leg re-simulates every evaluation, like the
             # pre-engine code did.
             result_cache_bytes=(256 << 20) if batched else 0,
@@ -164,6 +176,7 @@ def _h2_tuner_comparison():
     thread_s, thread, _ = tune("thread")
     process_s, process, _ = tune("process")
     pipelined_s, pipelined, _ = tune("pipelined")
+    exact_s, exact, exact_engine = tune("serial_exact")
     energies = {
         "sequential": sequential.tuned_value,
         "serial": serial.tuned_value,
@@ -180,6 +193,21 @@ def _h2_tuner_comparison():
         "energies_exact_match": len(set(energies.values())) == 1,
         "num_evaluations": serial.num_evaluations,
         "engine_stats": engine.stats.as_dict(),
+        # The headline prefix-reuse number (tracked by
+        # tests/test_reuse_regression.py) plus the same sweep keyed on the
+        # plain time-sorted order, isolating the canonicalisation win.  The
+        # two orderings are mathematically equivalent operator sequences, so
+        # their energies agree to float tolerance but not bit for bit; the
+        # recorded delta keeps that honest.
+        "reuse_fraction": engine.stats.reuse_fraction,
+        "canonicalisation": {
+            "reuse_fraction": engine.stats.reuse_fraction,
+            "exact_keying_reuse_fraction": exact_engine.stats.reuse_fraction,
+            "exact_keying_seconds": exact_s,
+            "canonical_vs_exact_energy_delta": abs(
+                serial.tuned_value - exact.tuned_value
+            ),
+        },
         "parallelism": {
             "workers": _PARALLEL_WORKERS,
             "cpu_count": os.cpu_count(),
@@ -325,6 +353,62 @@ def _concurrent_frontends_leg():
     }
 
 
+def _randomized_reuse_leg():
+    """Canonical vs exact keying on the shared randomized schedule families.
+
+    Inputs come from ``tests/randomized.py`` — the same seeded generator the
+    fuzz suites run — so this leg benchmarks exactly the cases the
+    differential tests prove correct.  Each family is a base schedule, its
+    sweep-style DD/GS variants and one benign permutation of the base (same
+    content, reassembled instruction list).  Canonical keying deduplicates
+    the permutation outright (a result-cache hit) and shares longer
+    checkpoint prefixes inside each family; the exact-keying pass quantifies
+    both effects on the same inputs.
+    """
+    import randomized
+    from repro.engine import NoisyDensityMatrixEngine
+    from repro.simulators import NoiseModel
+
+    device = randomized.fuzz_device()
+    seeds = randomized.fuzz_seeds(6, offset=500)
+    families = []
+    for seed in seeds:
+        compiled = randomized.random_compiled(seed, device=device)
+        family = randomized.schedule_family(compiled, seed)
+        family.append(randomized.benign_permutation(family[0], seed))
+        families.append(family)
+    num_schedules = sum(len(family) for family in families)
+
+    def run(enable_canonicalisation):
+        noise_model = NoiseModel.from_device(device)
+        engine = NoisyDensityMatrixEngine(
+            noise_model, seed=5, enable_canonicalisation=enable_canonicalisation
+        )
+        start = time.perf_counter()
+        for family in families:
+            for scheduled in family:
+                engine.run(scheduled)
+        elapsed = time.perf_counter() - start
+        stats = engine.stats.as_dict()
+        engine.close()
+        return elapsed, stats
+
+    canonical_seconds, canonical_stats = run(True)
+    exact_seconds, exact_stats = run(False)
+    return {
+        "seeds": seeds,
+        "num_families": len(families),
+        "num_schedules": num_schedules,
+        "canonical_seconds": canonical_seconds,
+        "exact_seconds": exact_seconds,
+        "speedup": exact_seconds / canonical_seconds if canonical_seconds else float("inf"),
+        "canonical_reuse_fraction": canonical_stats["reuse_fraction"],
+        "exact_reuse_fraction": exact_stats["reuse_fraction"],
+        "canonical_cache_hits": canonical_stats["cache_hits"],
+        "exact_cache_hits": exact_stats["cache_hits"],
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -361,6 +445,13 @@ def main() -> None:
             f"batched {tuner['batched_seconds']:.2f}s "
             f"({tuner['speedup']:.1f}x, exact match: {tuner['energies_exact_match']})"
         )
+        canonicalisation = tuner["canonicalisation"]
+        print(
+            f"[run_all] h2 tuner prefix reuse: canonical "
+            f"{canonicalisation['reuse_fraction']:.3f} vs exact keying "
+            f"{canonicalisation['exact_keying_reuse_fraction']:.3f} "
+            f"(energy delta {canonicalisation['canonical_vs_exact_energy_delta']:.2e})"
+        )
         parallel = tuner["parallelism"]
         print(
             f"[run_all] h2 tuner tiers ({parallel['workers']} workers, "
@@ -392,6 +483,23 @@ def main() -> None:
             f"{concurrent['values_exact_match']})"
         )
 
+    # Randomized-schedule leg: benchmark inputs shared with the fuzz suites.
+    randomized_reuse = None
+    try:
+        randomized_reuse = _randomized_reuse_leg()
+    except Exception as error:
+        failures["randomized_reuse"] = f"{type(error).__name__}: {error}"
+        print(f"[run_all] randomized reuse FAILED ({failures['randomized_reuse']})")
+    if randomized_reuse is not None:
+        print(
+            f"[run_all] randomized reuse ({randomized_reuse['num_schedules']} schedules): "
+            f"canonical {randomized_reuse['canonical_reuse_fraction']:.3f} "
+            f"({randomized_reuse['canonical_cache_hits']} dedup hits) vs exact "
+            f"{randomized_reuse['exact_reuse_fraction']:.3f} "
+            f"({randomized_reuse['exact_cache_hits']} hits), "
+            f"{randomized_reuse['speedup']:.2f}x faster"
+        )
+
     payload = {
         "mode": "smoke" if vaqem_shared.smoke_mode() else "default",
         "python": platform.python_version(),
@@ -401,6 +509,7 @@ def main() -> None:
         "pipeline_engine_stats": vaqem_shared.collected_engine_stats(),
         "h2_window_tuner": tuner,
         "h2_concurrent_frontends": concurrent,
+        "randomized_reuse": randomized_reuse,
     }
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

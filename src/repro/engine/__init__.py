@@ -1,6 +1,13 @@
 """Unified batched execution engines (see :mod:`repro.engine.base`)."""
 
 from .base import EngineResult, EngineStats, ExecutionEngine, ExpectationData
+from .canonical import (
+    canonical_order,
+    canonical_sort_key,
+    commutation_dag,
+    commutes,
+    instruction_footprints,
+)
 from .density_engine import NoisyDensityMatrixEngine, measure_pauli_sum
 from .fake_device_engine import FakeDeviceEngine
 from .futures import EngineFuture, gather
@@ -34,6 +41,11 @@ __all__ = [
     "EngineFuture",
     "BatchScheduler",
     "gather",
+    "canonical_order",
+    "canonical_sort_key",
+    "commutation_dag",
+    "commutes",
+    "instruction_footprints",
     "circuit_fingerprint",
     "circuit_hash_chain",
     "schedule_fingerprint",

@@ -49,7 +49,14 @@ Results are cached by *content fingerprint* (see
 :mod:`repro.engine.fingerprint`), never by object identity, so identical
 circuits are never simulated twice — no matter which frontend submitted them.
 Cache hits return the same numbers the original execution produced, bit for
-bit.
+bit.  For scheduled circuits the fingerprints, hash chains, prefix
+checkpoints, shard chains and scheduler conflict keys all digest the
+commutation-aware *canonical* processing order
+(:mod:`repro.engine.canonical`, enabled by default) — schedules equal up to
+benign reorderings of provably-commuting instructions share every one of
+those keys, and because execution itself replays the canonical order, a
+shared chain prefix always identifies a bit-identically replayable evolution
+prefix.
 
 Seeding contract
 ----------------

@@ -19,6 +19,16 @@ make VAQEM-style tuning sweeps affordable:
   only consults schedule content at or before its start time (see
   :mod:`repro.engine.fingerprint`).
 
+With ``enable_canonicalisation`` (the default) the processing order the
+chains digest — and the simulator executes — is the commutation-aware
+*canonical* order of :mod:`repro.engine.canonical`: schedules equal up to
+reordering of provably-commuting instructions share their fingerprints,
+cache lines, checkpoints, shard chains and scheduler conflict keys, and the
+canonical key deliberately defers DD-shaped pulses so sweep candidate
+families share the longest possible prefix.  Since every schedule executes
+its canonical order, a resumed prefix replays the exact instruction sequence
+the checkpoint's producer ran — bit-identical, never merely close.
+
 Both layers are thread-safe, so :meth:`run_batch` may fan out over threads
 without changing any result.  The engine also implements the process-tier
 worker protocol (:mod:`repro.engine.parallel`): batches submitted with
@@ -138,10 +148,16 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         snapshot_budget_bytes: int = 64 << 20,
         enable_prefix_reuse: bool = True,
         expectations_only_ipc: bool = False,
+        enable_canonicalisation: bool = True,
     ):
         super().__init__(seed=seed)
         self.noise_model = noise_model
         self.enable_prefix_reuse = enable_prefix_reuse
+        #: Process (and key) schedules in the commutation-aware canonical
+        #: order (see the module docstring and ``docs/architecture.md``).
+        #: Toggling this changes the processing order, so it salts every
+        #: cache key via :meth:`_noise_key`.
+        self.enable_canonicalisation = bool(enable_canonicalisation)
         self.result_cache_bytes = int(result_cache_bytes)
         self.expectation_cache_entries = int(expectation_cache_entries)
         self.snapshot_budget_bytes = int(snapshot_budget_bytes)
@@ -152,7 +168,9 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         #: cache then stays cold for those schedules (a later ``run`` of the
         #: same schedule re-simulates); values are unchanged either way.
         self.expectations_only_ipc = bool(expectations_only_ipc)
-        self._simulator = NoisySimulator(noise_model)
+        self._simulator = NoisySimulator(
+            noise_model, canonical_order=self.enable_canonicalisation
+        )
         self._results = _ByteBudgetStore(result_cache_bytes)
         self._expectations = _LRUCache(expectation_cache_entries)
         self._snapshots = _ByteBudgetStore(snapshot_budget_bytes)
@@ -185,6 +203,10 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
                 noise.include_gate_error,
                 noise.include_relaxation,
                 noise.time_offset_ns,
+                # The processing order is part of what a cached state is a
+                # function of: canonical and time-sorted execution agree only
+                # mathematically, not bit for bit.
+                self.enable_canonicalisation,
             )
         )
 
@@ -516,6 +538,7 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
                 "snapshot_budget_bytes": self.snapshot_budget_bytes,
                 "enable_prefix_reuse": self.enable_prefix_reuse,
                 "expectations_only_ipc": self.expectations_only_ipc,
+                "enable_canonicalisation": self.enable_canonicalisation,
             },
             # The noise key already digests the device calibration and every
             # noise-model flag, so post-construction toggles retire the pool.

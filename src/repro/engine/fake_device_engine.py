@@ -47,6 +47,7 @@ class FakeDeviceEngine(ExecutionEngine):
         scheduling_policy: str = "alap",
         transpile_cache_entries: int = 256,
         expectations_only_ipc: bool = False,
+        enable_canonicalisation: bool = True,
     ):
         super().__init__(seed=seed)
         self.device = get_device(device) if isinstance(device, str) else device
@@ -56,7 +57,10 @@ class FakeDeviceEngine(ExecutionEngine):
         self.scheduling_policy = scheduling_policy
         self.transpile_cache_entries = int(transpile_cache_entries)
         self._noisy = NoisyDensityMatrixEngine(
-            self.noise_model, seed=seed, expectations_only_ipc=expectations_only_ipc
+            self.noise_model,
+            seed=seed,
+            expectations_only_ipc=expectations_only_ipc,
+            enable_canonicalisation=enable_canonicalisation,
         )
         self._transpiled = _LRUCache(transpile_cache_entries)
         self._lock = threading.RLock()
@@ -232,6 +236,7 @@ class FakeDeviceEngine(ExecutionEngine):
                 "scheduling_policy": self.scheduling_policy,
                 "transpile_cache_entries": self.transpile_cache_entries,
                 "expectations_only_ipc": self._noisy.expectations_only_ipc,
+                "enable_canonicalisation": self._noisy.enable_canonicalisation,
             },
             cache_key=f"{self.name}:{self._noisy._noise_key()}:{context!r}",
         )

@@ -14,6 +14,12 @@ layout, register sizes and each qubit's first-activity time).  Two schedules
 with ``chain_a[k] == chain_b[k]`` evolve bit-identically through their first
 ``k`` instructions, so a snapshot taken at depth ``k`` of one can seed the
 other.
+
+The processing order the chains digest is the commutation-aware canonical
+order of :mod:`repro.engine.canonical` (what the simulator executes):
+schedules differing only in benign reorderings of commuting instructions
+share fingerprints, chains — and therefore caches, checkpoints, shard
+groupings and scheduler conflict keys.
 """
 
 from __future__ import annotations
@@ -199,9 +205,20 @@ def schedule_hash_chain(
     return chain
 
 
-def schedule_fingerprint(scheduled: "ScheduledCircuit") -> str:
-    """Full content fingerprint of a scheduled circuit (no chain)."""
-    return schedule_hash_chain(scheduled, scheduled.sorted_instructions())[-1]
+def schedule_fingerprint(scheduled: "ScheduledCircuit", canonical: bool = True) -> str:
+    """Full content fingerprint of a scheduled circuit (no chain).
+
+    Digests the canonical processing order by default, so benign
+    reorderings of commuting instructions fingerprint identically; pass
+    ``canonical=False`` for a digest of the plain time-sorted order.
+    """
+    if canonical:
+        from .canonical import canonical_order
+
+        ordered = canonical_order(scheduled)
+    else:
+        ordered = scheduled.sorted_instructions()
+    return schedule_hash_chain(scheduled, ordered)[-1]
 
 
 # ----------------------------------------------------------------------------

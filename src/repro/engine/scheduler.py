@@ -17,12 +17,17 @@ bound the engine-side concurrency no matter how many frontends submit.
 **Dependency detection.**  Two batches *conflict* when their schedule hash
 chains overlap — i.e. they contain items sharing a simulated prefix (or the
 identical schedule outright), so running them concurrently would duplicate
-the simulation work the prefix-reuse checkpoints otherwise save.  Conflicting
-batches serialize: a batch is only dispatched when no currently-running batch
-shares a chain entry with it.  Disjoint batches — the common case for
-independent frontends — overlap freely.  The chain *root* (which encodes
-device/layout context shared by every schedule of a device) is excluded, so
-"same device" alone never serializes anything.
+the simulation work the prefix-reuse checkpoints otherwise save.  The chains
+digest the *canonical* processing order (:mod:`repro.engine.canonical`), so
+two batches whose schedules commute into the same deep prefix conflict even
+when their instruction lists were assembled in different orders — while
+schedules that merely collide textually (same device, same shallow
+state-prep) do not.  Conflicting batches serialize: a batch is only
+dispatched when no currently-running batch shares a chain entry with it.
+Disjoint batches — the common case for independent frontends — overlap
+freely.  The chain *root* (which encodes device/layout context shared by
+every schedule of a device) is excluded, so "same device" alone never
+serializes anything.
 
 **Fairness and priority.**  Batches queue per *submitter* (an identity the
 frontends pass; anonymous submissions group by submitting thread) and each

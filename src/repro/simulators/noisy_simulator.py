@@ -21,6 +21,17 @@ boundaries and resume a later schedule from a shared prefix:
 the schedule in one sweep; a cursor resumed from a checkpoint of an identical
 prefix is bit-identical too, because processing an instruction only consults
 schedule content at or before its start time.
+
+The processing order itself is the *canonical* commutation-aware order of
+:mod:`repro.engine.canonical` (``canonical_order=True``, the default): a pure
+function of schedule content that lists provably-commuting instructions in a
+deterministic normal form.  Schedules that differ only in a benign
+permutation of commuting instructions therefore process the identical
+instruction sequence — bit-identical results, and shareable prefix
+checkpoints for the engine layer.  Pass ``canonical_order=False`` to process
+the plain time-sorted order instead (the pre-canonicalisation behaviour; the
+two orders are mathematically equivalent but differ at float rounding level
+when commuting instructions swap).
 """
 
 from __future__ import annotations
@@ -74,18 +85,41 @@ class EvolutionCursor:
 class NoisySimulator:
     """Density-matrix simulator driven by a scheduled circuit and a noise model."""
 
-    def __init__(self, noise_model: NoiseModel, seed: Optional[int] = None):
+    def __init__(
+        self,
+        noise_model: NoiseModel,
+        seed: Optional[int] = None,
+        canonical_order: bool = True,
+    ):
         self.noise_model = noise_model
+        #: Process instructions in the commutation-aware canonical order of
+        #: :mod:`repro.engine.canonical` (the default) rather than the plain
+        #: time-sorted order; see the module docstring.
+        self.canonical_order = bool(canonical_order)
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
     # Core evolution
     # ------------------------------------------------------------------
     def prepare(self, scheduled: ScheduledCircuit) -> ScheduleContext:
-        """Build the per-schedule lookup tables used while stepping."""
+        """Build the per-schedule lookup tables used while stepping.
+
+        ``context.ordered`` is the simulator's processing order — canonical
+        when :attr:`canonical_order` is set — and is what the engine layer's
+        schedule hash chains digest, so chain prefixes always identify
+        exactly the instruction sequence :meth:`advance` replays.
+        """
         if scheduled.num_qubits > 10:
             raise SimulationError("density-matrix simulation is limited to 10 qubits")
-        ordered = scheduled.sorted_instructions()
+        if self.canonical_order:
+            # Imported lazily: repro.engine pulls this module in at package
+            # import time, and the canonicalisation helpers live with the
+            # other content-keying code in the engine layer.
+            from ..engine.canonical import canonical_order
+
+            ordered = canonical_order(scheduled)
+        else:
+            ordered = scheduled.sorted_instructions()
         # Idle tracking starts at each qubit's first activity, since noise on
         # |0> before the runtime begins has no observable effect.
         initial_last_time: Dict[int, float] = {}
@@ -195,11 +229,21 @@ class NoisySimulator:
 
     @staticmethod
     def _idle_overlap(busy: List[Tuple[float, float]], start: float, end: float) -> float:
-        """Length of [start, end] during which a qubit with the given busy list idles."""
+        """Length of [start, end] during which a qubit with the given busy list idles.
+
+        ``busy`` is sorted by start time, so intervals from the first one
+        starting at or beyond ``end`` contribute exactly zero and the scan
+        stops there (an arithmetic no-op, not an approximation).  The
+        canonicalisation footprints (:mod:`repro.engine.canonical`) call
+        this method so their ZZ judgement can never drift from the
+        simulator's.
+        """
         if end <= start:
             return 0.0
         occupied = 0.0
         for b_start, b_end in busy:
+            if b_start >= end:
+                break
             lo = max(start, b_start)
             hi = min(end, b_end)
             if hi > lo:

@@ -1,0 +1,230 @@
+"""Seeded random circuit and schedule generation, shared by tests and benchmarks.
+
+One generator feeds both the fuzz suites (``test_canonical.py``,
+``test_randomized_differential.py``) and the randomized benchmark leg in
+``benchmarks/run_all.py``, so benchmark inputs and fuzz cases come from the
+same source and a failing case is always reproducible from its seed alone
+(see ``docs/testing.md``).
+
+Everything here is a pure function of its ``seed`` argument: the same seed
+produces the same circuit, schedule, variant family or permutation on every
+platform and in every process.  No pytest dependency — the module is plain
+Python, imported by the test suite from the ``tests`` directory and by the
+benchmark driver via an explicit ``sys.path`` entry.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends import fake_casablanca
+from repro.circuits import QuantumCircuit
+from repro.engine.canonical import commutes, instruction_footprints
+from repro.mitigation.dd import DDConfig, insert_dd_sequences, max_sequences_in_window
+from repro.mitigation.gate_scheduling import GSConfig, movable_gate, reschedule_gate
+from repro.transpiler import transpile
+from repro.transpiler.pipeline import TranspileResult
+from repro.transpiler.scheduling import ScheduledCircuit
+
+#: Parameterized single-qubit gates the generator draws angles for.
+_PARAMETRIC_1Q = ("rx", "ry", "rz")
+#: Fixed single-qubit gates, including the diagonal ones (commuting
+#: same-qubit adjacencies) and x/y (the DD-pulse shapes the canonical key
+#: defers).
+_FIXED_1Q = ("x", "y", "h", "s", "sx", "t", "z")
+
+
+def fuzz_device(seed: int = 7001):
+    """The deterministic 7-qubit device every fuzz case runs on.
+
+    The Casablanca model carries the full noise surface the canonicalisation
+    rules must respect — coupling map, nonzero ZZ crosstalk rates, per-qubit
+    calibration — and a fixed construction seed keeps fingerprints stable
+    across runs.
+    """
+    return fake_casablanca(seed=seed)
+
+
+def random_circuit(
+    seed: int,
+    num_qubits: int = 4,
+    depth: int = 12,
+    p_two_qubit: float = 0.25,
+    p_delay: float = 0.15,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """A seeded random logical circuit with idle windows.
+
+    ``depth`` counts layers; each layer applies, per qubit, either a random
+    single-qubit gate (parameterized or fixed), joins a two-qubit ``cx``
+    (non-commuting adjacencies), or inserts an explicit ``delay`` (idle
+    windows for the schedule-level fuzzing).  Consecutive same-qubit draws
+    produce both commuting (diagonal-diagonal) and non-commuting adjacencies
+    by construction.
+    """
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"fuzz_{seed}")
+    for _ in range(depth):
+        order = list(rng.permutation(num_qubits))
+        used: set = set()
+        while order:
+            qubit = order.pop(0)
+            if qubit in used:
+                continue
+            used.add(qubit)
+            draw = rng.random()
+            if draw < p_two_qubit and order:
+                partners = [q for q in order if q not in used]
+                if partners:
+                    partner = partners[int(rng.integers(len(partners)))]
+                    used.add(partner)
+                    if rng.random() < 0.5:
+                        circuit.cx(qubit, partner)
+                    else:
+                        circuit.cx(partner, qubit)
+                    continue
+            if draw < p_two_qubit + p_delay:
+                circuit.delay(float(rng.uniform(40.0, 400.0)), qubit)
+            elif rng.random() < 0.5:
+                name = _PARAMETRIC_1Q[int(rng.integers(len(_PARAMETRIC_1Q)))]
+                getattr(circuit, name)(float(rng.uniform(-np.pi, np.pi)), qubit)
+            else:
+                name = _FIXED_1Q[int(rng.integers(len(_FIXED_1Q)))]
+                getattr(circuit, name)(qubit)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def random_compiled(
+    seed: int,
+    num_qubits: int = 4,
+    depth: int = 12,
+    device=None,
+    **kwargs,
+) -> TranspileResult:
+    """Transpile a :func:`random_circuit` for the fuzz device.
+
+    Returns the full :class:`TranspileResult` (schedule plus idle windows),
+    so callers can build DD/GS variant families from the same compilation.
+    """
+    device = device if device is not None else fuzz_device()
+    circuit = random_circuit(seed, num_qubits=num_qubits, depth=depth, **kwargs)
+    return transpile(circuit, device)
+
+
+def random_schedule(seed: int, num_qubits: int = 4, depth: int = 12, device=None) -> ScheduledCircuit:
+    """The scheduled circuit of :func:`random_compiled` (convenience)."""
+    return random_compiled(seed, num_qubits=num_qubits, depth=depth, device=device).scheduled
+
+
+def schedule_family(
+    compiled: TranspileResult,
+    seed: int,
+    max_variants: int = 6,
+) -> List[ScheduledCircuit]:
+    """Sweep-style variants of one compiled schedule (base always first).
+
+    Mirrors what the window tuner evaluates: DD pulses inserted into idle
+    windows and single-qubit gates moved within them.  These are the
+    families whose canonical prefixes the engine's reuse fast path shares.
+    """
+    rng = np.random.default_rng(seed)
+    variants: List[ScheduledCircuit] = [compiled.scheduled]
+    windows = list(compiled.idle_windows)
+    rng.shuffle(windows)
+    for window in windows:
+        if len(variants) > max_variants:
+            break
+        capacity = max_sequences_in_window(window, compiled.scheduled, "xy4")
+        if capacity > 0:
+            count = int(rng.integers(1, capacity + 1))
+            variants.append(
+                insert_dd_sequences(compiled.scheduled, window, DDConfig("xy4", count))
+            )
+        if movable_gate(compiled.scheduled, window) is not None:
+            position = float(rng.uniform(0.0, 1.0))
+            variants.append(reschedule_gate(compiled.scheduled, window, GSConfig(position)))
+    return variants[: max_variants + 1]
+
+
+# ----------------------------------------------------------------------------
+# Benign permutations (the canonicalisation oracle's "allowed" reorderings)
+# ----------------------------------------------------------------------------
+
+def _tie_key(timed) -> Tuple[float, bool]:
+    """The stable-sort tie group of ``sorted_instructions``."""
+    return (timed.start_ns, timed.name == "measure")
+
+
+def benign_permutation(scheduled: ScheduledCircuit, seed: int) -> ScheduledCircuit:
+    """A copy whose instruction list is reordered only in ways that preserve
+    schedule semantics.
+
+    Two reorderings are benign: any permutation of the *list* that
+    ``sorted_instructions`` undoes (instructions at different start times),
+    and swaps of same-start instructions that provably commute
+    (:func:`repro.engine.canonical.commutes`).  Same-start instructions that
+    do **not** commute — e.g. a zero-duration ``rz`` and the ``sx`` starting
+    at the same instant on the same qubit — keep their relative order: that
+    order is part of the schedule's content.  Canonicalisation must map every
+    output of this function to the identical canonical order.
+    """
+    rng = random.Random(seed)
+    out = scheduled.copy()
+    base = out.sorted_instructions()
+    footprints = instruction_footprints(out, base)
+
+    # Group the time-sorted instructions by stable-sort tie key.
+    groups: List[List[Tuple[object, object]]] = []
+    previous = None
+    for timed, footprint in zip(base, footprints):
+        key = _tie_key(timed)
+        if key != previous:
+            groups.append([])
+            previous = key
+        groups[-1].append((timed, footprint))
+
+    # Random linear extension of each tie group that keeps every
+    # non-commuting pair in its original relative order.
+    shuffled_groups: List[List[object]] = []
+    for members in groups:
+        count = len(members)
+        blockers: List[set] = [set() for _ in range(count)]
+        for i in range(count):
+            for j in range(i + 1, count):
+                if not commutes(
+                    members[i][0], members[j][0], members[i][1], members[j][1]
+                ):
+                    blockers[j].add(i)
+        placed: set = set()
+        emitted: List[object] = []
+        while len(emitted) < count:
+            ready = [
+                k for k in range(count) if k not in placed and blockers[k] <= placed
+            ]
+            pick = rng.choice(ready)
+            placed.add(pick)
+            emitted.append(members[pick][0])
+        shuffled_groups.append(emitted)
+
+    # Random interleave across groups, preserving each group's new internal
+    # order (the stable sort reassembles the groups; only intra-group order
+    # survives into ``sorted_instructions``).
+    interleaved: List[object] = []
+    fronts = [list(group) for group in shuffled_groups if group]
+    while fronts:
+        group = rng.choice(fronts)
+        interleaved.append(group.pop(0))
+        if not group:
+            fronts.remove(group)
+    out.timed_instructions = interleaved
+    return out
+
+
+def fuzz_seeds(count: int, offset: int = 0) -> List[int]:
+    """The canonical fuzz seed list (documented in ``docs/testing.md``)."""
+    return [1000 + offset + index for index in range(count)]

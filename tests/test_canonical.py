@@ -1,0 +1,287 @@
+"""Property tests for commutation-aware schedule canonicalisation.
+
+The canonical order (:mod:`repro.engine.canonical`) must be a pure function
+of schedule content: idempotent, invariant under every benign permutation of
+the instruction list, model-equivalent to the time-sorted order it replaces,
+and conservative — provably non-commuting pairs must never swap.  Random
+instances come from the shared seeded generator (``tests/randomized.py``;
+see ``docs/testing.md`` for how to reproduce a failing seed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import randomized
+from repro.backends import fake_casablanca
+from repro.circuits.circuit import Instruction
+from repro.circuits.gates import Barrier, standard_gate
+from repro.engine import NoisyDensityMatrixEngine
+from repro.engine.canonical import (
+    canonical_order,
+    commutation_dag,
+    commutes,
+    instruction_footprints,
+)
+from repro.engine.fingerprint import schedule_fingerprint, timed_instruction_token
+from repro.simulators import NoiseModel
+from repro.simulators.noisy_simulator import NoisySimulator
+from repro.transpiler.scheduling import ScheduledCircuit, TimedInstruction
+
+SEEDS = randomized.fuzz_seeds(6)
+
+
+def tokens(ordered):
+    return [timed_instruction_token(timed) for timed in ordered]
+
+
+@pytest.fixture(scope="module")
+def compiled_cases():
+    device = randomized.fuzz_device()
+    return [randomized.random_compiled(seed, device=device) for seed in SEEDS]
+
+
+def _timed(name, qubits, start, duration, params=(), clbits=()):
+    if name == "barrier":
+        gate = Barrier(len(qubits) or 1)
+    else:
+        gate = standard_gate(name, *params) if params else standard_gate(name)
+    return TimedInstruction(Instruction(gate, tuple(qubits), tuple(clbits)), start, duration)
+
+
+def _schedule(device, num_qubits, instructions):
+    return ScheduledCircuit(
+        num_qubits=num_qubits,
+        num_clbits=num_qubits,
+        device=device,
+        physical_qubits=tuple(range(num_qubits)),
+        timed_instructions=list(instructions),
+        name="hand_built",
+    )
+
+
+class TestCanonicalOrderProperties:
+    def test_idempotent(self, compiled_cases):
+        """Re-canonicalising a schedule whose list already is the canonical
+        order returns the identical sequence."""
+        for compiled in compiled_cases:
+            first = canonical_order(compiled.scheduled)
+            fixed_point = compiled.scheduled.copy()
+            fixed_point.timed_instructions = list(first)
+            assert tokens(canonical_order(fixed_point)) == tokens(first)
+
+    def test_invariant_under_benign_permutations(self, compiled_cases):
+        for compiled in compiled_cases:
+            reference = tokens(canonical_order(compiled.scheduled))
+            for permutation_seed in range(4):
+                variant = randomized.benign_permutation(
+                    compiled.scheduled, permutation_seed
+                )
+                assert tokens(canonical_order(variant)) == reference
+
+    def test_permutation_preserves_fingerprint_and_chain(self, compiled_cases):
+        for compiled in compiled_cases:
+            reference = schedule_fingerprint(compiled.scheduled)
+            variant = randomized.benign_permutation(compiled.scheduled, 3)
+            assert schedule_fingerprint(variant) == reference
+            # The plain time-sorted digest is what used to key the caches;
+            # it still tells permuted lists apart, which is exactly the
+            # sharing canonicalisation recovers.
+            assert schedule_fingerprint(variant, canonical=False) != (
+                schedule_fingerprint(compiled.scheduled, canonical=False)
+            ) or tokens(variant.sorted_instructions()) == tokens(
+                compiled.scheduled.sorted_instructions()
+            )
+
+    def test_same_multiset_of_instructions(self, compiled_cases):
+        for compiled in compiled_cases:
+            assert sorted(tokens(canonical_order(compiled.scheduled))) == sorted(
+                tokens(compiled.scheduled.sorted_instructions())
+            )
+
+    def test_per_qubit_subsequences_preserved(self, compiled_cases):
+        """Reordering a qubit's own instruction line is only allowed inside
+        provably-commuting diagonal runs (same start, zero duration)."""
+        from repro.engine.canonical import DIAGONAL_GATES
+
+        def normalised_line(instructions, position):
+            line = [t for t in instructions if position in t.qubits]
+            out, block, block_key = [], [], None
+            for timed in line:
+                key = (timed.start_ns, timed.duration_ns)
+                exchangeable = timed.name in DIAGONAL_GATES and timed.duration_ns == 0.0
+                if exchangeable and key == block_key:
+                    block.append(timed)
+                    continue
+                out.extend(sorted(timed_instruction_token(t) for t in block))
+                block, block_key = ([timed], key) if exchangeable else ([], None)
+                if not exchangeable:
+                    out.append(timed_instruction_token(timed))
+            out.extend(sorted(timed_instruction_token(t) for t in block))
+            return out
+
+        for compiled in compiled_cases:
+            scheduled = compiled.scheduled
+            exact = scheduled.sorted_instructions()
+            canon = canonical_order(scheduled)
+            for position in range(scheduled.num_qubits):
+                assert normalised_line(exact, position) == normalised_line(canon, position)
+
+
+class TestModelEquivalence:
+    def test_canonical_execution_matches_time_order(self, compiled_cases):
+        """Canonical and time-sorted processing are the same quantum channel
+        (equal up to float rounding; bit-identity is deliberately not claimed
+        between the two *orders* — it holds within each)."""
+        device = randomized.fuzz_device()
+        noise = NoiseModel.from_device(device)
+        canonical_sim = NoisySimulator(noise, canonical_order=True)
+        legacy_sim = NoisySimulator(noise, canonical_order=False)
+        for compiled in compiled_cases[:3]:
+            a = canonical_sim.run(compiled.scheduled)
+            b = legacy_sim.run(compiled.scheduled)
+            np.testing.assert_allclose(a.data, b.data, atol=1e-10)
+
+    def test_variant_family_states_bit_identical(self, compiled_cases):
+        """A benign permutation is *bit-identical* under canonical execution:
+        both orders canonicalise to the same instruction sequence."""
+        device = randomized.fuzz_device()
+        noise = NoiseModel.from_device(device)
+        simulator = NoisySimulator(noise)
+        for compiled in compiled_cases[:3]:
+            reference = simulator.run(compiled.scheduled)
+            variant = randomized.benign_permutation(compiled.scheduled, 11)
+            assert np.array_equal(simulator.run(variant).data, reference.data)
+
+
+class TestCommutationRules:
+    def test_non_commuting_same_qubit_pair_not_reordered(self):
+        """A zero-duration rz and the sx starting at the same instant on the
+        same qubit must keep their list order — in both list orders."""
+        device = fake_casablanca()
+        rz = _timed("rz", (0,), 100.0, 0.0, params=(0.5,))
+        sx = _timed("sx", (0,), 100.0, 35.0)
+        lead_in = _timed("sx", (0,), 0.0, 35.0)
+        for pair in ((rz, sx), (sx, rz)):
+            scheduled = _schedule(device, 2, [lead_in, *pair])
+            ordered = canonical_order(scheduled)
+            assert tokens(ordered) == tokens([lead_in, *pair])
+
+    def test_diagonal_zero_duration_run_is_reordered(self):
+        """Two same-start zero-duration rz gates on one qubit are provably
+        commuting; both list orders canonicalise identically.  They start
+        flush against the lead-in gate: a non-empty idle gap would carry a
+        crosstalk partner on this device, which (correctly) disables the
+        exemption — covered by the case below."""
+        device = fake_casablanca()
+        rz_a = _timed("rz", (0,), 35.0, 0.0, params=(0.25,))
+        rz_b = _timed("rz", (0,), 35.0, 0.0, params=(0.75,))
+        lead_in = _timed("sx", (0,), 0.0, 35.0)
+        one = canonical_order(_schedule(device, 2, [lead_in, rz_a, rz_b]))
+        two = canonical_order(_schedule(device, 2, [lead_in, rz_b, rz_a]))
+        assert tokens(one) == tokens(two)
+        assert tokens(one)[1:] == sorted(tokens(one)[1:])
+
+    def test_diagonal_run_with_crosstalk_gap_not_reordered(self):
+        """The same diagonal pair behind a crosstalk-carrying idle gap keeps
+        its list order: whichever member is processed first applies the ZZ
+        channel, so the swap would be observable."""
+        device = fake_casablanca()
+        rz_a = _timed("rz", (0,), 300.0, 0.0, params=(0.25,))
+        rz_b = _timed("rz", (0,), 300.0, 0.0, params=(0.75,))
+        lead_in = _timed("sx", (0,), 0.0, 35.0)
+        one = canonical_order(_schedule(device, 2, [lead_in, rz_a, rz_b]))
+        two = canonical_order(_schedule(device, 2, [lead_in, rz_b, rz_a]))
+        assert tokens(one) == tokens([lead_in, rz_a, rz_b])
+        assert tokens(two) == tokens([lead_in, rz_b, rz_a])
+
+    def test_zz_coupled_pair_not_commuting(self):
+        """An instruction whose idle gap crosstalk-couples to a neighbour
+        does not commute with that neighbour's instructions."""
+        device = fake_casablanca()  # qubits 0-1 coupled with nonzero ZZ
+        idle_then_gate = _timed("sx", (0,), 500.0, 35.0)
+        lead_in = _timed("sx", (0,), 0.0, 35.0)
+        neighbor_gate = _timed("sx", (1,), 200.0, 35.0)
+        scheduled = _schedule(device, 2, [lead_in, neighbor_gate, idle_then_gate])
+        ordered = scheduled.sorted_instructions()
+        footprints = instruction_footprints(scheduled, ordered)
+        # Qubit 0 idles 35..500 while qubit 1 is idle through most of that
+        # gap, so the gap applies a ZZ channel touching position 1.
+        assert footprints[2] == frozenset({0, 1})
+        assert not commutes(ordered[1], ordered[2], footprints[1], footprints[2])
+        assert tokens(canonical_order(scheduled)) == tokens(ordered)
+
+    def test_disjoint_footprints_commute(self):
+        device = fake_casablanca()
+        a = _timed("sx", (0,), 0.0, 35.0)
+        b = _timed("sx", (2,), 0.0, 35.0)
+        scheduled = _schedule(device, 3, [a, b])
+        ordered = scheduled.sorted_instructions()
+        footprints = instruction_footprints(scheduled, ordered)
+        assert commutes(ordered[0], ordered[1], footprints[0], footprints[1])
+
+    def test_barrier_blocks_everything(self):
+        device = fake_casablanca()
+        gate = _timed("sx", (0,), 0.0, 35.0)
+        barrier = _timed("barrier", (), 50.0, 0.0)
+        late = _timed("sx", (1,), 100.0, 35.0)
+        scheduled = _schedule(device, 2, [gate, barrier, late])
+        ordered = scheduled.sorted_instructions()
+        footprints = instruction_footprints(scheduled, ordered)
+        assert footprints[1] == frozenset({0, 1})
+        pred_counts, successors = commutation_dag(scheduled, ordered, footprints)
+        assert pred_counts[2] >= 1 and 2 in successors[1]
+
+
+class TestEngineIntegration:
+    def test_canonicalisation_flag_salts_cache_keys(self):
+        device = randomized.fuzz_device()
+        scheduled = randomized.random_schedule(2001, device=device)
+        noise = NoiseModel.from_device(device)
+        on = NoisyDensityMatrixEngine(noise, seed=1)
+        off = NoisyDensityMatrixEngine(noise, seed=1, enable_canonicalisation=False)
+        assert on._chain(scheduled)[1][-1] != off._chain(scheduled)[1][-1]
+        assert on.enable_canonicalisation and not off.enable_canonicalisation
+
+    def test_permuted_schedule_hits_the_result_cache(self):
+        device = randomized.fuzz_device()
+        scheduled = randomized.random_schedule(2002, device=device)
+        noise = NoiseModel.from_device(device)
+        engine = NoisyDensityMatrixEngine(noise, seed=1)
+        reference = engine.run(scheduled)
+        variant = randomized.benign_permutation(scheduled, 5)
+        result = engine.run(variant)
+        assert result.from_cache
+        assert result.fingerprint == reference.fingerprint
+        assert np.array_equal(result.state.data, reference.state.data)
+
+    def test_dd_variant_shares_longer_canonical_prefix(self):
+        """The pulse-deferring canonical key must not *shorten* the shared
+        chain prefix of a DD sweep family, and on schedules with commuting
+        structure it lengthens it (tests/test_reuse_regression.py pins the
+        end-to-end win)."""
+        device = randomized.fuzz_device()
+        gains = []
+        for seed in SEEDS[:4]:
+            compiled = randomized.random_compiled(seed, device=device)
+            family = randomized.schedule_family(compiled, seed)
+            if len(family) < 2:
+                continue
+            base, variant = family[0], family[1]
+
+            def shared_prefix(a, b):
+                length = 0
+                for left, right in zip(a, b):
+                    if timed_instruction_token(left) != timed_instruction_token(right):
+                        break
+                    length += 1
+                return length
+
+            exact = shared_prefix(base.sorted_instructions(), variant.sorted_instructions())
+            canon = shared_prefix(canonical_order(base), canonical_order(variant))
+            gains.append(canon - exact)
+        # Individual pairs may lose a step or two (deferral can pull a
+        # divergent pulse level with a shared gate), but the family-wide
+        # prefix sharing must come out ahead.
+        assert gains and sum(gains) > 0

@@ -1,0 +1,210 @@
+"""Randomized differential tests: the canonicalisation oracle.
+
+Canonicalisation changes *keys and processing order*, never values — and the
+engine's bit-exactness guarantees must survive it.  This suite drives ~50
+seeded random schedules (``tests/randomized.py``; reproduce any failure from
+its seed, see ``docs/testing.md``) through every claim:
+
+* engine results equal the raw simulator's, bit for bit (both process the
+  canonical order);
+* a benign permutation of a schedule is indistinguishable from the original
+  — same fingerprint, bit-identical states, probabilities and expectations —
+  on the serial, thread and process tiers;
+* prefix-resumed execution (a warm engine full of another schedule's
+  checkpoints) is bit-identical to a cold run;
+* seeded sampling draws identical counts for canonically-equal schedules,
+  per the content-derived seeding contract;
+* the statevector and fake-device engines keep exact parity with their
+  underlying simulators under batching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import randomized
+from repro.engine import (
+    FakeDeviceEngine,
+    NoisyDensityMatrixEngine,
+    StatevectorEngine,
+)
+from repro.operators import tfim_hamiltonian
+from repro.simulators import NoiseModel
+from repro.simulators.noisy_simulator import NoisySimulator
+from repro.simulators.statevector import StatevectorSimulator
+from repro.transpiler import transpile
+
+#: ~50 distinct random schedules drive this module (see individual tests).
+ENGINE_SEEDS = randomized.fuzz_seeds(20)
+TIER_SEEDS = randomized.fuzz_seeds(12, offset=100)
+SAMPLING_SEEDS = randomized.fuzz_seeds(8, offset=200)
+RESUME_SEEDS = randomized.fuzz_seeds(6, offset=300)
+STATEVECTOR_SEEDS = randomized.fuzz_seeds(6, offset=400)
+
+
+@pytest.fixture(scope="module")
+def device():
+    return randomized.fuzz_device()
+
+
+@pytest.fixture(scope="module")
+def observable():
+    return tfim_hamiltonian(4)
+
+
+class TestEngineVersusRawSimulator:
+    def test_states_bit_identical(self, device):
+        noise = NoiseModel.from_device(device)
+        engine = NoisyDensityMatrixEngine(noise, seed=7)
+        simulator = NoisySimulator(noise)
+        for seed in ENGINE_SEEDS:
+            scheduled = randomized.random_schedule(seed, device=device)
+            expected = simulator.run(scheduled)
+            result = engine.run(scheduled)
+            assert np.array_equal(result.state.data, expected.data), f"seed {seed}"
+
+    def test_probabilities_bit_identical(self, device):
+        noise = NoiseModel.from_device(device)
+        engine = NoisyDensityMatrixEngine(noise, seed=7)
+        simulator = NoisySimulator(noise)
+        for seed in ENGINE_SEEDS[:8]:
+            scheduled = randomized.random_schedule(seed, device=device)
+            expected, expected_clbits = simulator.measured_probabilities(scheduled)
+            probabilities, clbits = engine.measured_probabilities(scheduled)
+            assert clbits == expected_clbits
+            assert np.array_equal(probabilities, expected), f"seed {seed}"
+
+
+class TestCanonicalVariantParity:
+    def test_serial_thread_process_tiers(self, device, observable):
+        """Original and benignly-permuted schedules produce bit-identical
+        expectations on every tier, and all tiers agree with each other."""
+        noise = NoiseModel.from_device(device)
+        compiled = [
+            randomized.random_compiled(seed, device=device) for seed in TIER_SEEDS
+        ]
+        originals = [case.scheduled for case in compiled]
+        variants = [
+            randomized.benign_permutation(scheduled, seed)
+            for scheduled, seed in zip(originals, TIER_SEEDS)
+        ]
+        values = {}
+        for tier in ("serial", "thread", "process"):
+            engine = NoisyDensityMatrixEngine(noise, seed=11)
+            try:
+                values[tier] = (
+                    engine.expectation_batch(
+                        originals, observable, parallelism=tier, max_workers=2
+                    ),
+                    engine.expectation_batch(
+                        variants, observable, parallelism=tier, max_workers=2
+                    ),
+                )
+            finally:
+                engine.close()
+        for tier, (original_values, variant_values) in values.items():
+            assert original_values == variant_values, tier
+        assert values["serial"] == values["thread"] == values["process"]
+
+    def test_variant_fingerprints_and_cached_states(self, device):
+        noise = NoiseModel.from_device(device)
+        engine = NoisyDensityMatrixEngine(noise, seed=11)
+        for seed in TIER_SEEDS[:6]:
+            scheduled = randomized.random_schedule(seed, device=device)
+            variant = randomized.benign_permutation(scheduled, seed + 1)
+            original = engine.run(scheduled)
+            repeated = engine.run(variant)
+            assert repeated.fingerprint == original.fingerprint
+            assert repeated.from_cache
+            assert np.array_equal(repeated.state.data, original.state.data)
+
+
+class TestPrefixResumeExactness:
+    def test_warm_engine_matches_cold_runs(self, device):
+        """A warm engine resuming from another variant's checkpoints returns
+        exactly what a cold engine computes from scratch."""
+        noise = NoiseModel.from_device(device)
+        warm = NoisyDensityMatrixEngine(noise, seed=3)
+        resumes = 0
+        for seed in RESUME_SEEDS:
+            compiled = randomized.random_compiled(seed, device=device)
+            family = randomized.schedule_family(compiled, seed)
+            warm_states = [warm.run(item).state.data for item in family]
+            resumes += warm.stats.prefix_resumes
+            for item, warm_state in zip(family, warm_states):
+                cold = NoisyDensityMatrixEngine(noise, seed=3)
+                assert np.array_equal(cold.run(item).state.data, warm_state), (
+                    f"seed {seed}"
+                )
+        # The fast path must actually have fired, or this test proves nothing.
+        assert resumes > 0
+
+    def test_resume_against_permuted_donor(self, device):
+        """Checkpoints donated by a benignly-permuted copy are exact: both
+        orders execute the identical canonical sequence."""
+        noise = NoiseModel.from_device(device)
+        for seed in RESUME_SEEDS[:3]:
+            compiled = randomized.random_compiled(seed, device=device)
+            family = randomized.schedule_family(compiled, seed)
+            if len(family) < 2:
+                continue
+            donor_engine = NoisyDensityMatrixEngine(noise, seed=3)
+            donor_engine.run(randomized.benign_permutation(family[0], seed))
+            resumed = donor_engine.run(family[1]).state.data
+            cold = NoisyDensityMatrixEngine(noise, seed=3)
+            assert np.array_equal(cold.run(family[1]).state.data, resumed)
+
+
+class TestSeededSampling:
+    def test_counts_identical_for_canonical_equals(self, device):
+        """Sampling seeds derive from the canonical fingerprint, so
+        canonically-equal schedules draw identical counts."""
+        noise = NoiseModel.from_device(device)
+        engine = NoisyDensityMatrixEngine(noise, seed=23)
+        for seed in SAMPLING_SEEDS:
+            scheduled = randomized.random_schedule(seed, device=device)
+            variant = randomized.benign_permutation(scheduled, seed + 7)
+            assert engine.counts(scheduled, shots=512) == engine.counts(
+                variant, shots=512
+            ), f"seed {seed}"
+
+    def test_sampled_expectations_identical_across_tiers(self, device, observable):
+        noise = NoiseModel.from_device(device)
+        schedules = [
+            randomized.random_schedule(seed, device=device)
+            for seed in SAMPLING_SEEDS[:4]
+        ]
+        per_tier = {}
+        for tier in ("serial", "thread"):
+            engine = NoisyDensityMatrixEngine(noise, seed=23)
+            try:
+                per_tier[tier] = engine.expectation_batch(
+                    schedules, observable, shots=256, parallelism=tier, max_workers=2
+                )
+            finally:
+                engine.close()
+        assert per_tier["serial"] == per_tier["thread"]
+
+
+class TestOtherEngines:
+    def test_statevector_engine_matches_simulator(self):
+        engine = StatevectorEngine(seed=5)
+        simulator = StatevectorSimulator()
+        circuits = [
+            randomized.random_circuit(seed, measure=False)
+            for seed in STATEVECTOR_SEEDS
+        ]
+        batched = engine.run_batch(circuits)
+        for circuit, result in zip(circuits, batched):
+            assert np.array_equal(result.state, simulator.run_statevector(circuit))
+
+    def test_fake_device_engine_matches_manual_pipeline(self, device, observable):
+        noise = NoiseModel.from_device(device)
+        engine = FakeDeviceEngine(device, noise_model=noise, seed=9)
+        manual = NoisyDensityMatrixEngine(noise, seed=9)
+        for seed in STATEVECTOR_SEEDS[:3]:
+            circuit = randomized.random_circuit(seed)
+            compiled = transpile(circuit, device)
+            expected = manual.expectation(compiled.scheduled, observable, shots=None)
+            assert engine.expectation(circuit, observable, shots=None) == expected

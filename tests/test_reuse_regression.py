@@ -1,0 +1,81 @@
+"""Prefix-reuse regression guard for the window-tuner fast path.
+
+The H2 window-tuner sweep is the workload the engine's prefix-reuse fast
+path was built for; its reuse fraction is recorded in ``BENCH_engine.json``
+(``h2_window_tuner.reuse_fraction``) and must not silently regress.  This
+test replays the benchmark's sweep configuration and pins two facts:
+
+* the canonical engine's reuse fraction stays at or above the floor below
+  (the recorded value minus a safety margin — raise the floor when the
+  recorded value improves);
+* canonicalisation beats the plain time-sorted keying it replaced on the
+  same sweep, so the commutation machinery keeps paying for itself.
+
+The two engines process mathematically identical but differently-ordered
+instruction sequences, so their tuned energies agree to float tolerance but
+not bit for bit; bit-identity is guaranteed (and benchmarked) *within* each
+keying mode across all execution tiers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import NoisyDensityMatrixEngine
+from repro.simulators import NoiseModel
+from repro.transpiler import transpile
+from repro.vaqem import IndependentWindowTuner, TuningBudget
+from repro.vqe import ExpectationEstimator, get_application
+
+#: Keep in step with ``BENCH_engine.json``'s recorded
+#: ``h2_window_tuner.reuse_fraction`` (floor = recorded minus ~2 points).
+REUSE_FLOOR = 0.46
+
+
+@pytest.fixture(scope="module")
+def h2_sweep_inputs():
+    application = get_application("UCCSD_H2")
+    rng = np.random.default_rng(3)
+    circuit = application.ansatz.bind_parameters(
+        rng.uniform(-0.3, 0.3, application.num_parameters)
+    )
+    circuit.measure_all()
+    device = application.device()
+    compiled = transpile(circuit, device)
+    return application, device, compiled
+
+
+def _run_sweep(application, device, compiled, enable_canonicalisation):
+    noise_model = NoiseModel.from_device(device)
+    engine = NoisyDensityMatrixEngine(
+        noise_model, seed=11, enable_canonicalisation=enable_canonicalisation
+    )
+    estimator = ExpectationEstimator(noise_model, seed=11, engine=engine)
+    tuner = IndependentWindowTuner(
+        objective=lambda s: estimator.estimate(s, application.hamiltonian).value,
+        budget=TuningBudget(dd_resolution=4, gs_resolution=4, max_windows=10),
+        batch_objective=lambda ss: [
+            r.value for r in estimator.estimate_batch(ss, application.hamiltonian)
+        ],
+    )
+    result = tuner.tune(compiled.scheduled, compiled.idle_windows)
+    engine.close()
+    return result, engine.stats
+
+
+def test_reuse_fraction_meets_recorded_baseline(h2_sweep_inputs):
+    application, device, compiled = h2_sweep_inputs
+    canonical_result, canonical_stats = _run_sweep(
+        application, device, compiled, enable_canonicalisation=True
+    )
+    exact_result, exact_stats = _run_sweep(
+        application, device, compiled, enable_canonicalisation=False
+    )
+    assert canonical_stats.reuse_fraction >= REUSE_FLOOR
+    assert canonical_stats.reuse_fraction > exact_stats.reuse_fraction
+    # Same model, different operator ordering: equal to tolerance.
+    assert canonical_result.tuned_value == pytest.approx(
+        exact_result.tuned_value, abs=1e-9
+    )
+    assert canonical_result.num_evaluations == exact_result.num_evaluations
