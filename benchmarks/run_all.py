@@ -10,11 +10,12 @@ under a minute.  The driver measures per-benchmark wall-clock, collects the
 execution engine's cache/prefix-reuse counters from every pipeline run,
 re-times the H2 window-tuner sweep through the sequential (no cache, no
 prefix reuse) path, the batched engine path on every execution tier, and the
-pipelined async-submission path, and times two concurrent estimator
+pipelined async-submission path, times two concurrent estimator
 frontends sharing one engine through the slot scheduler against a serial
-FIFO drain, so future perf PRs have a machine-readable trajectory
-(``BENCH_engine.json``) to compare against.  ``docs/benchmarks.md`` explains
-every leg.
+FIFO drain, and compares the dense and PTM simulation kernels on identical
+inputs (``docs/ptm.md``), so future perf PRs have a machine-readable
+trajectory (``BENCH_engine.json``) to compare against.
+``docs/benchmarks.md`` explains every leg.
 """
 
 from __future__ import annotations
@@ -409,6 +410,132 @@ def _randomized_reuse_leg():
     }
 
 
+def _ptm_kernel_comparison():
+    """Dense kernel vs PTM kernel on identical inputs, seeds and schedules.
+
+    Two workloads, both kernel-blind at the API level: the H2 window-tuner
+    sweep (the paper's hot loop) and the randomized schedule families shared
+    with the fuzz suites (the exact seeds ``_randomized_reuse_leg`` uses).
+    Both kernels run with the same engine seed; the leg records wall-clock
+    per kernel, the PTM backend's fused-kernel counters
+    (``ptm_matmuls`` / ``instructions_fused`` / ``batch_width``), the number
+    of tensor contractions the dense backend spends on the same op streams
+    (:func:`repro.simulators.ptm.dense_contraction_count` — the acceptance
+    bar is ``ptm_matmuls`` strictly below it), and the largest energy
+    difference between kernels (float-tolerance parity; the differential
+    suite ``tests/test_ptm_differential.py`` enforces ``<= 1e-9``).
+    """
+    import randomized
+    from repro.engine import NoisyDensityMatrixEngine
+    from repro.operators import tfim_hamiltonian
+    from repro.simulators import NoiseModel
+    from repro.simulators.ptm import dense_contraction_count
+    from repro.transpiler import transpile
+    from repro.vaqem import IndependentWindowTuner, TuningBudget
+    from repro.vqe import ExpectationEstimator, get_application
+
+    application = get_application("UCCSD_H2")
+    rng = np.random.default_rng(3)
+    circuit = application.ansatz.bind_parameters(
+        rng.uniform(-0.3, 0.3, application.num_parameters)
+    )
+    circuit.measure_all()
+    device = application.device()
+    compiled = transpile(circuit, device)
+    budget = TuningBudget(dd_resolution=4, gs_resolution=4, max_windows=10)
+
+    def tune(kernel: str):
+        # Same seed and inputs as the serial leg of the H2 comparison; only
+        # the kernel differs (fresh noise model per leg, as ever).
+        noise_model = NoiseModel.from_device(device)
+        engine = NoisyDensityMatrixEngine(noise_model, seed=11, kernel=kernel)
+        estimator = ExpectationEstimator(noise_model, seed=11, engine=engine)
+        tuner = IndependentWindowTuner(
+            objective=lambda s: estimator.estimate(s, application.hamiltonian).value,
+            budget=budget,
+            batch_objective=lambda ss: [
+                r.value
+                for r in estimator.estimate_batch(ss, application.hamiltonian)
+            ],
+        )
+        start = time.perf_counter()
+        result = tuner.tune(compiled.scheduled, compiled.idle_windows)
+        elapsed = time.perf_counter() - start
+        stats = engine.stats.as_dict()
+        engine.close()
+        return elapsed, result, stats
+
+    dense_seconds, dense_tuned, dense_stats = tune("dense")
+    ptm_seconds, ptm_tuned, ptm_stats = tune("ptm")
+
+    # Randomized families: the same seeds the reuse leg benchmarks and the
+    # differential suites prove correct.
+    fuzz_device = randomized.fuzz_device()
+    seeds = randomized.fuzz_seeds(6, offset=500)
+    schedules = []
+    for seed in seeds:
+        family_compiled = randomized.random_compiled(seed, device=fuzz_device)
+        schedules.extend(randomized.schedule_family(family_compiled, seed))
+    observable = tfim_hamiltonian(4)
+
+    def run_families(kernel: str):
+        noise_model = NoiseModel.from_device(fuzz_device)
+        engine = NoisyDensityMatrixEngine(noise_model, seed=5, kernel=kernel)
+        start = time.perf_counter()
+        values = engine.expectation_batch(schedules, observable)
+        elapsed = time.perf_counter() - start
+        stats = engine.stats.as_dict()
+        engine.close()
+        return elapsed, values, stats
+
+    family_dense_seconds, family_dense_values, _ = run_families("dense")
+    family_ptm_seconds, family_ptm_values, family_ptm_stats = run_families("ptm")
+    contraction_noise = NoiseModel.from_device(fuzz_device)
+    dense_contractions = sum(
+        dense_contraction_count(contraction_noise, scheduled) for scheduled in schedules
+    )
+    max_family_delta = max(
+        abs(a - b) for a, b in zip(family_dense_values, family_ptm_values)
+    )
+
+    return {
+        "h2_window_tuner": {
+            "dense_seconds": dense_seconds,
+            "ptm_seconds": ptm_seconds,
+            "speedup": dense_seconds / ptm_seconds if ptm_seconds else float("inf"),
+            "tuned_energy_dense": dense_tuned.tuned_value,
+            "tuned_energy_ptm": ptm_tuned.tuned_value,
+            "tuned_energy_delta": abs(dense_tuned.tuned_value - ptm_tuned.tuned_value),
+            "num_evaluations": ptm_tuned.num_evaluations,
+            "ptm_matmuls": ptm_stats["ptm_matmuls"],
+            "instructions_fused": ptm_stats["instructions_fused"],
+            "batch_width": ptm_stats["batch_width"],
+            "dense_engine_stats": dense_stats,
+        },
+        "randomized_families": {
+            "seeds": seeds,
+            "num_schedules": len(schedules),
+            "dense_seconds": family_dense_seconds,
+            "ptm_seconds": family_ptm_seconds,
+            "speedup": (
+                family_dense_seconds / family_ptm_seconds
+                if family_ptm_seconds
+                else float("inf")
+            ),
+            "max_energy_delta": max_family_delta,
+            "ptm_matmuls": family_ptm_stats["ptm_matmuls"],
+            "instructions_fused": family_ptm_stats["instructions_fused"],
+            "batch_width": family_ptm_stats["batch_width"],
+            "dense_contractions": dense_contractions,
+            # The acceptance criterion: fused kernels strictly undercut the
+            # dense backend's per-instruction contraction count.
+            "ptm_beats_dense_contractions": (
+                family_ptm_stats["ptm_matmuls"] < dense_contractions
+            ),
+        },
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -500,6 +627,32 @@ def main() -> None:
             f"{randomized_reuse['speedup']:.2f}x faster"
         )
 
+    # Dense vs PTM kernel comparison (docs/ptm.md): guarded like the others.
+    ptm_comparison = None
+    try:
+        ptm_comparison = _ptm_kernel_comparison()
+    except Exception as error:
+        failures["ptm_kernel_comparison"] = f"{type(error).__name__}: {error}"
+        print(
+            f"[run_all] ptm kernel comparison FAILED ({failures['ptm_kernel_comparison']})"
+        )
+    if ptm_comparison is not None:
+        h2 = ptm_comparison["h2_window_tuner"]
+        families = ptm_comparison["randomized_families"]
+        print(
+            f"[run_all] ptm kernel h2 tuner: dense {h2['dense_seconds']:.2f}s, "
+            f"ptm {h2['ptm_seconds']:.2f}s ({h2['speedup']:.2f}x, "
+            f"energy delta {h2['tuned_energy_delta']:.2e})"
+        )
+        print(
+            f"[run_all] ptm kernel families ({families['num_schedules']} schedules): "
+            f"{families['ptm_matmuls']} fused kernels vs "
+            f"{families['dense_contractions']} dense contractions "
+            f"({families['instructions_fused']} ops fused, batch width "
+            f"{families['batch_width']}, max energy delta "
+            f"{families['max_energy_delta']:.2e})"
+        )
+
     payload = {
         "mode": "smoke" if vaqem_shared.smoke_mode() else "default",
         "python": platform.python_version(),
@@ -510,6 +663,7 @@ def main() -> None:
         "h2_window_tuner": tuner,
         "h2_concurrent_frontends": concurrent,
         "randomized_reuse": randomized_reuse,
+        "ptm_kernel_comparison": ptm_comparison,
     }
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

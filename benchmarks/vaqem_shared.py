@@ -94,17 +94,33 @@ def run_application(name: str, strategies: Sequence[str] = FIGURE12_STRATEGIES) 
     return _RUN_CACHE[key]
 
 
+#: Derived ratios in ``EngineStats.as_dict`` — recomputed from the aggregated
+#: counters below, never summed across runs.
+_RATIO_FIELDS = ("hit_rate", "reuse_fraction")
+
+
 def collected_engine_stats() -> Dict[str, float]:
-    """Summed execution-engine counters across every cached pipeline run."""
+    """Execution-engine counters aggregated across every cached pipeline run.
+
+    Counter fields stay integers in the output (``batch_width`` is a
+    high-water mark, so it max-merges exactly as
+    :meth:`~repro.engine.base.EngineStats.add_counters` does); the derived
+    ``hit_rate`` / ``reuse_fraction`` ratios are recomputed from the totals.
+    """
     totals: Dict[str, float] = {}
     for result in _RUN_CACHE.values():
         for field, value in result.engine_stats.items():
-            totals[field] = totals.get(field, 0.0) + value
-    executions = totals.get("executions", 0.0)
-    simulated = totals.get("instructions_simulated", 0.0)
-    reused = totals.get("instructions_reused", 0.0)
+            if field in _RATIO_FIELDS:
+                continue
+            if field == "batch_width":
+                totals[field] = max(totals.get(field, 0), int(value))
+            else:
+                totals[field] = totals.get(field, 0) + int(value)
+    executions = totals.get("executions", 0)
+    simulated = totals.get("instructions_simulated", 0)
+    reused = totals.get("instructions_reused", 0)
     if executions:
-        totals["hit_rate"] = totals.get("cache_hits", 0.0) / executions
+        totals["hit_rate"] = totals.get("cache_hits", 0) / executions
     if simulated + reused:
         totals["reuse_fraction"] = reused / (simulated + reused)
     return totals

@@ -118,6 +118,14 @@ class EngineStats:
     expectation_cache_hits: int = 0
     transpile_cache_hits: int = 0
     transpile_cache_misses: int = 0
+    #: PTM-kernel counters (zero on the dense kernel): fused kernel
+    #: applications during schedule evolution, op applications absorbed into
+    #: an already-open fused run, and the widest row count driven through one
+    #: batched measurement kernel.  All three are deterministic for a given
+    #: serial workload, making the kernel win auditable without timing.
+    ptm_matmuls: int = 0
+    instructions_fused: int = 0
+    batch_width: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -138,7 +146,11 @@ class EngineStats:
         """
         for name, value in delta.items():
             if hasattr(self, name) and not isinstance(getattr(type(self), name, None), property):
-                setattr(self, name, getattr(self, name) + value)
+                if name == "batch_width":
+                    # A high-water mark, not a running total.
+                    setattr(self, name, max(getattr(self, name), value))
+                else:
+                    setattr(self, name, getattr(self, name) + value)
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -154,6 +166,9 @@ class EngineStats:
             "expectation_cache_hits": self.expectation_cache_hits,
             "transpile_cache_hits": self.transpile_cache_hits,
             "transpile_cache_misses": self.transpile_cache_misses,
+            "ptm_matmuls": self.ptm_matmuls,
+            "instructions_fused": self.instructions_fused,
+            "batch_width": self.batch_width,
         }
 
 
@@ -399,7 +414,23 @@ class ExecutionEngine(abc.ABC):
         if plan.mode == "thread":
             with ThreadPoolExecutor(max_workers=plan.workers) as pool:
                 return list(pool.map(func, items))
+        fast = self._batch_fast_path(kind, items, kwargs)
+        if fast is not None:
+            return fast
         return [func(item) for item in items]
+
+    def _batch_fast_path(
+        self, kind: str, items: Sequence, kwargs: Dict[str, Any]
+    ) -> Optional[List]:
+        """Optional whole-batch execution of a serial-tier batch.
+
+        Called by :meth:`_dispatch_batch` once the batch has resolved to the
+        serial tier; returning a result list (input order) replaces the
+        per-item loop, returning ``None`` falls back to it.  Implementations
+        must be *value-identical* to the per-item path — same numbers, same
+        cache and stats side effects — because callers choose tiers freely.
+        """
+        return None
 
     def _serial_call(self, kind: str, item, kwargs: Dict[str, Any]):
         """Execute one batch item on the calling thread (all tiers reduce to

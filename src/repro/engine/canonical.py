@@ -147,7 +147,7 @@ def instruction_footprints(
     ``ordered`` must be time-sorted (any stable tie order).  An instruction's
     footprint is its own qubits plus the ZZ-partner positions of the idle
     gaps its processing applies — mirroring exactly the condition under which
-    :meth:`NoisySimulator._apply_idle` emits a two-qubit crosstalk channel: a
+    :meth:`NoisySimulator._idle_ops` emits a two-qubit crosstalk channel: a
     coupled neighbour with a nonzero ZZ rate that idles through at least half
     of the gap.  Barriers touch every position (they are pure ordering
     markers and must never be commuted past).

@@ -39,6 +39,7 @@ expectation values are merged back into this engine's caches on return.
 
 from __future__ import annotations
 
+import os
 import threading
 import weakref
 from collections import OrderedDict
@@ -47,6 +48,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..circuits.gates import Gate
+from ..exceptions import EngineError
 from ..operators.pauli import MeasurementGroup, PauliSum
 from ..simulators.density_matrix import DensityMatrix
 from ..simulators.noise_model import NoiseModel
@@ -56,6 +58,7 @@ from ..simulators.noisy_simulator import (
     ScheduleContext,
     state_measured_probabilities,
 )
+from ..simulators.ptm import PauliVectorState, PTMEvolver, unitary_ptm
 from ..simulators.readout import (
     apply_readout_error,
     counts_to_probabilities,
@@ -149,9 +152,23 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         enable_prefix_reuse: bool = True,
         expectations_only_ipc: bool = False,
         enable_canonicalisation: bool = True,
+        kernel: Optional[str] = None,
     ):
         super().__init__(seed=seed)
         self.noise_model = noise_model
+        #: Simulation kernel: ``"dense"`` (complex density matrix, one
+        #: contraction per operator) or ``"ptm"`` (real Pauli-transfer-matrix
+        #: vectors with fused channel kernels and batched measurement — see
+        #: ``docs/ptm.md``).  ``None`` reads ``REPRO_ENGINE_KERNEL`` from the
+        #: environment (default ``"dense"``).  The two kernels agree to float
+        #: tolerance (<= 1e-9 on energies/probabilities), and each is
+        #: bit-reproducible with itself across every execution tier; the
+        #: kernel therefore salts every cache key via :meth:`_noise_key`.
+        if kernel is None:
+            kernel = os.environ.get("REPRO_ENGINE_KERNEL", "dense")
+        if kernel not in ("dense", "ptm"):
+            raise EngineError(f"unknown simulation kernel {kernel!r} (use 'dense' or 'ptm')")
+        self.kernel = kernel
         self.enable_prefix_reuse = enable_prefix_reuse
         #: Process (and key) schedules in the commutation-aware canonical
         #: order (see the module docstring and ``docs/architecture.md``).
@@ -171,6 +188,16 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         self._simulator = NoisySimulator(
             noise_model, canonical_order=self.enable_canonicalisation
         )
+        #: The evolution backend behind the cursor API (`begin`/`advance`):
+        #: the dense simulator itself, or the PTM evolver wrapping an
+        #: identically-configured one (both walk the same op stream, so chains
+        #: and contexts are kernel-independent).
+        if self.kernel == "ptm":
+            self._backend = PTMEvolver(
+                noise_model, canonical_order=self.enable_canonicalisation
+            )
+        else:
+            self._backend = self._simulator
         self._results = _ByteBudgetStore(result_cache_bytes)
         self._expectations = _LRUCache(expectation_cache_entries)
         self._snapshots = _ByteBudgetStore(snapshot_budget_bytes)
@@ -207,6 +234,9 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
                 # function of: canonical and time-sorted execution agree only
                 # mathematically, not bit for bit.
                 self.enable_canonicalisation,
+                # Likewise the kernel: dense and PTM states agree to float
+                # tolerance, not bit for bit — and are different array types.
+                self.kernel,
             )
         )
 
@@ -235,10 +265,21 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         """Checkpoint spacing such that one schedule's snapshots stay within
         a fraction of the byte budget (small states checkpoint every step)."""
         if num_instructions == 0 or state_bytes <= 0:
-            return 1
-        per_run_budget = max(self._snapshots.budget_bytes // 4, state_bytes)
-        interval = int(np.ceil(num_instructions * state_bytes / per_run_budget))
-        return max(1, interval)
+            interval = 1
+        else:
+            per_run_budget = max(self._snapshots.budget_bytes // 4, state_bytes)
+            interval = max(
+                1, int(np.ceil(num_instructions * state_bytes / per_run_budget))
+            )
+        # The PTM kernel's fused runs never cross instruction indices that are
+        # multiples of its fusion stride; aligning the checkpoint interval to
+        # the stride keeps every snapshot/resume depth on that grid, so warm
+        # resumes replay the identical composed-kernel sequence a cold run
+        # applies (bit-identical, not merely close).
+        stride = getattr(self._backend, "fusion_stride", 1)
+        if stride > 1:
+            interval = ((interval + stride - 1) // stride) * stride
+        return interval
 
     def _state_for(
         self, scheduled: ScheduledCircuit, prepared=None
@@ -276,7 +317,7 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
                         self.stats.instructions_reused += depth
                         break
             if cursor is None:
-                cursor = self._simulator.begin(scheduled, context)
+                cursor = self._backend.begin(scheduled, context)
             start_depth = cursor.next_index
             self.stats.instructions_simulated += total - start_depth
 
@@ -285,7 +326,7 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
             depth = start_depth
             while depth < total:
                 next_depth = min(total, depth + interval)
-                self._simulator.advance(scheduled, cursor, context, stop_index=next_depth)
+                self._backend.advance(scheduled, cursor, context, stop_index=next_depth)
                 depth = next_depth
                 if depth < total:
                     with self._lock:
@@ -299,21 +340,51 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
                         with self._lock:
                             self._snapshots.put(chain[depth], snapshot, snapshot.nbytes)
         else:
-            self._simulator.advance(scheduled, cursor, context)
+            self._backend.advance(scheduled, cursor, context)
         with self._lock:
+            if self.kernel == "ptm":
+                # PTM cursors count their own fused-kernel work since creation
+                # (snapshot copies restart from zero, so resumes never
+                # double-count a donor's kernels).
+                self.stats.ptm_matmuls += cursor.matmuls
+                self.stats.instructions_fused += cursor.fused
             self._results.put(fingerprint, cursor.state, int(cursor.state.data.nbytes))
         return cursor.state, fingerprint, False
 
     def density_matrix(self, scheduled: ScheduledCircuit) -> DensityMatrix:
         """The pre-measurement density matrix (shared with the cache — do not
-        mutate; :meth:`run` returns a private copy instead)."""
+        mutate; :meth:`run` returns a private copy instead).
+
+        On the PTM kernel the cached state is a
+        :class:`~repro.simulators.ptm.PauliVectorState`; this method converts
+        a private copy back to a dense :class:`DensityMatrix` (exact basis
+        change, float tolerance against the dense kernel)."""
+        state, _, _ = self._state_for(scheduled)
+        if isinstance(state, PauliVectorState):
+            return state.to_density_matrix()
+        return state
+
+    def measurement_state(self, scheduled: ScheduledCircuit):
+        """The kernel-native pre-measurement state (shared with the cache — do
+        not mutate).
+
+        Unlike :meth:`density_matrix` this never converts: the dense kernel
+        returns a :class:`DensityMatrix`, the PTM kernel a
+        :class:`~repro.simulators.ptm.PauliVectorState`.  Measuring through
+        this state (:func:`measure_pauli_sum` accepts both) reproduces the
+        engine's own expectation values bit for bit on either kernel; a
+        dense round-trip would instead introduce float-level drift on the
+        PTM kernel."""
         state, _, _ = self._state_for(scheduled)
         return state
 
     def run(self, scheduled: ScheduledCircuit) -> EngineResult:
         """Execute one scheduled circuit.
 
-        ``result.state`` is a private :class:`DensityMatrix` copy; when the
+        ``result.state`` is a private copy of the kernel's state object — a
+        :class:`DensityMatrix` on the dense kernel, a
+        :class:`~repro.simulators.ptm.PauliVectorState` on the PTM kernel
+        (convert via ``state.to_density_matrix()`` if needed); when the
         schedule contains measurements, ``result.probabilities`` holds the
         readout-error-distorted outcome distribution over classical bits.
         """
@@ -510,6 +581,162 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         )
 
     # ------------------------------------------------------------------
+    # Whole-batch PTM fast path (serial tier)
+    # ------------------------------------------------------------------
+    def _batch_fast_path(self, kind: str, items, kwargs):
+        """Serial-tier expectation batches on the PTM kernel run whole-batch.
+
+        Per-item schedule evolution stays on the fused-kernel path (each
+        item's op stream is its own), but the measurement stage — identical
+        basis rotations, marginalisation and Walsh-Hadamard transform for
+        every candidate of a sweep — executes once on a stacked
+        ``(batch, 4**n)`` Pauli-vector array.  Batched kernels are
+        elementwise along the batch axis, so every number (and every cache
+        and stats side effect) is identical to the per-item path.
+        """
+        if self.kernel != "ptm" or kind not in ("expectation", "expectation_full"):
+            return None
+        if len(items) < 2:
+            return None
+        data = self._expectation_batch_ptm(
+            items, kwargs["observable"], kwargs["shots"], kwargs.get("mitigator")
+        )
+        if data is None:
+            return None
+        if kind == "expectation":
+            return [entry.value for entry in data]
+        return data
+
+    def _expectation_batch_ptm(
+        self,
+        items: Sequence[ScheduledCircuit],
+        observable: PauliSum,
+        shots: Optional[int],
+        mitigator,
+    ) -> Optional[List[ExpectationData]]:
+        num_logical = observable.num_qubits
+        prepared = []
+        mappings = []
+        for item in items:
+            measured = item.measured_positions()
+            clbit_to_position = {clbit: pos for pos, clbit in measured}
+            if any(q not in clbit_to_position for q in range(num_logical)):
+                # Let the per-item path raise its usual VQEError.
+                return None
+            prepared.append(self._chain(item))
+            mappings.append(clbit_to_position)
+
+        cacheable = self._expectation_cacheable(shots, None)
+        keys = [
+            self._expectation_key(prep[1][-1], observable, shots, mitigator, None)
+            for prep in prepared
+        ]
+        results: List[Optional[ExpectationData]] = [None] * len(items)
+        pending: List[int] = []
+        duplicates: List[int] = []
+        first_for_key: Dict[Tuple, int] = {}
+        for index, key in enumerate(keys):
+            if cacheable:
+                with self._lock:
+                    self.stats.expectation_calls += 1
+                    cached = self._expectations.get(key)
+                if cached is not None:
+                    with self._lock:
+                        self.stats.expectation_cache_hits += 1
+                    results[index] = cached
+                    continue
+                if key in first_for_key:
+                    # Within-batch repeat: the per-item path would hit the
+                    # cache the first computation fills.
+                    duplicates.append(index)
+                    continue
+                first_for_key[key] = index
+            else:
+                # Unseeded sampling: every repeat draws fresh entropy, so
+                # nothing dedupes.
+                with self._lock:
+                    self.stats.expectation_calls += 1
+            pending.append(index)
+
+        if pending:
+            self._measure_pending_batched(
+                items, prepared, mappings, keys, pending, results,
+                observable, shots, mitigator, cacheable,
+            )
+        for index in duplicates:
+            with self._lock:
+                self.stats.expectation_cache_hits += 1
+            results[index] = results[first_for_key[keys[index]]]
+        return results
+
+    def _measure_pending_batched(
+        self, items, prepared, mappings, keys, pending, results,
+        observable: PauliSum, shots, mitigator, cacheable: bool,
+    ) -> None:
+        """Compute the not-yet-cached rows of an expectation batch, batching
+        the measurement stage across rows with equal (size, positions)."""
+        states: Dict[int, PauliVectorState] = {}
+        for index in pending:
+            state, _, _ = self._state_for(items[index], prepared=prepared[index])
+            states[index] = state
+        num_logical = observable.num_qubits
+        buckets: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+        for index in pending:
+            positions = tuple(mappings[index][q] for q in range(num_logical))
+            buckets.setdefault((states[index].num_qubits, positions), []).append(index)
+        rngs = {}
+        if shots is not None:
+            for index in pending:
+                rngs[index] = self._sampling_rng(
+                    None, "expectation", *map(str, keys[index][:4])
+                )
+        h_matrix = Gate("h", 1).matrix()
+        y_matrix = h_matrix @ Gate("sdg", 1).matrix()
+        totals = {index: observable.identity_coefficient() for index in pending}
+        group_values = {index: [] for index in pending}
+        distributions = {index: [] for index in pending}
+        width = 0
+        for group in observable.group_commuting():
+            for (_, positions), bucket in buckets.items():
+                stacked = PauliVectorState.stack([states[i] for i in bucket])
+                width = max(width, stacked.batch)
+                for logical in range(num_logical):
+                    factor = group.basis[logical]
+                    if factor == "X":
+                        stacked.apply_ptm(unitary_ptm(h_matrix), (positions[logical],))
+                    elif factor == "Y":
+                        stacked.apply_ptm(unitary_ptm(y_matrix), (positions[logical],))
+                marginals = stacked.batch_marginal_probabilities(positions)
+                for row, index in enumerate(bucket):
+                    probabilities = marginals[row]
+                    confusions = [
+                        self.noise_model.readout_confusion(items[index].physical_qubit(pos))
+                        for pos in positions
+                    ]
+                    probabilities = apply_readout_error(probabilities, confusions)
+                    if shots is not None:
+                        counts = probabilities_to_counts(probabilities, shots, rng=rngs[index])
+                        probabilities = counts_to_probabilities(counts, num_bits=num_logical)
+                    if mitigator is not None:
+                        probabilities = mitigator.mitigate_probabilities(probabilities)
+                    value = distribution_expectation(probabilities, group, num_logical)
+                    totals[index] += value
+                    group_values[index].append(value)
+                    distributions[index].append(probabilities)
+        for index in pending:
+            data = ExpectationData(
+                value=float(totals[index]),
+                group_values=group_values[index],
+                distributions=distributions[index],
+            )
+            results[index] = data
+            if cacheable:
+                with self._lock:
+                    self._expectations.put(keys[index], data)
+        with self._lock:
+            self.stats.batch_width = max(self.stats.batch_width, width)
+
+    # ------------------------------------------------------------------
     # Process-tier worker protocol (see repro.engine.parallel)
     # ------------------------------------------------------------------
     def _serial_call(self, kind: str, item, kwargs):
@@ -539,6 +766,9 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
                 "enable_prefix_reuse": self.enable_prefix_reuse,
                 "expectations_only_ipc": self.expectations_only_ipc,
                 "enable_canonicalisation": self.enable_canonicalisation,
+                # Explicit, not env-derived: workers must run the kernel the
+                # parent resolved, whatever their environment says.
+                "kernel": self.kernel,
             },
             # The noise key already digests the device calibration and every
             # noise-model flag, so post-construction toggles retire the pool.

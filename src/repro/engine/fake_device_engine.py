@@ -48,6 +48,7 @@ class FakeDeviceEngine(ExecutionEngine):
         transpile_cache_entries: int = 256,
         expectations_only_ipc: bool = False,
         enable_canonicalisation: bool = True,
+        kernel: Optional[str] = None,
     ):
         super().__init__(seed=seed)
         self.device = get_device(device) if isinstance(device, str) else device
@@ -56,12 +57,17 @@ class FakeDeviceEngine(ExecutionEngine):
         self.physical_qubits = list(physical_qubits) if physical_qubits is not None else None
         self.scheduling_policy = scheduling_policy
         self.transpile_cache_entries = int(transpile_cache_entries)
+        #: Simulation kernel of the inner noisy engine (``"dense"`` /
+        #: ``"ptm"``; ``None`` defers to ``REPRO_ENGINE_KERNEL``) — see
+        #: :class:`NoisyDensityMatrixEngine` and ``docs/ptm.md``.
         self._noisy = NoisyDensityMatrixEngine(
             self.noise_model,
             seed=seed,
             expectations_only_ipc=expectations_only_ipc,
             enable_canonicalisation=enable_canonicalisation,
+            kernel=kernel,
         )
+        self.kernel = self._noisy.kernel
         self._transpiled = _LRUCache(transpile_cache_entries)
         self._lock = threading.RLock()
 
@@ -237,6 +243,7 @@ class FakeDeviceEngine(ExecutionEngine):
                 "transpile_cache_entries": self.transpile_cache_entries,
                 "expectations_only_ipc": self._noisy.expectations_only_ipc,
                 "enable_canonicalisation": self._noisy.enable_canonicalisation,
+                "kernel": self.kernel,
             },
             cache_key=f"{self.name}:{self._noisy._noise_key()}:{context!r}",
         )

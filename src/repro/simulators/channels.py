@@ -115,9 +115,56 @@ def bit_flip_kraus(probability: float) -> List[np.ndarray]:
     return [math.sqrt(1 - probability) * _I2, math.sqrt(probability) * _X]
 
 
+def superop_from_kraus(kraus: Sequence[np.ndarray]) -> np.ndarray:
+    """Column-stacking superoperator ``S = sum_i K_i (x) conj(K_i)``.
+
+    Acts on row-major-vectorised density matrices:
+    ``vec(E(rho)) = S @ vec(rho)``.  Matches ``ChannelOp.superop``.
+    """
+    if not kraus:
+        raise NoiseModelError("cannot build a superoperator from an empty Kraus set")
+    return sum(np.kron(k, k.conj()) for k in kraus)
+
+
+def kraus_from_superop(superop: np.ndarray, atol: float = 1e-12) -> List[np.ndarray]:
+    """Minimal Kraus set of a completely positive map given as a superoperator.
+
+    Reshuffles the superoperator into the Choi matrix, eigendecomposes it and
+    keeps one operator per eigenvalue above ``atol`` — at most ``d**2``
+    operators for a ``d``-dimensional system, regardless of how the map was
+    assembled.
+    """
+    dim_sq = superop.shape[0]
+    dim = int(round(math.sqrt(dim_sq)))
+    if dim * dim != dim_sq or superop.shape != (dim_sq, dim_sq):
+        raise NoiseModelError("superoperator must be d^2 x d^2")
+    # Row-major vec convention: S[(i,j),(k,l)] -> Choi C[(i,k),(j,l)], so that
+    # C = sum_i vec(K_i) vec(K_i)^dagger with row-major vec.
+    choi = (
+        superop.reshape(dim, dim, dim, dim)
+        .transpose(0, 2, 1, 3)
+        .reshape(dim_sq, dim_sq)
+    )
+    eigenvalues, eigenvectors = np.linalg.eigh((choi + choi.conj().T) / 2.0)
+    kraus = [
+        math.sqrt(float(value)) * eigenvectors[:, index].reshape(dim, dim)
+        for index, value in enumerate(eigenvalues)
+        if value > atol
+    ]
+    if not kraus:  # numerically zero map; keep a well-formed (non-TP) stub
+        kraus = [np.zeros((dim, dim), dtype=complex)]
+    return kraus
+
+
 def compose_channels(first: Sequence[np.ndarray], second: Sequence[np.ndarray]) -> List[np.ndarray]:
-    """Kraus operators of ``second`` applied after ``first``."""
-    return [b @ a for a in first for b in second]
+    """Kraus operators of ``second`` applied after ``first``.
+
+    Composes in superoperator space and extracts a minimal Kraus set from the
+    Choi matrix, so repeated composition stays bounded at ``d**2`` operators
+    instead of growing multiplicatively (``k1 * k2`` operators per call).
+    """
+    composed = superop_from_kraus(second) @ superop_from_kraus(first)
+    return kraus_from_superop(composed)
 
 
 def is_valid_channel(kraus: Sequence[np.ndarray], atol: float = 1e-9) -> bool:

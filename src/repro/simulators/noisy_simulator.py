@@ -49,6 +49,23 @@ from .readout import apply_readout_error, probabilities_to_counts
 
 
 @dataclass
+class SimOp:
+    """One state-space operation of a schedule's op stream.
+
+    ``kind`` is ``"unitary"`` (``payload`` is the gate matrix) or
+    ``"channel"`` (``payload`` is a :class:`~repro.simulators.noise_model.ChannelOp`).
+    ``index`` is the position of the originating instruction in the context's
+    canonical order — backends use it to align work (e.g. fusion boundaries)
+    to instruction boundaries deterministically.
+    """
+
+    kind: str
+    payload: object
+    positions: Tuple[int, ...]
+    index: int
+
+
+@dataclass
 class ScheduleContext:
     """Per-schedule lookup tables shared by every cursor over that schedule."""
 
@@ -155,41 +172,76 @@ class NoisySimulator:
         no collapse; sampling happens in :meth:`probabilities` / :meth:`counts`.
         """
         context = context or self.prepare(scheduled)
-        noise = self.noise_model
         state = cursor.state
-        last_time = cursor.last_time
         stop = len(context.ordered) if stop_index is None else min(stop_index, len(context.ordered))
 
-        for index in range(cursor.next_index, stop):
+        for op in self.schedule_ops(
+            scheduled, context, cursor.last_time, cursor.next_index, stop
+        ):
+            if op.kind == "unitary":
+                state.apply_unitary(op.payload, op.positions)
+            else:
+                state.apply_superop(op.payload.superop, op.positions)
+        cursor.next_index = stop
+        return cursor
+
+    def schedule_ops(
+        self,
+        scheduled: ScheduledCircuit,
+        context: ScheduleContext,
+        last_time: Dict[int, float],
+        start: int,
+        stop: int,
+    ):
+        """Yield the :class:`SimOp` stream of instructions ``start .. stop``.
+
+        This is *the* definition of the schedule's operator sequence: the
+        dense path (:meth:`advance`) and the PTM backend
+        (:class:`~repro.simulators.ptm.PTMEvolver`) both consume it, so they
+        apply the identical operators in the identical order.  ``last_time``
+        is mutated in place as instructions stream out (op payloads never
+        depend on simulation state, so consumers may buffer ops — e.g. for
+        fusion — without changing the stream).
+        """
+        noise = self.noise_model
+        for index in range(start, stop):
             timed = context.ordered[index]
             name = timed.name
             if name == "barrier":
                 continue
             for position in timed.qubits:
-                self._apply_idle(
-                    state,
+                yield from self._idle_ops(
                     scheduled,
                     context.busy,
                     context.neighbors,
                     position,
                     last_time[position],
                     timed.start_ns,
+                    index,
                 )
             if name == "measure":
                 for op in noise.measurement_prelude_channels(scheduled.physical_qubit(timed.qubits[0])):
-                    state.apply_superop(op.superop, self._map_positions(scheduled, op.qubits, timed.qubits))
+                    yield SimOp(
+                        "channel",
+                        op,
+                        self._map_positions(scheduled, op.qubits, timed.qubits),
+                        index,
+                    )
                 last_time[timed.qubits[0]] = timed.end_ns
                 continue
             if name not in ("id", "delay"):
-                state.apply_unitary(timed.instruction.gate.matrix(), timed.qubits)
+                yield SimOp(
+                    "unitary",
+                    timed.instruction.gate.matrix(),
+                    tuple(timed.qubits),
+                    index,
+                )
                 physical = [scheduled.physical_qubit(q) for q in timed.qubits]
                 for op in noise.gate_channels(name, physical):
                     positions = self._physical_to_positions(scheduled, op.qubits)
-                    state.apply_superop(op.superop, positions)
+                    yield SimOp("channel", op, positions, index)
             for position in timed.qubits:
                 last_time[position] = timed.end_ns
-        cursor.next_index = stop
-        return cursor
 
     def run(self, scheduled: ScheduledCircuit) -> DensityMatrix:
         """Evolve the density matrix through the full schedule."""
@@ -250,16 +302,16 @@ class NoisySimulator:
                 occupied += hi - lo
         return (end - start) - occupied
 
-    def _apply_idle(
+    def _idle_ops(
         self,
-        state: DensityMatrix,
         scheduled: ScheduledCircuit,
         busy: Dict[int, List[Tuple[float, float]]],
         neighbors: Dict[int, List[int]],
         position: int,
         start: float,
         end: float,
-    ) -> None:
+        index: int,
+    ):
         if end - start <= 1e-9:
             return
         physical = scheduled.physical_qubit(position)
@@ -274,12 +326,12 @@ class NoisySimulator:
         ops = self.noise_model.idle_channels(physical, start, end, idle_neighbors)
         for op in ops:
             if len(op.qubits) == 1:
-                state.apply_superop(op.superop, (position,))
+                yield SimOp("channel", op, (position,), index)
             else:
                 # Two-qubit (ZZ) channel: map physical qubits back to positions.
                 other_physical = op.qubits[1]
                 other_position = neighbor_positions[idle_neighbors.index(other_physical)]
-                state.apply_superop(op.superop, (position, other_position))
+                yield SimOp("channel", op, (position, other_position), index)
 
     @staticmethod
     def _physical_to_positions(scheduled: ScheduledCircuit, physical: Sequence[int]) -> Tuple[int, ...]:

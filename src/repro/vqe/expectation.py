@@ -100,7 +100,8 @@ class ExpectationEstimator:
         draws from the estimator's own stateful generator, so a seeded
         estimator reproduces the exact historical sequence of values.
         """
-        state = self.engine.density_matrix(scheduled)
+        state_for = getattr(self.engine, "measurement_state", self.engine.density_matrix)
+        state = state_for(scheduled)
         data = measure_pauli_sum(
             state,
             scheduled,
