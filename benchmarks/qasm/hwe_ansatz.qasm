@@ -1,0 +1,20 @@
+// Hardware-efficient ansatz layer (bound angles): u3 rotations + crz
+// entanglers, the gate mix of the paper's VQE workloads.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate layer(t1, t2, t3, t4) a, b, c, d
+{
+  u3(t1, -t1/2, t1/4) a;
+  u3(t2, -t2/2, t2/4) b;
+  u3(t3, -t3/2, t3/4) c;
+  u3(t4, -t4/2, t4/4) d;
+  crz(t1/2) a, b;
+  crz(t2/2) b, c;
+  crz(t3/2) c, d;
+}
+qreg q[4];
+creg c[4];
+layer(0.3, -0.7, 1.1, 0.25) q[0], q[1], q[2], q[3];
+layer(-0.45, 0.8, -0.2, 0.6) q[0], q[1], q[2], q[3];
+barrier q;
+measure q -> c;

@@ -1,0 +1,21 @@
+// 4-qubit quantum Fourier transform, written with a controlled-phase macro
+// so ingestion exercises gate definitions, expressions and the cp / swap
+// decomposition rules.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate cphase(t) a, b { cp(t) a, b; }
+qreg q[4];
+creg c[4];
+h q[0];
+cphase(pi/2) q[1], q[0];
+cphase(pi/4) q[2], q[0];
+cphase(pi/8) q[3], q[0];
+h q[1];
+cphase(pi/2) q[2], q[1];
+cphase(pi/4) q[3], q[1];
+h q[2];
+cphase(pi/2) q[3], q[2];
+h q[3];
+swap q[0], q[3];
+swap q[1], q[2];
+measure q -> c;

@@ -1,0 +1,13 @@
+// Toffoli chain: every ccx expands through the 15-gate standard
+// decomposition, making this the decomposer-heavy benchmark.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+x q[0];
+x q[1];
+ccx q[0], q[1], q[2];
+ccx q[1], q[2], q[3];
+ccx q[2], q[3], q[4];
+barrier q;
+measure q -> c;

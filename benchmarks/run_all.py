@@ -536,6 +536,116 @@ def _ptm_kernel_comparison():
     }
 
 
+def _ingestion_leg():
+    """External-program ingestion: the ``benchmarks/qasm/`` standard set
+    through the frontend (``docs/ingestion.md``), timed end to end.
+
+    Four measurements: (1) QASM parse throughput — tokenize, parse,
+    macro-expand, decompose to native gates, resource-validate; (2) the JSON
+    wire-format round trip of the same circuits; (3) the rejection cost of
+    adversarial inputs — every corruption class applied to every benchmark
+    must fail with a typed ``IngestError``, and the time it takes is the
+    overhead an ingesting service pays per malicious submission; (4) executing
+    the ingested programs through the full noisy pipeline under both
+    simulation kernels.  The kernels sample from distributions that agree to
+    float tolerance, so per-benchmark counts agreement is recorded as a
+    fraction rather than asserted bit-exact (the PTM differential suite owns
+    the tolerance bar).
+    """
+    import randomized
+    from repro.backends import get_device
+    from repro.engine import FakeDeviceEngine
+    from repro.exceptions import IngestError
+    from repro.frontend import (
+        IngestStats,
+        circuit_from_json,
+        circuit_to_json,
+        ingest_qasm,
+        parse_qasm,
+    )
+
+    qasm_dir = BENCH_DIR / "qasm"
+    sources = {path.stem: path.read_text() for path in sorted(qasm_dir.glob("*.qasm"))}
+    if not sources:
+        raise FileNotFoundError(f"no .qasm benchmarks found in {qasm_dir}")
+    repeats = 20
+    total_bytes = sum(len(text.encode()) for text in sources.values())
+
+    # Leg 1: parse throughput (repeated — the individual files are small).
+    programs = {}
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for name, text in sources.items():
+            programs[name] = ingest_qasm(text, name=name)
+    parse_seconds = time.perf_counter() - start
+    stats = IngestStats()
+    for program in programs.values():
+        stats.record(program)
+
+    # Leg 2: JSON wire-format round trip of the parsed circuits.
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for program in programs.values():
+            circuit_from_json(circuit_to_json(program.circuit))
+    json_seconds = time.perf_counter() - start
+
+    # Leg 3: adversarial inputs — every corruption class on every file.
+    rejected = 0
+    benign = 0
+    start = time.perf_counter()
+    for index, text in enumerate(sources.values()):
+        for kind in randomized.CORRUPTION_KINDS:
+            _, corrupted = randomized.corrupt_program(text, 4000 + index, kind=kind)
+            try:
+                parse_qasm(corrupted)
+                benign += 1  # some mutations stay valid; typed failure or success only
+            except IngestError:
+                rejected += 1
+    reject_seconds = time.perf_counter() - start
+
+    # Leg 4: execute the ingested programs under both simulation kernels.
+    device = get_device("fake_casablanca")
+    kernels = {}
+    counts_by_kernel = {}
+    for kernel in ("dense", "ptm"):
+        engine = FakeDeviceEngine(device, seed=11, shots=256, kernel=kernel)
+        start = time.perf_counter()
+        counts_by_kernel[kernel] = {
+            name: engine.run(program).counts for name, program in programs.items()
+        }
+        kernels[kernel] = {
+            "seconds": time.perf_counter() - start,
+            # The inner schedule-level engine carries the kernel counters
+            # (ptm_matmuls / instructions_fused); the frontend engine's own
+            # stats only track its transpile cache.
+            "engine_stats": engine.noisy_engine.stats.as_dict(),
+        }
+    matches = sum(
+        counts_by_kernel["dense"][name] == counts_by_kernel["ptm"][name]
+        for name in sources
+    )
+
+    return {
+        "benchmarks": sorted(sources),
+        "repeats": repeats,
+        "source_bytes": total_bytes,
+        "ingest_counters": stats.as_dict(),
+        "parse_seconds": parse_seconds,
+        "programs_per_second": (repeats * len(sources)) / parse_seconds
+        if parse_seconds
+        else float("inf"),
+        "json_round_trip_seconds": json_seconds,
+        "corruption": {
+            "cases": rejected + benign,
+            "typed_rejections": rejected,
+            "benign_mutations": benign,
+            "seconds": reject_seconds,
+        },
+        "kernels": kernels,
+        "counts_agreement_fraction": matches / len(sources),
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -653,6 +763,26 @@ def main() -> None:
             f"{families['max_energy_delta']:.2e})"
         )
 
+    # External-program ingestion leg (docs/ingestion.md): guarded like the
+    # others so a frontend regression still leaves the rest of the file.
+    ingestion = None
+    try:
+        ingestion = _ingestion_leg()
+    except Exception as error:
+        failures["ingestion"] = f"{type(error).__name__}: {error}"
+        print(f"[run_all] ingestion FAILED ({failures['ingestion']})")
+    if ingestion is not None:
+        corruption = ingestion["corruption"]
+        print(
+            f"[run_all] ingestion ({len(ingestion['benchmarks'])} programs x "
+            f"{ingestion['repeats']}): {ingestion['programs_per_second']:.0f} parses/s, "
+            f"json round trip {ingestion['json_round_trip_seconds']:.2f}s, "
+            f"{corruption['typed_rejections']}/{corruption['cases']} corruptions "
+            f"rejected typed, dense {ingestion['kernels']['dense']['seconds']:.2f}s vs "
+            f"ptm {ingestion['kernels']['ptm']['seconds']:.2f}s, counts agreement "
+            f"{ingestion['counts_agreement_fraction']:.2f}"
+        )
+
     payload = {
         "mode": "smoke" if vaqem_shared.smoke_mode() else "default",
         "python": platform.python_version(),
@@ -664,6 +794,7 @@ def main() -> None:
         "h2_concurrent_frontends": concurrent,
         "randomized_reuse": randomized_reuse,
         "ptm_kernel_comparison": ptm_comparison,
+        "ingestion": ingestion,
     }
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

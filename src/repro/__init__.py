@@ -21,15 +21,20 @@ Quickstart::
 from .exceptions import (
     BackendError,
     CircuitError,
+    DecompositionError,
+    IngestError,
     MitigationError,
     NoiseModelError,
     OptimizerError,
     ParameterError,
+    ParseError,
     ReproError,
+    ResourceLimitError,
     RuntimeSessionError,
     SimulationError,
     TranspilerError,
     VAQEMError,
+    ValidationError,
     VQEError,
 )
 from .circuits import (
@@ -80,6 +85,21 @@ from .vaqem import (
     VAQEMPipeline,
     VAQEMRunResult,
 )
+from .frontend import (
+    Decomposer,
+    DecompositionRule,
+    IngestedProgram,
+    IngestStats,
+    ResourceLimits,
+    circuit_from_json,
+    circuit_to_json,
+    circuit_to_qasm,
+    ingest_json,
+    ingest_qasm,
+    parse_qasm,
+    schedule_from_json,
+    schedule_to_json,
+)
 from .metrics import geometric_mean, hellinger_fidelity
 from .analysis import ApplicationResult, EvaluationSummary, fraction_of_optimal, improvement_over_baseline
 from .runtime import ExecutionTimeModel, QueueModel, RuntimeSession
@@ -92,6 +112,7 @@ __all__ = [
     "ReproError", "CircuitError", "ParameterError", "SimulationError", "NoiseModelError",
     "TranspilerError", "BackendError", "MitigationError", "OptimizerError", "VQEError",
     "VAQEMError", "RuntimeSessionError",
+    "IngestError", "ParseError", "ValidationError", "ResourceLimitError", "DecompositionError",
     # circuits
     "QuantumCircuit", "Parameter", "ParameterVector", "efficient_su2", "uccsd_like_ansatz",
     "hahn_echo_microbenchmark", "idle_window_microbenchmark",
@@ -116,6 +137,10 @@ __all__ = [
     # vaqem
     "VAQEMPipeline", "VAQEMRunResult", "VAQEMConfig", "TuningBudget", "IndependentWindowTuner",
     "STANDARD_STRATEGIES",
+    # frontend (external-program ingestion, docs/ingestion.md)
+    "ingest_qasm", "ingest_json", "parse_qasm", "circuit_to_qasm",
+    "circuit_to_json", "circuit_from_json", "schedule_to_json", "schedule_from_json",
+    "Decomposer", "DecompositionRule", "ResourceLimits", "IngestedProgram", "IngestStats",
     # metrics / analysis / runtime
     "hellinger_fidelity", "geometric_mean", "fraction_of_optimal", "improvement_over_baseline",
     "ApplicationResult", "EvaluationSummary", "RuntimeSession", "QueueModel", "ExecutionTimeModel",

@@ -143,7 +143,10 @@ class QuantumCircuit:
             raise CircuitError(f"expected {arity} qubit(s), got {len(qubits)}")
         out = []
         for q in qubits:
-            q = int(q)
+            try:
+                q = int(q)
+            except (TypeError, ValueError):
+                raise CircuitError(f"qubit index {q!r} is not an integer") from None
             if not 0 <= q < self._num_qubits:
                 raise CircuitError(f"qubit index {q} out of range for {self._num_qubits} qubits")
             out.append(q)
@@ -156,7 +159,10 @@ class QuantumCircuit:
         if not isinstance(gate, Gate):
             raise CircuitError(f"expected a Gate, got {type(gate).__name__}")
         qubits = self._check_qubits(qubits, gate.num_qubits if gate.name != "barrier" else len(qubits))
-        clbits = tuple(int(c) for c in clbits)
+        try:
+            clbits = tuple(int(c) for c in clbits)
+        except (TypeError, ValueError):
+            raise CircuitError(f"clbit indices {clbits!r} are not integers") from None
         for c in clbits:
             if not 0 <= c < self._num_clbits:
                 raise CircuitError(f"clbit index {c} out of range for {self._num_clbits} clbits")

@@ -121,7 +121,15 @@ class Gate:
             raise ParameterError(
                 f"cannot build the matrix of '{self._name}' with unbound parameters"
             )
-        return _cached_matrix(self._name, tuple(float(p) for p in self._params))
+        try:
+            params = tuple(float(p) for p in self._params)
+        except (TypeError, ValueError) as error:
+            # A Gate built directly (bypassing standard_gate) can carry
+            # non-numeric params; fail as a typed error, not a bare ValueError.
+            raise ParameterError(
+                f"gate '{self._name}' has non-numeric parameter(s) {self._params!r}: {error}"
+            ) from None
+        return _cached_matrix(self._name, params)
 
     # -- dunder ------------------------------------------------------------
     def __eq__(self, other):
@@ -194,7 +202,15 @@ def _cached_matrix(name: str, params: Tuple[float, ...]) -> np.ndarray:
         builder = _MATRIX_BUILDERS[name]
     except KeyError:
         raise CircuitError(f"gate '{name}' has no matrix definition") from None
-    matrix = builder(*params)
+    try:
+        matrix = builder(*params)
+    except TypeError:
+        # A Gate built directly (bypassing standard_gate) can carry the wrong
+        # parameter count; fail as a typed error, not a bare TypeError.
+        expected = GATE_NUM_PARAMS.get(name, 0)
+        raise CircuitError(
+            f"gate '{name}' expects {expected} parameter(s), got {len(params)}"
+        ) from None
     matrix.flags.writeable = False
     return matrix
 

@@ -205,6 +205,13 @@ class ExecutionEngine(abc.ABC):
 
     name = "engine"
 
+    #: The payload kind this engine executes — ``"circuit"`` for logical
+    #: circuits, ``"scheduled"`` for device-bound schedules.  Ingested
+    #: programs (:class:`repro.frontend.IngestedProgram`) use it to hand an
+    #: engine the matching object, transpiling on demand; see
+    #: :meth:`_resolve_program`.
+    program_input = "circuit"
+
     #: Backpressure bound for :meth:`submit_batch` and friends: the number of
     #: submitted-but-not-yet-executing batches the scheduler queues before
     #: further ``submit*`` calls block (see ``docs/scheduler.md``).  Assign on
@@ -353,10 +360,25 @@ class ExecutionEngine(abc.ABC):
         priority: int = 0,
     ) -> List[EngineFuture]:
         """Queue one batch on the (lazily created) scheduler."""
+        items = [self._resolve_program(item) for item in items]
         return self._ensure_scheduler().submit(
-            kind, list(items), kwargs, max_workers, parallelism,
+            kind, items, kwargs, max_workers, parallelism,
             submitter=submitter, priority=priority,
         )
+
+    def _resolve_program(self, item):
+        """Unwrap an ingested program into this engine's payload kind.
+
+        Any object exposing ``engine_payload(engine)`` — in practice
+        :class:`repro.frontend.IngestedProgram` — resolves to the circuit or
+        schedule this engine executes; everything else passes through
+        untouched.  Duck-typed so the engine layer never imports the
+        frontend.
+        """
+        payload = getattr(item, "engine_payload", None)
+        if payload is not None and callable(payload):
+            return payload(self)
+        return item
 
     def _ensure_scheduler(self) -> BatchScheduler:
         """The engine's persistent scheduler, (re)created after a close().
@@ -400,7 +422,7 @@ class ExecutionEngine(abc.ABC):
         (the scheduler hashes them once at submit time for conflict
         detection); the process tier reuses them instead of re-hashing.
         """
-        items = list(items)
+        items = [self._resolve_program(item) for item in items]
         plan = resolve_parallelism(parallelism, max_workers, len(items))
         if plan.mode == "process":
             spec = self._process_spec()

@@ -142,6 +142,11 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
 
     name = "noisy_density_matrix"
 
+    #: This engine consumes device-bound schedules; an ingested program
+    #: resolves to its schedule (transpiling an ingested logical circuit
+    #: against the noise model's device) — see ``ExecutionEngine._resolve_program``.
+    program_input = "scheduled"
+
     def __init__(
         self,
         noise_model: NoiseModel,
@@ -359,7 +364,7 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         :class:`~repro.simulators.ptm.PauliVectorState`; this method converts
         a private copy back to a dense :class:`DensityMatrix` (exact basis
         change, float tolerance against the dense kernel)."""
-        state, _, _ = self._state_for(scheduled)
+        state, _, _ = self._state_for(self._resolve_program(scheduled))
         if isinstance(state, PauliVectorState):
             return state.to_density_matrix()
         return state
@@ -375,7 +380,7 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         engine's own expectation values bit for bit on either kernel; a
         dense round-trip would instead introduce float-level drift on the
         PTM kernel."""
-        state, _, _ = self._state_for(scheduled)
+        state, _, _ = self._state_for(self._resolve_program(scheduled))
         return state
 
     def run(self, scheduled: ScheduledCircuit) -> EngineResult:
@@ -388,6 +393,7 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         schedule contains measurements, ``result.probabilities`` holds the
         readout-error-distorted outcome distribution over classical bits.
         """
+        scheduled = self._resolve_program(scheduled)
         state, fingerprint, from_cache = self._state_for(scheduled)
         probabilities = None
         clbit_order = None
@@ -406,6 +412,7 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
 
     def measured_probabilities(self, scheduled: ScheduledCircuit) -> Tuple[np.ndarray, List[int]]:
         """Cached equivalent of :meth:`NoisySimulator.measured_probabilities`."""
+        scheduled = self._resolve_program(scheduled)
         state, _, _ = self._state_for(scheduled)
         return state_measured_probabilities(state, scheduled, self.noise_model)
 
@@ -417,6 +424,7 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         exact: bool = False,
     ) -> Dict[str, int]:
         """Sampled (or exact expected) counts under the engine seeding contract."""
+        scheduled = self._resolve_program(scheduled)
         state, fingerprint, _ = self._state_for(scheduled)
         probabilities, _ = state_measured_probabilities(state, scheduled, self.noise_model)
         if exact:
@@ -472,6 +480,7 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         evicted or, in the process tier's expectations-only IPC mode, never
         shipped to this engine at all.
         """
+        scheduled = self._resolve_program(scheduled)
         prepared = self._chain(scheduled)
         fingerprint = prepared[1][-1]
         key = self._expectation_key(fingerprint, observable, shots, mitigator, seed)

@@ -88,6 +88,7 @@ class FakeDeviceEngine(ExecutionEngine):
     def transpile(self, circuit: QuantumCircuit) -> TranspileResult:
         """Compile ``circuit`` for the device, cached by circuit content and
         compilation context."""
+        circuit = self._resolve_program(circuit)
         key = self._transpile_key(circuit)
         with self._lock:
             cached = self._transpiled.get(key)
@@ -108,6 +109,7 @@ class FakeDeviceEngine(ExecutionEngine):
     # ------------------------------------------------------------------
     def run(self, circuit: QuantumCircuit) -> EngineResult:
         """Transpile and execute one logical circuit; samples ``self.shots`` counts."""
+        circuit = self._resolve_program(circuit)
         fingerprint = circuit_fingerprint(circuit)
         compiled = self.transpile(circuit)
         inner = self._noisy.run(compiled.scheduled)
@@ -140,6 +142,7 @@ class FakeDeviceEngine(ExecutionEngine):
         call only.
         """
         shots = self.shots if shots is None else int(shots)
+        circuit = self._resolve_program(circuit)
         compiled = self.transpile(circuit)
         probabilities, _ = self._noisy.measured_probabilities(compiled.scheduled)
         rng = self._sampling_rng(seed, "counts", circuit_fingerprint(circuit), str(shots))
@@ -162,6 +165,7 @@ class FakeDeviceEngine(ExecutionEngine):
         """
         if shots is _DEFAULT_SHOTS:
             shots = self.shots
+        circuit = self._resolve_program(circuit)
         compiled = self.transpile(circuit)
         return self._noisy.expectation(
             compiled.scheduled, observable, shots=shots, mitigator=mitigator

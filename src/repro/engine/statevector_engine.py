@@ -78,7 +78,10 @@ class StatevectorEngine(ExecutionEngine):
         distribution over *classical bits* when the circuit measures
         (``None`` otherwise); use :meth:`probabilities` for the raw
         computational-basis distribution of the full register.
+        Accepts an ingested program (:class:`repro.frontend.IngestedProgram`)
+        in place of a circuit, as do all engine entry points.
         """
+        circuit = self._resolve_program(circuit)
         state, fingerprint, from_cache = self._state_for(circuit)
         probabilities = None
         clbit_order = None
@@ -99,13 +102,14 @@ class StatevectorEngine(ExecutionEngine):
         """Exact computational-basis distribution of the full register
         (measurement instructions are irrelevant here; compare
         ``result.probabilities``, which marginalises onto classical bits)."""
-        state, _, _ = self._state_for(circuit)
+        state, _, _ = self._state_for(self._resolve_program(circuit))
         return np.abs(state) ** 2
 
     def counts(
         self, circuit: QuantumCircuit, shots: int = 4096, seed: Optional[int] = None
     ) -> Dict[str, int]:
         """Sampled counts under the engine seeding contract."""
+        circuit = self._resolve_program(circuit)
         rng = self._sampling_rng(seed, "counts", circuit_fingerprint(circuit), str(shots))
         state, _, _ = self._state_for(circuit)
         distribution = measured_distribution_from_probabilities(np.abs(state) ** 2, circuit)
@@ -118,6 +122,7 @@ class StatevectorEngine(ExecutionEngine):
         """Exact ``<psi|H|psi>`` (the ideal engine ignores ``shots``)."""
         from ..exceptions import SimulationError
 
+        circuit = self._resolve_program(circuit)
         bare = circuit.remove_final_measurements()
         if bare.num_qubits != observable.num_qubits:
             raise SimulationError(

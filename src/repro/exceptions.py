@@ -59,3 +59,58 @@ class VAQEMError(ReproError):
 
 class RuntimeSessionError(ReproError):
     """Raised when a runtime session violates its constraints (e.g. time cap)."""
+
+
+class IngestError(ReproError):
+    """Base class of every error raised while ingesting *untrusted* external
+    programs (OpenQASM text, JSON circuit/schedule documents).
+
+    The frontend's contract is that malformed or hostile input raises exactly
+    this taxonomy — :class:`ParseError`, :class:`ValidationError`,
+    :class:`DecompositionError`, :class:`ResourceLimitError` — and never a
+    bare ``KeyError`` / ``IndexError`` / ``RecursionError`` or a hang, so a
+    service tier can ``except IngestError`` at the trust boundary and reject
+    the request with a message safe to echo back to the submitter.
+    """
+
+
+class ParseError(IngestError):
+    """Raised when external program text cannot be parsed.
+
+    Carries the 1-based source position of the offending token when known;
+    ``str(error)`` always embeds it (``"line L, column C: ..."``) so log
+    lines and test assertions need no attribute access.
+    """
+
+    def __init__(self, message: str, line: int = None, column: int = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            position = f"line {line}"
+            if column is not None:
+                position += f", column {column}"
+            message = f"{position}: {message}"
+        super().__init__(message)
+
+
+class ValidationError(IngestError):
+    """Raised when a parsed program fails structural validation (bad schema,
+    unknown gate, out-of-range qubit, non-finite parameter, ...)."""
+
+
+class DecompositionError(IngestError):
+    """Raised when a gate cannot be expanded into the native basis (no rule,
+    arity/parameter mismatch against the rule, or a rule cycle)."""
+
+
+class ResourceLimitError(ValidationError):
+    """Raised when an ingested program exceeds a configured resource cap
+    (qubits, instructions, depth, shots, macro expansion).  Subclasses
+    :class:`ValidationError`: a limit violation is a validation failure with
+    an explicitly configurable bound."""
+
+    def __init__(self, message: str, limit_name: str = None, limit: float = None, actual: float = None):
+        self.limit_name = limit_name
+        self.limit = limit
+        self.actual = actual
+        super().__init__(message)

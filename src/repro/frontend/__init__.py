@@ -1,0 +1,45 @@
+"""External-program frontend: the trust boundary for untrusted circuits.
+
+Everything under :mod:`repro.frontend` exists to turn text or JSON a user
+submits into validated, engine-ready objects — and to reject anything else
+with a typed :class:`~repro.exceptions.IngestError` carrying enough position
+information to be actionable.  See ``docs/ingestion.md`` for the grammar
+subset, the JSON wire formats, the decomposition config format and the
+resource-limit defaults.
+"""
+
+from .decomposer import DEFAULT_RULES, DecompositionRule, Decomposer
+from .ingest import IngestStats, IngestedProgram, ingest_json, ingest_qasm
+from .json_format import (
+    CIRCUIT_FORMAT,
+    FORMAT_VERSION,
+    SCHEDULE_FORMAT,
+    circuit_from_json,
+    circuit_to_json,
+    schedule_from_json,
+    schedule_to_json,
+)
+from .limits import ResourceLimits
+from .qasm import circuit_to_qasm, compile_param_expression, parse_qasm, parse_qasm_program
+
+__all__ = [
+    "Decomposer",
+    "DecompositionRule",
+    "DEFAULT_RULES",
+    "IngestStats",
+    "IngestedProgram",
+    "ingest_json",
+    "ingest_qasm",
+    "CIRCUIT_FORMAT",
+    "SCHEDULE_FORMAT",
+    "FORMAT_VERSION",
+    "circuit_from_json",
+    "circuit_to_json",
+    "schedule_from_json",
+    "schedule_to_json",
+    "ResourceLimits",
+    "circuit_to_qasm",
+    "compile_param_expression",
+    "parse_qasm",
+    "parse_qasm_program",
+]

@@ -1,0 +1,263 @@
+"""Config-driven gate decomposition into the native circuit basis.
+
+The frontend accepts the full qelib1 vocabulary, but the circuit IR (and
+everything downstream — transpiler, engines, kernels) speaks the native set
+in :data:`repro.circuits.gates.GATE_ARITY`.  The :class:`Decomposer` bridges
+the two with *per-gate expansion rules*: each rule names the gate, its
+parameter names, and a body of ``(gate, param-expressions, qubit-positions)``
+triples.  Parameter expressions are plain strings in the QASM expression
+grammar (``"-(phi+lam)/2"``, ``"pi/2"``), compiled once at construction by
+:func:`repro.frontend.qasm.compile_param_expression` — so a rule set is pure
+configuration, serialisable and auditable, never executable Python.
+
+Expansion is recursive (a rule body may itself use non-native gates, e.g.
+``cswap`` expands through ``ccx``) with a depth cap so a mis-configured rule
+cycle raises :class:`~repro.exceptions.DecompositionError` instead of
+recursing forever.  Every default rule is verified unitary-equivalent to its
+reference matrix in ``tests/test_frontend.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.gates import GATE_ARITY, GATE_NUM_PARAMS
+from ..exceptions import DecompositionError, ParseError
+
+#: A body step: (gate name, parameter expression strings, qubit positions).
+BodyStep = Tuple[str, Tuple[str, ...], Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class DecompositionRule:
+    """One per-gate expansion: how ``name(params) q0..qn`` rewrites."""
+
+    name: str
+    num_qubits: int
+    params: Tuple[str, ...]
+    body: Tuple[BodyStep, ...]
+
+
+def _rule(name: str, num_qubits: int, params: Sequence[str], body) -> DecompositionRule:
+    steps = tuple(
+        (gate, tuple(exprs), tuple(positions)) for gate, exprs, positions in body
+    )
+    return DecompositionRule(name, num_qubits, tuple(params), steps)
+
+
+#: Expansions for the qelib1 gates outside the native set, plus native
+#: two-qubit gates (``swap``, ``cz``) so a caller can *shrink* the native set
+#: and still decompose.  Bodies follow qelib1.inc; qubit position 0 is the
+#: first argument (control for controlled gates).
+DEFAULT_RULES: Tuple[DecompositionRule, ...] = (
+    _rule("u", 1, ("theta", "phi", "lam"), [("u3", ("theta", "phi", "lam"), (0,))]),
+    _rule("u1", 1, ("lam",), [("p", ("lam",), (0,))]),
+    _rule("u2", 1, ("phi", "lam"), [("u3", ("pi/2", "phi", "lam"), (0,))]),
+    _rule("cy", 2, (), [
+        ("sdg", (), (1,)),
+        ("cx", (), (0, 1)),
+        ("s", (), (1,)),
+    ]),
+    _rule("ch", 2, (), [
+        ("h", (), (1,)),
+        ("sdg", (), (1,)),
+        ("cx", (), (0, 1)),
+        ("h", (), (1,)),
+        ("t", (), (1,)),
+        ("cx", (), (0, 1)),
+        ("t", (), (1,)),
+        ("h", (), (1,)),
+        ("s", (), (1,)),
+        ("x", (), (1,)),
+        ("s", (), (0,)),
+    ]),
+    _rule("crx", 2, ("lam",), [
+        ("p", ("pi/2",), (1,)),
+        ("cx", (), (0, 1)),
+        ("u3", ("-lam/2", "0", "0"), (1,)),
+        ("cx", (), (0, 1)),
+        ("u3", ("lam/2", "-pi/2", "0"), (1,)),
+    ]),
+    _rule("crz", 2, ("lam",), [
+        ("rz", ("lam/2",), (1,)),
+        ("cx", (), (0, 1)),
+        ("rz", ("-lam/2",), (1,)),
+        ("cx", (), (0, 1)),
+    ]),
+    _rule("cp", 2, ("lam",), [
+        ("p", ("lam/2",), (0,)),
+        ("cx", (), (0, 1)),
+        ("p", ("-lam/2",), (1,)),
+        ("cx", (), (0, 1)),
+        ("p", ("lam/2",), (1,)),
+    ]),
+    _rule("cu1", 2, ("lam",), [
+        ("p", ("lam/2",), (0,)),
+        ("cx", (), (0, 1)),
+        ("p", ("-lam/2",), (1,)),
+        ("cx", (), (0, 1)),
+        ("p", ("lam/2",), (1,)),
+    ]),
+    _rule("cu3", 2, ("theta", "phi", "lam"), [
+        ("p", ("(lam+phi)/2",), (0,)),
+        ("p", ("(lam-phi)/2",), (1,)),
+        ("cx", (), (0, 1)),
+        ("u3", ("-theta/2", "0", "-(phi+lam)/2"), (1,)),
+        ("cx", (), (0, 1)),
+        ("u3", ("theta/2", "phi", "0"), (1,)),
+    ]),
+    _rule("ccx", 3, (), [
+        ("h", (), (2,)),
+        ("cx", (), (1, 2)),
+        ("tdg", (), (2,)),
+        ("cx", (), (0, 2)),
+        ("t", (), (2,)),
+        ("cx", (), (1, 2)),
+        ("tdg", (), (2,)),
+        ("cx", (), (0, 2)),
+        ("t", (), (1,)),
+        ("t", (), (2,)),
+        ("h", (), (2,)),
+        ("cx", (), (0, 1)),
+        ("t", (), (0,)),
+        ("tdg", (), (1,)),
+        ("cx", (), (0, 1)),
+    ]),
+    # Routes through ccx — exercises recursive expansion.
+    _rule("cswap", 3, (), [
+        ("cx", (), (2, 1)),
+        ("ccx", (), (0, 1, 2)),
+        ("cx", (), (2, 1)),
+    ]),
+    _rule("swap", 2, (), [
+        ("cx", (), (0, 1)),
+        ("cx", (), (1, 0)),
+        ("cx", (), (0, 1)),
+    ]),
+    _rule("cz", 2, (), [
+        ("h", (), (1,)),
+        ("cx", (), (0, 1)),
+        ("h", (), (1,)),
+    ]),
+)
+
+#: Gate names the IR executes directly — the default target basis.
+DEFAULT_NATIVE = frozenset(GATE_ARITY) - {"barrier", "measure"}
+
+
+class Decomposer:
+    """Expands non-native gate applications via configured rules.
+
+    Parameters
+    ----------
+    rules:
+        The expansion rules (defaults to :data:`DEFAULT_RULES`).  Duplicate
+        rule names raise :class:`DecompositionError` at construction, as does
+        a rule whose expressions fail to compile.
+    native:
+        Gate names to leave untouched (defaults to the IR's native set).
+        Expansion recurses until every emitted gate is in this set.
+    max_depth:
+        Recursion cap; a rule cycle (``a`` expands to ``b`` expands to ``a``)
+        exceeds it and raises :class:`DecompositionError`.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[DecompositionRule]] = None,
+        native: Optional[Sequence[str]] = None,
+        max_depth: int = 32,
+    ):
+        from .qasm import compile_param_expression  # deferred: qasm imports limits only
+
+        rules = DEFAULT_RULES if rules is None else tuple(rules)
+        self.native = frozenset(DEFAULT_NATIVE if native is None else native)
+        self.max_depth = int(max_depth)
+        self._rules: Dict[str, DecompositionRule] = {}
+        self._compiled: Dict[str, List] = {}
+        for rule in rules:
+            if rule.name in self._rules:
+                raise DecompositionError(f"duplicate decomposition rule for '{rule.name}'")
+            compiled_body = []
+            for gate, exprs, positions in rule.body:
+                if any(not 0 <= pos < rule.num_qubits for pos in positions):
+                    raise DecompositionError(
+                        f"rule '{rule.name}' references qubit position outside "
+                        f"0..{rule.num_qubits - 1}: {positions}"
+                    )
+                try:
+                    evaluators = [compile_param_expression(e, rule.params) for e in exprs]
+                except ParseError as error:
+                    raise DecompositionError(
+                        f"rule '{rule.name}': bad parameter expression: {error}"
+                    ) from error
+                compiled_body.append((gate, evaluators, positions))
+            self._rules[rule.name] = rule
+            self._compiled[rule.name] = compiled_body
+
+    @classmethod
+    def default(cls) -> "Decomposer":
+        return cls()
+
+    @property
+    def rules(self) -> Dict[str, DecompositionRule]:
+        return dict(self._rules)
+
+    def knows(self, name: str) -> bool:
+        return name in self.native or name in self._rules
+
+    def expand(
+        self, name: str, params: Sequence[float], qubits: Sequence[int]
+    ) -> List[Tuple[str, Tuple[float, ...], Tuple[int, ...]]]:
+        """Rewrite one gate application into native-basis applications.
+
+        Returns ``[(name, params, qubits), ...]`` ready for
+        ``standard_gate``; a native input returns itself unchanged.
+        """
+        out: List[Tuple[str, Tuple[float, ...], Tuple[int, ...]]] = []
+        self._expand_into(name, tuple(float(p) for p in params), tuple(qubits), 0, out)
+        return out
+
+    def _expand_into(self, name, params, qubits, depth, out) -> None:
+        if depth > self.max_depth:
+            raise DecompositionError(
+                f"decomposition of '{name}' exceeds max depth {self.max_depth} "
+                "(rule cycle?)"
+            )
+        if name in self.native:
+            self._check_native(name, params, qubits)
+            out.append((name, params, qubits))
+            return
+        rule = self._rules.get(name)
+        if rule is None:
+            raise DecompositionError(
+                f"no decomposition rule for gate '{name}' "
+                f"(native basis: {', '.join(sorted(self.native))})"
+            )
+        if len(params) != len(rule.params):
+            raise DecompositionError(
+                f"gate '{name}' expects {len(rule.params)} parameter(s), got {len(params)}"
+            )
+        if len(qubits) != rule.num_qubits:
+            raise DecompositionError(
+                f"gate '{name}' expects {rule.num_qubits} qubit(s), got {len(qubits)}"
+            )
+        env = dict(zip(rule.params, params))
+        for gate, evaluators, positions in self._compiled[name]:
+            step_params = tuple(evaluate(env) for evaluate in evaluators)
+            step_qubits = tuple(qubits[pos] for pos in positions)
+            self._expand_into(gate, step_params, step_qubits, depth + 1, out)
+
+    def _check_native(self, name, params, qubits) -> None:
+        arity = GATE_ARITY.get(name)
+        expected_params = GATE_NUM_PARAMS.get(name, 0)
+        if arity is not None and len(qubits) != arity:
+            raise DecompositionError(
+                f"native gate '{name}' expects {arity} qubit(s), got {len(qubits)}"
+            )
+        if arity is not None and len(params) != expected_params:
+            raise DecompositionError(
+                f"native gate '{name}' expects {expected_params} parameter(s), "
+                f"got {len(params)}"
+            )

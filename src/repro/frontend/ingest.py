@@ -1,0 +1,206 @@
+"""One-call ingestion of external programs into engine-ready objects.
+
+:func:`ingest_qasm` / :func:`ingest_json` run the full trust-boundary
+pipeline — parse, decompose, validate — and return an
+:class:`IngestedProgram`: a validated circuit (or schedule) plus the shot
+request and per-stage counters.  The execution engines accept these objects
+directly (``engine.run(program)``): each engine declares the payload kind it
+consumes via its ``program_input`` class attribute ("circuit" or
+"scheduled"), and :meth:`IngestedProgram.engine_payload` hands over the
+matching object, transpiling a logical circuit on demand when a scheduled
+payload is required.
+
+The counters aggregate across calls through :class:`IngestStats`, which is
+what the benchmark's ``ingestion`` leg records in ``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..circuits.circuit import QuantumCircuit
+from ..exceptions import IngestError, ValidationError
+from ..transpiler.scheduling import ScheduledCircuit
+from .decomposer import Decomposer
+from .json_format import (
+    CIRCUIT_FORMAT,
+    SCHEDULE_FORMAT,
+    circuit_from_json,
+    schedule_from_json,
+)
+from .limits import ResourceLimits
+from .qasm import parse_qasm
+
+
+@dataclass
+class IngestStats:
+    """Aggregated per-stage counters across a batch of ingested programs."""
+
+    programs: int = 0
+    parse_failures: int = 0
+    source_bytes: int = 0
+    tokens: int = 0
+    instructions: int = 0
+    macro_expansions: int = 0
+    decomposed_gates: int = 0
+    validated: int = 0
+
+    def record(self, program: "IngestedProgram") -> None:
+        self.programs += 1
+        self.source_bytes += program.source_bytes
+        counters = program.counters
+        self.tokens += counters.get("tokens", 0)
+        self.instructions += counters.get("instructions", 0)
+        self.macro_expansions += counters.get("macro_expansions", 0)
+        self.decomposed_gates += counters.get("decomposed_gates", 0)
+        self.validated += 1
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "programs": self.programs,
+            "parse_failures": self.parse_failures,
+            "source_bytes": self.source_bytes,
+            "tokens": self.tokens,
+            "instructions": self.instructions,
+            "macro_expansions": self.macro_expansions,
+            "decomposed_gates": self.decomposed_gates,
+            "validated": self.validated,
+        }
+
+
+@dataclass
+class IngestedProgram:
+    """A validated external program, ready to hand to an execution engine.
+
+    Exactly one of ``circuit`` / ``scheduled`` is the primary payload
+    (``scheduled`` wins when both are set).  ``shots`` is the submitter's
+    request; engines treat it as the default when the call site does not
+    override.
+    """
+
+    circuit: Optional[QuantumCircuit] = None
+    scheduled: Optional[ScheduledCircuit] = None
+    shots: Optional[int] = None
+    source_format: str = "qasm"
+    source_bytes: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.circuit is None and self.scheduled is None:
+            raise ValidationError("an ingested program needs a circuit or a schedule")
+
+    def engine_payload(self, engine):
+        """The object ``engine`` consumes, per its ``program_input`` kind.
+
+        Engines that execute logical circuits ("circuit") get the circuit;
+        schedule-level engines ("scheduled") get the schedule, transpiling
+        the circuit against the engine's device when only a circuit was
+        ingested.
+        """
+        kind = getattr(engine, "program_input", "circuit")
+        if kind == "scheduled":
+            if self.scheduled is not None:
+                return self.scheduled
+            device = getattr(engine, "device", None)
+            if device is None:
+                noise = getattr(engine, "noise_model", None)
+                device = getattr(noise, "device", None)
+            if device is None:
+                raise ValidationError(
+                    "cannot schedule an ingested circuit: the engine exposes no device"
+                )
+            from ..transpiler import transpile
+
+            return transpile(self.circuit, device).scheduled
+        if self.circuit is not None:
+            return self.circuit
+        raise ValidationError(
+            "this program carries a device-bound schedule; run it on a "
+            "schedule-level engine (e.g. NoisyDensityMatrixEngine)"
+        )
+
+
+def ingest_qasm(
+    text: str,
+    limits: Optional[ResourceLimits] = None,
+    decomposer: Optional[Decomposer] = None,
+    shots: Optional[int] = None,
+    name: str = "qasm",
+) -> IngestedProgram:
+    """Ingest OpenQASM 2.0 text: parse, decompose, validate."""
+    limits = limits or ResourceLimits()
+    if shots is not None:
+        limits.check_shots(shots)
+    circuit = parse_qasm(text, limits=limits, decomposer=decomposer, name=name)
+    info = dict(circuit.metadata.get("ingest", {}))
+    return IngestedProgram(
+        circuit=circuit,
+        shots=shots,
+        source_format="qasm",
+        source_bytes=len(text.encode("utf-8", errors="replace")),
+        counters={
+            "tokens": info.get("tokens", 0),
+            "instructions": len(circuit.instructions),
+            "macro_expansions": info.get("macro_expansions", 0),
+            "decomposed_gates": info.get("decomposed_gates", 0),
+        },
+    )
+
+
+def ingest_json(
+    document,
+    limits: Optional[ResourceLimits] = None,
+    decomposer: Optional[Decomposer] = None,
+    device=None,
+) -> IngestedProgram:
+    """Ingest a JSON document of either wire format (text or parsed dict).
+
+    Dispatches on the envelope's ``format`` field; circuit documents may use
+    decomposable gate names (expanded via ``decomposer``, default rules when
+    omitted), schedule documents must be native-basis.
+    """
+    import json as _json
+
+    limits = limits or ResourceLimits()
+    raw = document
+    if isinstance(document, (str, bytes)):
+        source_bytes = len(document) if isinstance(document, bytes) else len(document.encode("utf-8"))
+        limits.check_source(document if isinstance(document, str) else document.decode("utf-8", "replace"))
+        try:
+            parsed = _json.loads(document)
+        except (_json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ValidationError(f"document is not valid JSON: {error}") from error
+    else:
+        parsed = document
+        source_bytes = 0
+    if not isinstance(parsed, dict):
+        raise ValidationError(
+            f"document root must be a JSON object, got {type(parsed).__name__}"
+        )
+    fmt = parsed.get("format")
+    shots = parsed.get("shots")
+    if fmt == CIRCUIT_FORMAT:
+        circuit = circuit_from_json(parsed, limits=limits, decomposer=decomposer or Decomposer.default())
+        return IngestedProgram(
+            circuit=circuit,
+            shots=shots,
+            source_format="json-circuit",
+            source_bytes=source_bytes,
+            counters={"instructions": len(circuit.instructions)},
+        )
+    if fmt == SCHEDULE_FORMAT:
+        scheduled = schedule_from_json(parsed, device=device, limits=limits)
+        return IngestedProgram(
+            scheduled=scheduled,
+            shots=shots,
+            source_format="json-schedule",
+            source_bytes=source_bytes,
+            counters={"instructions": len(scheduled.timed_instructions)},
+        )
+    raise ValidationError(
+        f"format: expected {CIRCUIT_FORMAT!r} or {SCHEDULE_FORMAT!r}, got {fmt!r}"
+    )
+
+
+__all__ = ["IngestStats", "IngestedProgram", "ingest_qasm", "ingest_json", "IngestError"]

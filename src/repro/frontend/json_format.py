@@ -1,0 +1,355 @@
+"""Versioned JSON wire format for circuits and schedules.
+
+This is the format the future engine service will accept over the wire, so
+it is validated the way a server must validate: strictly, with a precise
+path in every rejection (``instructions[3].qubits[1]: ...``) and a version
+gate so old clients get a clear "unsupported version" instead of a confusing
+field error.  Validation is hand-rolled (the container ships no
+``jsonschema``) but schema-shaped: every field has a declared type, unknown
+fields are rejected, and all failures raise
+:class:`~repro.exceptions.ValidationError`.
+
+Two document kinds share the envelope ``{"format": ..., "version": 1}``:
+
+* ``repro-circuit`` — logical :class:`~repro.circuits.circuit.QuantumCircuit`
+  (gate/params/qubits/clbits per instruction).
+* ``repro-schedule`` — a device-bound
+  :class:`~repro.transpiler.scheduling.ScheduledCircuit` with explicit
+  ``start_ns``/``duration_ns`` per instruction.  The document records the
+  *device name*; :func:`schedule_from_json` rebuilds against
+  ``repro.backends.get_device(name)`` unless the caller passes the device
+  object (required for seeded device variants, which are not recoverable
+  from the name alone).
+
+Round trips are exact: parameters and times serialise through ``repr`` float
+semantics (JSON numbers round-trip bit-identically through Python's parser),
+so ``from_json(to_json(x))`` rebuilds the identical instruction stream —
+same content fingerprint, same engine bits.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits.gates import Barrier, Delay, Measure, standard_gate
+from ..exceptions import CircuitError, BackendError, ValidationError
+from ..transpiler.scheduling import ScheduledCircuit, TimedInstruction
+from .limits import ResourceLimits
+
+CIRCUIT_FORMAT = "repro-circuit"
+SCHEDULE_FORMAT = "repro-schedule"
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------------
+# Validation plumbing
+# ----------------------------------------------------------------------------
+
+def _fail(path: str, message: str) -> None:
+    raise ValidationError(f"{path}: {message}")
+
+
+def _expect_type(value, types, path: str, expected: str):
+    if isinstance(value, bool) and bool not in (types if isinstance(types, tuple) else (types,)):
+        _fail(path, f"expected {expected}, got bool")
+    if not isinstance(value, types):
+        _fail(path, f"expected {expected}, got {type(value).__name__}")
+    return value
+
+
+def _expect_int(value, path: str, minimum: Optional[int] = None) -> int:
+    _expect_type(value, int, path, "an integer")
+    if minimum is not None and value < minimum:
+        _fail(path, f"expected an integer >= {minimum}, got {value}")
+    return value
+
+
+def _expect_number(value, path: str) -> float:
+    _expect_type(value, (int, float), path, "a number")
+    value = float(value)
+    if not math.isfinite(value):
+        _fail(path, f"expected a finite number, got {value!r}")
+    return value
+
+
+def _expect_object(value, path: str, required: Tuple[str, ...], optional: Tuple[str, ...]) -> dict:
+    _expect_type(value, dict, path, "an object")
+    for key in required:
+        if key not in value:
+            _fail(path, f"missing required field '{key}'")
+    unknown = sorted(set(value) - set(required) - set(optional))
+    if unknown:
+        _fail(path, f"unknown field(s): {', '.join(unknown)}")
+    return value
+
+
+def _load_document(document, expected_format: str) -> dict:
+    """Parse (if text) and check the ``format``/``version`` envelope."""
+    if isinstance(document, (str, bytes)):
+        try:
+            document = json.loads(document)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ValidationError(f"document is not valid JSON: {error}") from error
+    if not isinstance(document, dict):
+        raise ValidationError(
+            f"document root must be a JSON object, got {type(document).__name__}"
+        )
+    fmt = document.get("format")
+    if fmt != expected_format:
+        _fail("format", f"expected {expected_format!r}, got {fmt!r}")
+    version = document.get("version")
+    if version != FORMAT_VERSION:
+        _fail(
+            "version",
+            f"unsupported format version {version!r}; this build supports "
+            f"version {FORMAT_VERSION}",
+        )
+    return document
+
+
+def _int_list(values, path: str, upper: int, what: str) -> Tuple[int, ...]:
+    _expect_type(values, list, path, "a list")
+    out = []
+    for index, value in enumerate(values):
+        item = _expect_int(value, f"{path}[{index}]", minimum=0)
+        if item >= upper:
+            _fail(f"{path}[{index}]", f"{what} index {item} out of range (width {upper})")
+        out.append(item)
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------------
+# Instruction (de)serialisation shared by both document kinds
+# ----------------------------------------------------------------------------
+
+def _instruction_to_dict(inst: Instruction) -> dict:
+    entry: Dict[str, object] = {"gate": inst.name, "qubits": list(inst.qubits)}
+    if inst.gate.params:
+        params = []
+        for param in inst.gate.params:
+            value = float(param)
+            if not math.isfinite(value):
+                raise ValidationError(
+                    f"cannot serialise non-finite parameter {value!r} of '{inst.name}'"
+                )
+            params.append(value)
+        entry["params"] = params
+    if inst.clbits:
+        entry["clbits"] = list(inst.clbits)
+    return entry
+
+
+def _instruction_from_dict(
+    entry, path: str, num_qubits: int, num_clbits: int, decomposer=None
+) -> List[Instruction]:
+    _expect_object(entry, path, required=("gate", "qubits"), optional=("params", "clbits"))
+    name = _expect_type(entry["gate"], str, f"{path}.gate", "a string")
+    qubits = _int_list(entry["qubits"], f"{path}.qubits", num_qubits, "qubit")
+    clbits = _int_list(entry.get("clbits", []), f"{path}.clbits", num_clbits, "clbit")
+    params = []
+    raw_params = entry.get("params", [])
+    _expect_type(raw_params, list, f"{path}.params", "a list")
+    for index, value in enumerate(raw_params):
+        params.append(_expect_number(value, f"{path}.params[{index}]"))
+    if len(set(qubits)) != len(qubits):
+        _fail(f"{path}.qubits", f"duplicate qubit indices {list(qubits)}")
+    try:
+        if name == "barrier":
+            if params or clbits:
+                _fail(path, "barrier takes no params or clbits")
+            return [Instruction(Barrier(len(qubits)), qubits)]
+        if name == "measure":
+            if len(qubits) != 1 or len(clbits) != 1 or params:
+                _fail(path, "measure takes exactly one qubit, one clbit and no params")
+            return [Instruction(Measure(), qubits, clbits)]
+        if clbits:
+            _fail(f"{path}.clbits", f"gate '{name}' takes no classical bits")
+        if name == "delay":
+            return [Instruction(Delay(params[0] if params else -1), qubits)]
+        if decomposer is not None and not decomposer.knows(name):
+            _fail(f"{path}.gate", f"unknown gate '{name}'")
+        if decomposer is not None and name not in decomposer.native:
+            return [
+                Instruction(standard_gate(step_name, *step_params), step_qubits)
+                for step_name, step_params, step_qubits in decomposer.expand(name, params, qubits)
+            ]
+        return [Instruction(standard_gate(name, *params), qubits)]
+    except CircuitError as error:
+        raise ValidationError(f"{path}: invalid instruction '{name}': {error}") from error
+
+
+# ----------------------------------------------------------------------------
+# Circuit documents
+# ----------------------------------------------------------------------------
+
+_CIRCUIT_REQUIRED = ("format", "version", "num_qubits", "instructions")
+_CIRCUIT_OPTIONAL = ("num_clbits", "name", "metadata", "shots")
+
+
+def circuit_to_json(circuit: QuantumCircuit, shots: Optional[int] = None, indent: Optional[int] = None) -> str:
+    """Serialise a circuit as a version-1 ``repro-circuit`` document."""
+    document: Dict[str, object] = {
+        "format": CIRCUIT_FORMAT,
+        "version": FORMAT_VERSION,
+        "name": circuit.name,
+        "num_qubits": circuit.num_qubits,
+        "num_clbits": circuit.num_clbits,
+        "instructions": [_instruction_to_dict(inst) for inst in circuit.instructions],
+    }
+    if circuit.parameters:
+        unbound = ", ".join(sorted(p.name for p in circuit.parameters))
+        raise ValidationError(f"cannot serialise unbound parameters: {unbound}")
+    if shots is not None:
+        document["shots"] = int(shots)
+    return json.dumps(document, indent=indent)
+
+
+def circuit_from_json(
+    document,
+    limits: Optional[ResourceLimits] = None,
+    decomposer=None,
+) -> QuantumCircuit:
+    """Rebuild a circuit from a ``repro-circuit`` document (text or dict).
+
+    With a ``decomposer``, non-native gate names in the document expand into
+    the native basis; without one the document must be native-only.  The
+    rebuilt circuit is validated against ``limits``.
+    """
+    limits = limits or ResourceLimits()
+    if isinstance(document, (str, bytes)):
+        limits.check_source(document if isinstance(document, str) else document.decode("utf-8", "replace"))
+    data = _load_document(document, CIRCUIT_FORMAT)
+    _expect_object(data, "document", required=_CIRCUIT_REQUIRED, optional=_CIRCUIT_OPTIONAL)
+    num_qubits = _expect_int(data["num_qubits"], "num_qubits", minimum=1)
+    num_clbits = _expect_int(data.get("num_clbits", num_qubits), "num_clbits", minimum=0)
+    name = _expect_type(data.get("name", "circuit"), str, "name", "a string")
+    metadata = _expect_type(data.get("metadata", {}), dict, "metadata", "an object")
+    entries = _expect_type(data["instructions"], list, "instructions", "a list")
+    if data.get("shots") is not None:
+        limits.check_shots(_expect_int(data["shots"], "shots", minimum=1))
+    if num_qubits > limits.max_qubits:
+        raise ValidationError(
+            f"num_qubits: {num_qubits} exceeds the configured max_qubits "
+            f"limit ({limits.max_qubits})"
+        )
+    circuit = QuantumCircuit(num_qubits, num_clbits, name=name)
+    circuit.metadata.update(metadata)
+    for index, entry in enumerate(entries):
+        for inst in _instruction_from_dict(
+            entry, f"instructions[{index}]", num_qubits, num_clbits, decomposer
+        ):
+            circuit.instructions.append(inst)
+    limits.validate_circuit(circuit)
+    return circuit
+
+
+# ----------------------------------------------------------------------------
+# Schedule documents
+# ----------------------------------------------------------------------------
+
+_SCHEDULE_REQUIRED = (
+    "format", "version", "num_qubits", "num_clbits", "device",
+    "physical_qubits", "instructions",
+)
+_SCHEDULE_OPTIONAL = ("name", "metadata", "shots")
+
+
+def schedule_to_json(scheduled: ScheduledCircuit, shots: Optional[int] = None, indent: Optional[int] = None) -> str:
+    """Serialise a scheduled circuit as a ``repro-schedule`` document."""
+    instructions = []
+    for timed in scheduled.timed_instructions:
+        entry = _instruction_to_dict(timed.instruction)
+        entry["start_ns"] = float(timed.start_ns)
+        entry["duration_ns"] = float(timed.duration_ns)
+        instructions.append(entry)
+    document: Dict[str, object] = {
+        "format": SCHEDULE_FORMAT,
+        "version": FORMAT_VERSION,
+        "name": scheduled.name,
+        "num_qubits": scheduled.num_qubits,
+        "num_clbits": scheduled.num_clbits,
+        "device": scheduled.device.name,
+        "physical_qubits": list(scheduled.physical_qubits),
+        "instructions": instructions,
+        "metadata": _json_safe_metadata(scheduled.metadata),
+    }
+    if shots is not None:
+        document["shots"] = int(shots)
+    return json.dumps(document, indent=indent)
+
+
+def _json_safe_metadata(metadata: Dict[str, object]) -> Dict[str, object]:
+    """Keep only the JSON-representable slice of a metadata dict."""
+    out = {}
+    for key, value in metadata.items():
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError):
+            continue
+        out[str(key)] = value
+    return out
+
+
+def schedule_from_json(
+    document,
+    device=None,
+    limits: Optional[ResourceLimits] = None,
+) -> ScheduledCircuit:
+    """Rebuild a scheduled circuit from a ``repro-schedule`` document.
+
+    ``device`` overrides the by-name lookup — pass it whenever the schedule
+    was built against a seeded device variant, because only the default
+    variant is recoverable from ``repro.backends.get_device(name)``.
+    """
+    from ..backends import get_device
+
+    limits = limits or ResourceLimits()
+    if isinstance(document, (str, bytes)):
+        limits.check_source(document if isinstance(document, str) else document.decode("utf-8", "replace"))
+    data = _load_document(document, SCHEDULE_FORMAT)
+    _expect_object(data, "document", required=_SCHEDULE_REQUIRED, optional=_SCHEDULE_OPTIONAL)
+    num_qubits = _expect_int(data["num_qubits"], "num_qubits", minimum=1)
+    num_clbits = _expect_int(data["num_clbits"], "num_clbits", minimum=0)
+    name = _expect_type(data.get("name", "scheduled"), str, "name", "a string")
+    metadata = _expect_type(data.get("metadata", {}), dict, "metadata", "an object")
+    device_name = _expect_type(data["device"], str, "device", "a string")
+    if data.get("shots") is not None:
+        limits.check_shots(_expect_int(data["shots"], "shots", minimum=1))
+    if device is None:
+        try:
+            device = get_device(device_name)
+        except BackendError as error:
+            raise ValidationError(f"device: {error}") from error
+    physical = _int_list(data["physical_qubits"], "physical_qubits", device.num_qubits, "device qubit")
+    if len(physical) != num_qubits:
+        _fail("physical_qubits", f"expected {num_qubits} entries, got {len(physical)}")
+    if len(set(physical)) != len(physical):
+        _fail("physical_qubits", f"duplicate device qubits {list(physical)}")
+    entries = _expect_type(data["instructions"], list, "instructions", "a list")
+    timed: List[TimedInstruction] = []
+    for index, entry in enumerate(entries):
+        path = f"instructions[{index}]"
+        _expect_type(entry, dict, path, "an object")
+        fields = dict(entry)
+        start_ns = _expect_number(fields.pop("start_ns", None), f"{path}.start_ns")
+        duration_ns = _expect_number(fields.pop("duration_ns", None), f"{path}.duration_ns")
+        if start_ns < 0 or duration_ns < 0:
+            _fail(path, f"negative timing (start={start_ns}, duration={duration_ns})")
+        instructions = _instruction_from_dict(fields, path, num_qubits, num_clbits)
+        if len(instructions) != 1:
+            _fail(path, "schedule instructions must be native gates")
+        timed.append(TimedInstruction(instructions[0], start_ns, duration_ns))
+    scheduled = ScheduledCircuit(
+        num_qubits=num_qubits,
+        num_clbits=num_clbits,
+        device=device,
+        physical_qubits=physical,
+        timed_instructions=timed,
+        name=name,
+        metadata=dict(metadata),
+    )
+    limits.validate_schedule(scheduled)
+    return scheduled

@@ -1,0 +1,116 @@
+"""Resource caps for untrusted external programs.
+
+An ingested program runs on shared simulator capacity, so the trust boundary
+enforces explicit ceilings *before* any exponential-cost object (statevector,
+density matrix) is allocated.  Every violation raises
+:class:`~repro.exceptions.ResourceLimitError` carrying the limit name, the
+configured bound and the observed value — precise enough for a service tier
+to echo back to the submitter and for tests to pin each cap individually.
+
+Defaults are sized for the repo's fake 27-qubit heavy-hex devices and the
+dense density-matrix kernel (which is comfortable up to ~8 qubits and
+possible to ~12): generous for every legitimate workload in this repo,
+small enough that a hostile program cannot allocate gigabytes or spin the
+macro expander.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import ResourceLimitError, ValidationError
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Caps applied while parsing and validating external programs.
+
+    ``max_macro_depth`` / ``max_expanded_instructions`` bound the parser's
+    macro expander (a macro calling a macro calling ...); the remaining caps
+    bound the finished circuit/schedule and the requested sampling work.
+    """
+
+    max_qubits: int = 16
+    max_clbits: int = 32
+    max_instructions: int = 20_000
+    max_depth: int = 2_000
+    max_shots: int = 1_000_000
+    max_macro_depth: int = 16
+    max_expanded_instructions: int = 100_000
+    max_source_bytes: int = 1_048_576  # 1 MiB of program text
+
+    @classmethod
+    def unrestricted(cls) -> "ResourceLimits":
+        """Effectively-unbounded limits for trusted internal callers."""
+        big = 2**62
+        return cls(
+            max_qubits=big, max_clbits=big, max_instructions=big, max_depth=big,
+            max_shots=big, max_macro_depth=10_000,
+            max_expanded_instructions=big, max_source_bytes=big,
+        )
+
+    # ------------------------------------------------------------------
+    def _exceeded(self, name: str, limit: float, actual: float, what: str) -> None:
+        raise ResourceLimitError(
+            f"{what} ({actual}) exceeds the configured {name} limit ({limit})",
+            limit_name=name, limit=limit, actual=actual,
+        )
+
+    def check_source(self, text: str) -> None:
+        """Cap raw program text size before tokenizing."""
+        size = len(text.encode("utf-8", errors="replace"))
+        if size > self.max_source_bytes:
+            self._exceeded("max_source_bytes", self.max_source_bytes, size, "program source size")
+
+    def check_shots(self, shots: int) -> None:
+        if not isinstance(shots, int) or isinstance(shots, bool) or shots <= 0:
+            raise ValidationError(f"shots must be a positive integer, got {shots!r}")
+        if shots > self.max_shots:
+            self._exceeded("max_shots", self.max_shots, shots, "requested shots")
+
+    def validate_circuit(self, circuit) -> None:
+        """Validate a built :class:`~repro.circuits.circuit.QuantumCircuit`.
+
+        Checks width, instruction count, depth and parameter finiteness; the
+        finiteness check raises plain :class:`ValidationError` (it is a
+        structural defect, not a configurable bound).
+        """
+        if circuit.num_qubits > self.max_qubits:
+            self._exceeded("max_qubits", self.max_qubits, circuit.num_qubits, "circuit width")
+        if circuit.num_clbits > self.max_clbits:
+            self._exceeded("max_clbits", self.max_clbits, circuit.num_clbits, "classical width")
+        count = len(circuit.instructions)
+        if count > self.max_instructions:
+            self._exceeded("max_instructions", self.max_instructions, count, "instruction count")
+        depth = circuit.depth()
+        if depth > self.max_depth:
+            self._exceeded("max_depth", self.max_depth, depth, "circuit depth")
+        for index, inst in enumerate(circuit.instructions):
+            for param in inst.gate.params:
+                if isinstance(param, (int, float)) and not math.isfinite(param):
+                    raise ValidationError(
+                        f"instruction {index} ('{inst.name}') has non-finite parameter {param!r}"
+                    )
+
+    def validate_schedule(self, scheduled) -> None:
+        """Validate a :class:`~repro.transpiler.scheduling.ScheduledCircuit`."""
+        if scheduled.num_qubits > self.max_qubits:
+            self._exceeded("max_qubits", self.max_qubits, scheduled.num_qubits, "schedule width")
+        count = len(scheduled.timed_instructions)
+        if count > self.max_instructions:
+            self._exceeded(
+                "max_instructions", self.max_instructions, count, "scheduled instruction count"
+            )
+        for index, timed in enumerate(scheduled.timed_instructions):
+            if not (math.isfinite(timed.start_ns) and math.isfinite(timed.duration_ns)):
+                raise ValidationError(
+                    f"timed instruction {index} has non-finite timing "
+                    f"(start={timed.start_ns!r}, duration={timed.duration_ns!r})"
+                )
+            for param in timed.instruction.gate.params:
+                if isinstance(param, (int, float)) and not math.isfinite(param):
+                    raise ValidationError(
+                        f"timed instruction {index} "
+                        f"('{timed.instruction.name}') has non-finite parameter {param!r}"
+                    )

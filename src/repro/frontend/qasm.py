@@ -1,0 +1,894 @@
+"""OpenQASM 2.0 frontend: tokenizer, recursive-descent parser and emitter.
+
+This is the text half of the untrusted-program trust boundary
+(``docs/ingestion.md``).  The parser is hand-rolled — a position-tracking
+tokenizer feeding a recursive-descent parser — so every rejection carries the
+1-based line/column of the offending token, and no input can reach ``eval``,
+the filesystem (``include`` accepts only the literal ``"qelib1.inc"``) or
+unbounded recursion (macro expansion is capped by
+:class:`~repro.frontend.limits.ResourceLimits`).
+
+Supported subset (grammar table in ``docs/ingestion.md``):
+
+* ``OPENQASM 2.0;`` header, ``include "qelib1.inc";``
+* ``qreg``/``creg`` declarations (multiple registers concatenate in
+  declaration order)
+* gate applications with constant expression arguments (``pi``, literals,
+  ``+ - * / ^``, unary minus, ``sin/cos/tan/exp/ln/sqrt``) and register
+  broadcast semantics
+* ``gate`` macro definitions (parameterized, nested calls to previously
+  defined gates, ``barrier``) — expanded at parse time
+* ``measure``/``barrier``; ``delay(ns) q;`` is accepted as a documented
+  extension (round-trips :class:`~repro.circuits.gates.Delay`)
+* rejected with a typed :class:`~repro.exceptions.ParseError`: ``reset``,
+  ``if``, ``opaque``, any other include target, any construct outside the
+  grammar
+
+Gate names resolve against the qelib1 vocabulary: names the circuit IR knows
+natively map one-to-one (bit-identical round trips through
+:func:`circuit_to_qasm`), the remainder (``u1``/``u2``/``u``, ``ccx``,
+``crz``, ...) are expanded by a configurable
+:class:`~repro.frontend.decomposer.Decomposer`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import (
+    GATE_ARITY,
+    GATE_NUM_PARAMS,
+    Barrier,
+    Delay,
+    Measure,
+    standard_gate,
+)
+from ..exceptions import ParseError, ResourceLimitError, ValidationError
+from .limits import ResourceLimits
+
+# ----------------------------------------------------------------------------
+# Gate vocabulary
+# ----------------------------------------------------------------------------
+
+#: Gate names the circuit IR implements directly (QASM name == IR name).
+NATIVE_GATES: Dict[str, Tuple[int, int]] = {
+    name: (GATE_NUM_PARAMS.get(name, 0), arity)
+    for name, arity in GATE_ARITY.items()
+    if name not in ("barrier", "measure")
+}
+
+#: The qelib1 names that need a decomposition rule before they fit the IR,
+#: as ``name -> (num_params, num_qubits)``.
+DECOMPOSED_GATES: Dict[str, Tuple[int, int]] = {
+    "u": (3, 1),
+    "u1": (1, 1),
+    "u2": (2, 1),
+    "cy": (0, 2),
+    "ch": (0, 2),
+    "crx": (1, 2),
+    "crz": (1, 2),
+    "cp": (1, 2),
+    "cu1": (1, 2),
+    "cu3": (3, 2),
+    "ccx": (0, 3),
+    "cswap": (0, 3),
+}
+
+#: Everything ``include "qelib1.inc";`` brings into scope.
+QELIB_GATES: Dict[str, Tuple[int, int]] = {**NATIVE_GATES, **DECOMPOSED_GATES}
+
+#: Defined without any include, per the OpenQASM 2.0 specification.
+BUILTIN_GATES: Dict[str, Tuple[int, int]] = {"U": (3, 1), "CX": (0, 2)}
+
+#: How the spec builtins map onto qelib1 vocabulary.
+_BUILTIN_ALIASES = {"U": "u3", "CX": "cx"}
+
+_FUNCTIONS: Dict[str, Callable[[float], float]] = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "ln": math.log,
+    "sqrt": math.sqrt,
+}
+
+_KEYWORDS = frozenset(
+    {"OPENQASM", "include", "qreg", "creg", "gate", "measure", "barrier",
+     "reset", "if", "opaque", "pi"}
+)
+
+_SYMBOLS = ("->", "==", ";", ",", "(", ")", "[", "]", "{", "}", "+", "-", "*", "/", "^")
+
+
+# ----------------------------------------------------------------------------
+# Tokenizer
+# ----------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "id" | "keyword" | "int" | "real" | "string" | "sym" | "eof"
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize QASM source, tracking 1-based line/column per token.
+
+    Raises :class:`ParseError` on any byte outside the grammar's alphabet —
+    this is the first line of defence against junk input.
+    """
+    tokens: List[Token] = []
+    line, column = 1, 1
+    index, length = 0, len(text)
+    while index < length:
+        char = text[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if text.startswith("//", index):
+            end = text.find("\n", index)
+            if end == -1:
+                break
+            column += end - index
+            index = end
+            continue
+        start_line, start_column = line, column
+        if char == '"':
+            end = index + 1
+            while end < length and text[end] not in '"\n':
+                end += 1
+            if end >= length or text[end] != '"':
+                raise ParseError("unterminated string literal", start_line, start_column)
+            value = text[index + 1 : end]
+            tokens.append(Token("string", value, start_line, start_column))
+            column += end + 1 - index
+            index = end + 1
+            continue
+        if char.isdigit() or (char == "." and index + 1 < length and text[index + 1].isdigit()):
+            end = index
+            seen_dot = seen_exp = False
+            while end < length:
+                c = text[end]
+                if c.isdigit():
+                    end += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    end += 1
+                elif c in "eE" and not seen_exp and end > index:
+                    if end + 1 < length and (text[end + 1].isdigit() or text[end + 1] in "+-"):
+                        seen_exp = True
+                        end += 2 if text[end + 1] in "+-" else 1
+                    else:
+                        break
+                else:
+                    break
+            literal = text[index:end]
+            kind = "real" if (seen_dot or seen_exp) else "int"
+            tokens.append(Token(kind, literal, start_line, start_column))
+            column += end - index
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            kind = "keyword" if word in _KEYWORDS else "id"
+            tokens.append(Token(kind, word, start_line, start_column))
+            column += end - index
+            index = end
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, index):
+                tokens.append(Token("sym", symbol, start_line, start_column))
+                column += len(symbol)
+                index += len(symbol)
+                break
+        else:
+            raise ParseError(f"unexpected character {char!r}", start_line, start_column)
+    tokens.append(Token("eof", "", line, column))
+    return tokens
+
+
+# ----------------------------------------------------------------------------
+# Expressions (constant arithmetic over pi, literals and macro parameters)
+# ----------------------------------------------------------------------------
+#
+# Expression ASTs are nested tuples so macro bodies can hold them unevaluated
+# until the call site supplies parameter values:
+#   ("num", 1.5) | ("var", "theta") | ("neg", ast) |
+#   ("bin", op, left, right) | ("call", fname, ast)
+
+def _eval_expression(ast, env: Dict[str, float], line: int, column: int) -> float:
+    kind = ast[0]
+    if kind == "num":
+        return ast[1]
+    if kind == "var":
+        return env[ast[1]]
+    if kind == "neg":
+        return -_eval_expression(ast[1], env, line, column)
+    if kind == "bin":
+        _, op, left, right = ast
+        a = _eval_expression(left, env, line, column)
+        b = _eval_expression(right, env, line, column)
+        try:
+            if op == "+":
+                return a + b
+            if op == "-":
+                return a - b
+            if op == "*":
+                return a * b
+            if op == "/":
+                return a / b
+            return math.pow(a, b)
+        except (ZeroDivisionError, OverflowError, ValueError) as error:
+            raise ParseError(f"cannot evaluate expression: {error}", line, column) from None
+    _, fname, inner = ast
+    value = _eval_expression(inner, env, line, column)
+    try:
+        return _FUNCTIONS[fname](value)
+    except (ValueError, OverflowError) as error:
+        raise ParseError(f"cannot evaluate {fname}(): {error}", line, column) from None
+
+
+def compile_param_expression(text: str, variables: Sequence[str]) -> Callable[[Dict[str, float]], float]:
+    """Compile an expression string into an evaluator over named variables.
+
+    The expression grammar is exactly the QASM parameter grammar; used by the
+    :class:`~repro.frontend.decomposer.Decomposer` so expansion rules are
+    plain config strings (``"-(phi+lam)/2"``) rather than Python callables.
+    Raises :class:`ParseError` on a malformed expression or an unknown name.
+    """
+    parser = _Parser(tokenize(text), ResourceLimits())
+    ast = parser._expression(set(variables))
+    parser._expect_kind("eof")
+
+    def evaluate(env: Dict[str, float]) -> float:
+        return _eval_expression(ast, env, 1, 1)
+
+    return evaluate
+
+
+# ----------------------------------------------------------------------------
+# Parsed program pieces
+# ----------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RawOp:
+    """One primitive (post-macro-expansion, pre-decomposition) operation."""
+
+    name: str
+    params: Tuple[float, ...]
+    qubits: Tuple[int, ...]
+    clbits: Tuple[int, ...] = ()
+    line: int = 0
+    column: int = 0
+
+
+@dataclass
+class _Macro:
+    name: str
+    params: Tuple[str, ...]
+    qubits: Tuple[str, ...]
+    body: List  # list of ("gate", name, [param asts], [qubit names], line, col) | ("barrier", [names], line, col)
+    line: int = 0
+
+
+@dataclass
+class ParseInfo:
+    """Deterministic parse counters, surfaced through ``circuit.metadata`` and
+    aggregated by the benchmark's ingestion leg."""
+
+    tokens: int = 0
+    statements: int = 0
+    macro_definitions: int = 0
+    macro_expansions: int = 0
+    raw_instructions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "tokens": self.tokens,
+            "statements": self.statements,
+            "macro_definitions": self.macro_definitions,
+            "macro_expansions": self.macro_expansions,
+            "raw_instructions": self.raw_instructions,
+        }
+
+
+@dataclass
+class QasmProgram:
+    """The parser's output: registers plus a flat primitive-op stream."""
+
+    num_qubits: int
+    num_clbits: int
+    ops: List[RawOp] = field(default_factory=list)
+    qregs: List[Tuple[str, int]] = field(default_factory=list)
+    cregs: List[Tuple[str, int]] = field(default_factory=list)
+    info: ParseInfo = field(default_factory=ParseInfo)
+
+
+# ----------------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, tokens: List[Token], limits: ResourceLimits):
+        self.tokens = tokens
+        self.pos = 0
+        self.limits = limits
+        self.qregs: Dict[str, Tuple[int, int]] = {}  # name -> (offset, size)
+        self.cregs: Dict[str, Tuple[int, int]] = {}
+        self.gates: Dict[str, Tuple[int, int]] = dict(BUILTIN_GATES)
+        self.macros: Dict[str, _Macro] = {}
+        self.ops: List[RawOp] = []
+        self.info = ParseInfo(tokens=len(tokens) - 1)
+
+    # -- token plumbing -------------------------------------------------
+    def _peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        token = token or self._peek()
+        return ParseError(message, token.line, token.column)
+
+    def _expect_kind(self, kind: str) -> Token:
+        token = self._peek()
+        if token.kind != kind:
+            shown = token.text or "end of input"
+            raise self._error(f"expected {kind}, got {shown!r}")
+        return self._advance()
+
+    def _expect_sym(self, symbol: str) -> Token:
+        token = self._peek()
+        if token.kind != "sym" or token.text != symbol:
+            shown = token.text or "end of input"
+            raise self._error(f"expected {symbol!r}, got {shown!r}")
+        return self._advance()
+
+    def _at_sym(self, symbol: str) -> bool:
+        token = self._peek()
+        return token.kind == "sym" and token.text == symbol
+
+    # -- grammar --------------------------------------------------------
+    def parse(self) -> QasmProgram:
+        self._header()
+        while self._peek().kind != "eof":
+            self._statement()
+            self.info.statements += 1
+        if not self.qregs:
+            token = self.tokens[-1]
+            raise ParseError("program declares no quantum register", token.line, token.column)
+        num_qubits = sum(size for _, size in self.qregs.values())
+        num_clbits = sum(size for _, size in self.cregs.values())
+        program = QasmProgram(
+            num_qubits=num_qubits,
+            num_clbits=max(num_clbits, num_qubits),
+            ops=self.ops,
+            qregs=[(name, size) for name, (_, size) in self.qregs.items()],
+            cregs=[(name, size) for name, (_, size) in self.cregs.items()],
+            info=self.info,
+        )
+        program.info.raw_instructions = len(self.ops)
+        return program
+
+    def _header(self) -> None:
+        token = self._peek()
+        if not (token.kind == "keyword" and token.text == "OPENQASM"):
+            raise self._error("expected 'OPENQASM 2.0;' header")
+        self._advance()
+        version = self._peek()
+        if version.kind != "real" or version.text != "2.0":
+            shown = version.text or "end of input"
+            raise self._error(f"unsupported OpenQASM version {shown!r} (only 2.0)", version)
+        self._advance()
+        self._expect_sym(";")
+
+    def _statement(self) -> None:
+        token = self._peek()
+        if token.kind == "keyword":
+            word = token.text
+            if word == "include":
+                return self._include()
+            if word in ("qreg", "creg"):
+                return self._register(word)
+            if word == "gate":
+                return self._gate_definition()
+            if word == "measure":
+                return self._measure()
+            if word == "barrier":
+                return self._barrier()
+            if word in ("reset", "if", "opaque"):
+                raise self._error(f"'{word}' is not supported by this frontend")
+            raise self._error(f"unexpected keyword '{word}'")
+        if token.kind == "id":
+            return self._gate_call()
+        shown = token.text or "end of input"
+        raise self._error(f"expected a statement, got {shown!r}")
+
+    def _include(self) -> None:
+        self._advance()
+        target = self._expect_kind("string")
+        if target.text != "qelib1.inc":
+            # Untrusted input never touches the filesystem: the one include
+            # the grammar accepts resolves to the built-in gate table.
+            raise self._error(
+                f"cannot include {target.text!r}: only \"qelib1.inc\" is available", target
+            )
+        self.gates.update(QELIB_GATES)
+        self._expect_sym(";")
+
+    def _register(self, kind: str) -> None:
+        self._advance()
+        name_token = self._expect_kind("id")
+        name = name_token.text
+        if name in self.qregs or name in self.cregs:
+            raise self._error(f"register '{name}' is already declared", name_token)
+        self._expect_sym("[")
+        size_token = self._expect_kind("int")
+        size = int(size_token.text)
+        if size <= 0:
+            raise self._error("register size must be positive", size_token)
+        self._expect_sym("]")
+        self._expect_sym(";")
+        if kind == "qreg":
+            offset = sum(s for _, s in self.qregs.values())
+            total = offset + size
+            if total > self.limits.max_qubits:
+                raise ResourceLimitError(
+                    f"program declares {total} qubits, the limit is {self.limits.max_qubits}",
+                    limit_name="max_qubits", limit=self.limits.max_qubits, actual=total,
+                )
+            self.qregs[name] = (offset, size)
+        else:
+            offset = sum(s for _, s in self.cregs.values())
+            total = offset + size
+            if total > self.limits.max_clbits:
+                raise ResourceLimitError(
+                    f"program declares {total} classical bits, the limit is {self.limits.max_clbits}",
+                    limit_name="max_clbits", limit=self.limits.max_clbits, actual=total,
+                )
+            self.cregs[name] = (offset, size)
+
+    # -- expressions ----------------------------------------------------
+    def _expression(self, variables: set):
+        node = self._term(variables)
+        while self._at_sym("+") or self._at_sym("-"):
+            op = self._advance().text
+            node = ("bin", op, node, self._term(variables))
+        return node
+
+    def _term(self, variables: set):
+        node = self._power(variables)
+        while self._at_sym("*") or self._at_sym("/"):
+            op = self._advance().text
+            node = ("bin", op, node, self._power(variables))
+        return node
+
+    def _power(self, variables: set):
+        node = self._atom(variables)
+        if self._at_sym("^"):
+            self._advance()
+            return ("bin", "^", node, self._power(variables))
+        return node
+
+    def _atom(self, variables: set):
+        token = self._peek()
+        if token.kind == "sym" and token.text == "-":
+            self._advance()
+            return ("neg", self._atom(variables))
+        if token.kind == "sym" and token.text == "(":
+            self._advance()
+            node = self._expression(variables)
+            self._expect_sym(")")
+            return node
+        if token.kind in ("int", "real"):
+            self._advance()
+            return ("num", float(token.text))
+        if token.kind == "keyword" and token.text == "pi":
+            self._advance()
+            return ("num", math.pi)
+        if token.kind == "id":
+            if token.text in _FUNCTIONS:
+                self._advance()
+                self._expect_sym("(")
+                inner = self._expression(variables)
+                self._expect_sym(")")
+                return ("call", token.text, inner)
+            if token.text in variables:
+                self._advance()
+                return ("var", token.text)
+            raise self._error(f"unknown name '{token.text}' in expression")
+        shown = token.text or "end of input"
+        raise self._error(f"expected an expression, got {shown!r}")
+
+    # -- arguments ------------------------------------------------------
+    def _qubit_argument(self) -> Tuple[str, Optional[int], Token]:
+        """``reg`` or ``reg[i]`` — returns (register, index-or-None, token)."""
+        name_token = self._expect_kind("id")
+        index = None
+        if self._at_sym("["):
+            self._advance()
+            index_token = self._expect_kind("int")
+            index = int(index_token.text)
+            self._expect_sym("]")
+        return name_token.text, index, name_token
+
+    def _resolve_qubits(self, name: str, index: Optional[int], token: Token) -> List[int]:
+        if name not in self.qregs:
+            raise self._error(f"undeclared quantum register '{name}'", token)
+        offset, size = self.qregs[name]
+        if index is None:
+            return [offset + i for i in range(size)]
+        if not 0 <= index < size:
+            raise self._error(f"index {index} out of range for qreg {name}[{size}]", token)
+        return [offset + index]
+
+    def _resolve_clbits(self, name: str, index: Optional[int], token: Token) -> List[int]:
+        if name not in self.cregs:
+            raise self._error(f"undeclared classical register '{name}'", token)
+        offset, size = self.cregs[name]
+        if index is None:
+            return [offset + i for i in range(size)]
+        if not 0 <= index < size:
+            raise self._error(f"index {index} out of range for creg {name}[{size}]", token)
+        return [offset + index]
+
+    # -- statements that emit ops ---------------------------------------
+    def _measure(self) -> None:
+        self._advance()
+        q_name, q_index, q_token = self._qubit_argument()
+        self._expect_sym("->")
+        c_name, c_index, c_token = self._qubit_argument()
+        self._expect_sym(";")
+        qubits = self._resolve_qubits(q_name, q_index, q_token)
+        clbits = self._resolve_clbits(c_name, c_index, c_token)
+        if len(qubits) != len(clbits):
+            raise self._error(
+                f"measure maps {len(qubits)} qubit(s) onto {len(clbits)} classical bit(s)",
+                q_token,
+            )
+        for qubit, clbit in zip(qubits, clbits):
+            self._emit(RawOp("measure", (), (qubit,), (clbit,), q_token.line, q_token.column))
+
+    def _barrier(self) -> None:
+        token = self._advance()
+        qubits: List[int] = []
+        while True:
+            name, index, arg_token = self._qubit_argument()
+            qubits.extend(self._resolve_qubits(name, index, arg_token))
+            if self._at_sym(","):
+                self._advance()
+                continue
+            break
+        self._expect_sym(";")
+        seen = set()
+        unique = [q for q in qubits if not (q in seen or seen.add(q))]
+        self._emit(RawOp("barrier", (), tuple(unique), (), token.line, token.column))
+
+    def _gate_call(self) -> None:
+        name_token = self._expect_kind("id")
+        name = name_token.text
+        params: List[float] = []
+        if self._at_sym("("):
+            self._advance()
+            if not self._at_sym(")"):
+                while True:
+                    ast = self._expression(set())
+                    params.append(_eval_expression(ast, {}, name_token.line, name_token.column))
+                    if self._at_sym(","):
+                        self._advance()
+                        continue
+                    break
+            self._expect_sym(")")
+        arguments: List[Tuple[str, Optional[int], Token]] = []
+        while True:
+            arguments.append(self._qubit_argument())
+            if self._at_sym(","):
+                self._advance()
+                continue
+            break
+        self._expect_sym(";")
+        self._apply_gate(name, params, arguments, name_token)
+
+    def _apply_gate(
+        self,
+        name: str,
+        params: List[float],
+        arguments: List[Tuple[str, Optional[int], Token]],
+        name_token: Token,
+    ) -> None:
+        resolved = [self._resolve_qubits(reg, index, token) for reg, index, token in arguments]
+        # OpenQASM broadcast: whole-register arguments apply element-wise and
+        # must agree in size; single-qubit arguments repeat.
+        widths = {len(group) for group in resolved if len(group) > 1}
+        if len(widths) > 1:
+            raise self._error("broadcast registers must have equal sizes", name_token)
+        repeat = widths.pop() if widths else 1
+        for shot in range(repeat):
+            qubits = [group[shot] if len(group) > 1 else group[0] for group in resolved]
+            self._expand_call(name, params, qubits, name_token, depth=0)
+
+    def _expand_call(
+        self, name: str, params: List[float], qubits: List[int], token: Token, depth: int
+    ) -> None:
+        if depth > self.limits.max_macro_depth:
+            raise ResourceLimitError(
+                f"macro expansion exceeds depth {self.limits.max_macro_depth}",
+                limit_name="max_macro_depth", limit=self.limits.max_macro_depth, actual=depth,
+            )
+        if len(set(qubits)) != len(qubits):
+            raise self._error(f"gate '{name}' applied to duplicate qubits {qubits}", token)
+        macro = self.macros.get(name)
+        if macro is not None:
+            self._check_call(name, len(macro.params), len(macro.qubits), params, qubits, token)
+            env = dict(zip(macro.params, params))
+            binding = dict(zip(macro.qubits, qubits))
+            self.info.macro_expansions += 1
+            for item in macro.body:
+                if item[0] == "barrier":
+                    _, names, line, column = item
+                    self._emit(RawOp("barrier", (), tuple(binding[n] for n in names), (), line, column))
+                    continue
+                _, inner_name, param_asts, qubit_names, line, column = item
+                inner_params = [_eval_expression(ast, env, line, column) for ast in param_asts]
+                inner_qubits = [binding[n] for n in qubit_names]
+                self._expand_call(inner_name, inner_params, inner_qubits, token, depth + 1)
+            return
+        if name not in self.gates:
+            hint = "" if name.islower() else " (did you mean the lower-case qelib1 name?)"
+            raise self._error(f"unknown gate '{name}'{hint}", token)
+        num_params, num_qubits = self.gates[name]
+        self._check_call(name, num_params, num_qubits, params, qubits, token)
+        mapped = _BUILTIN_ALIASES.get(name, name)
+        self._emit(RawOp(mapped, tuple(params), tuple(qubits), (), token.line, token.column))
+
+    def _check_call(
+        self, name: str, num_params: int, num_qubits: int,
+        params: List[float], qubits: List[int], token: Token,
+    ) -> None:
+        if len(params) != num_params:
+            raise self._error(
+                f"gate '{name}' expects {num_params} parameter(s), got {len(params)}", token
+            )
+        if len(qubits) != num_qubits:
+            raise self._error(
+                f"gate '{name}' expects {num_qubits} qubit argument(s), got {len(qubits)}", token
+            )
+
+    def _emit(self, op: RawOp) -> None:
+        if len(self.ops) >= self.limits.max_expanded_instructions:
+            raise ResourceLimitError(
+                f"program expands past {self.limits.max_expanded_instructions} instructions",
+                limit_name="max_expanded_instructions",
+                limit=self.limits.max_expanded_instructions,
+                actual=len(self.ops) + 1,
+            )
+        self.ops.append(op)
+
+    # -- gate definitions ------------------------------------------------
+    def _gate_definition(self) -> None:
+        gate_token = self._advance()
+        name_token = self._expect_kind("id")
+        name = name_token.text
+        if name in self.gates or name in self.macros:
+            raise self._error(f"gate '{name}' is already defined", name_token)
+        params: List[str] = []
+        if self._at_sym("("):
+            self._advance()
+            if not self._at_sym(")"):
+                while True:
+                    params.append(self._expect_kind("id").text)
+                    if self._at_sym(","):
+                        self._advance()
+                        continue
+                    break
+            self._expect_sym(")")
+        qubit_names: List[str] = []
+        while True:
+            qubit_names.append(self._expect_kind("id").text)
+            if self._at_sym(","):
+                self._advance()
+                continue
+            break
+        if len(set(params)) != len(params) or len(set(qubit_names)) != len(qubit_names):
+            raise self._error(f"duplicate parameter or qubit name in gate '{name}'", name_token)
+        overlap = set(params) & set(qubit_names)
+        if overlap:
+            raise self._error(
+                f"name(s) {sorted(overlap)} used as both parameter and qubit in gate '{name}'",
+                name_token,
+            )
+        self._expect_sym("{")
+        body: List = []
+        variables = set(params)
+        qubit_scope = set(qubit_names)
+        while not self._at_sym("}"):
+            token = self._peek()
+            if token.kind == "eof":
+                raise self._error(f"unterminated body of gate '{name}'", gate_token)
+            if token.kind == "keyword" and token.text == "barrier":
+                self._advance()
+                names: List[str] = []
+                while True:
+                    names.append(self._scoped_qubit(qubit_scope, name))
+                    if self._at_sym(","):
+                        self._advance()
+                        continue
+                    break
+                self._expect_sym(";")
+                body.append(("barrier", names, token.line, token.column))
+                continue
+            inner_token = self._expect_kind("id")
+            inner_name = inner_token.text
+            if inner_name not in self.macros and inner_name not in self.gates:
+                # Definition-before-use makes macro recursion impossible.
+                raise self._error(f"unknown gate '{inner_name}' in body of '{name}'", inner_token)
+            param_asts: List = []
+            if self._at_sym("("):
+                self._advance()
+                if not self._at_sym(")"):
+                    while True:
+                        param_asts.append(self._expression(variables))
+                        if self._at_sym(","):
+                            self._advance()
+                            continue
+                        break
+                self._expect_sym(")")
+            inner_qubits: List[str] = []
+            while True:
+                inner_qubits.append(self._scoped_qubit(qubit_scope, name))
+                if self._at_sym(","):
+                    self._advance()
+                    continue
+                break
+            self._expect_sym(";")
+            body.append(
+                ("gate", inner_name, param_asts, inner_qubits, inner_token.line, inner_token.column)
+            )
+        self._expect_sym("}")
+        self.macros[name] = _Macro(
+            name=name, params=tuple(params), qubits=tuple(qubit_names),
+            body=body, line=name_token.line,
+        )
+        self.info.macro_definitions += 1
+
+    def _scoped_qubit(self, scope: set, gate_name: str) -> str:
+        token = self._expect_kind("id")
+        if token.text not in scope:
+            raise self._error(
+                f"'{token.text}' is not a qubit parameter of gate '{gate_name}'", token
+            )
+        return token.text
+
+
+# ----------------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------------
+
+def parse_qasm_program(text: str, limits: Optional[ResourceLimits] = None) -> QasmProgram:
+    """Parse QASM text into the raw (pre-decomposition) program form."""
+    if not isinstance(text, str):
+        raise ParseError(f"program source must be text, got {type(text).__name__}")
+    limits = limits or ResourceLimits()
+    limits.check_source(text)
+    return _Parser(tokenize(text), limits).parse()
+
+
+def parse_qasm(
+    text: str,
+    limits: Optional[ResourceLimits] = None,
+    decomposer=None,
+    name: str = "qasm",
+) -> QuantumCircuit:
+    """Parse, decompose and validate QASM text into a :class:`QuantumCircuit`.
+
+    The full untrusted-input pipeline in one call: tokenize/parse (with
+    macro-expansion caps), expand non-native gates through ``decomposer``
+    (:meth:`Decomposer.default` when omitted), build the IR circuit and run
+    the :class:`ResourceLimits` validation pass.  Every failure raises a
+    :class:`~repro.exceptions.IngestError` subclass.
+    """
+    from .decomposer import Decomposer
+
+    limits = limits or ResourceLimits()
+    program = parse_qasm_program(text, limits)
+    decomposer = decomposer or Decomposer.default()
+    circuit = QuantumCircuit(program.num_qubits, program.num_clbits, name=name)
+    decomposed = 0
+    for op in program.ops:
+        decomposed += _append_op(circuit, op, decomposer)
+    limits.validate_circuit(circuit)
+    circuit.metadata["ingest"] = {
+        "source_format": "qasm",
+        "decomposed_gates": decomposed,
+        **program.info.as_dict(),
+    }
+    return circuit
+
+
+def _append_op(circuit: QuantumCircuit, op: RawOp, decomposer) -> int:
+    """Append one raw op (expanding through the decomposer); returns the
+    number of decomposition expansions performed."""
+    from ..exceptions import CircuitError
+
+    try:
+        if op.name == "barrier":
+            circuit.append(Barrier(len(op.qubits)), op.qubits)
+            return 0
+        if op.name == "measure":
+            circuit.append(Measure(), op.qubits, op.clbits)
+            return 0
+        if op.name == "delay":
+            circuit.append(Delay(op.params[0]), op.qubits)
+            return 0
+        if op.name in NATIVE_GATES:
+            circuit.append(standard_gate(op.name, *op.params), op.qubits)
+            return 0
+        expansions = 0
+        for name, params, qubits in decomposer.expand(op.name, op.params, op.qubits):
+            expansions += 1
+            circuit.append(standard_gate(name, *params), qubits)
+        return expansions
+    except CircuitError as error:
+        raise ValidationError(
+            f"line {op.line}, column {op.column}: invalid instruction "
+            f"'{op.name}': {error}"
+        ) from error
+
+
+# ----------------------------------------------------------------------------
+# Emitter
+# ----------------------------------------------------------------------------
+
+def _format_param(value: float) -> str:
+    """Shortest exact decimal form — ``float(repr(x)) == x`` — so an emitted
+    program parses back to bit-identical gate parameters."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValidationError(f"cannot serialise non-finite gate parameter {value!r}")
+    return repr(value)
+
+
+def circuit_to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise an IR circuit as OpenQASM 2.0 text.
+
+    Every IR gate name is part of the (extended qelib1) vocabulary the parser
+    accepts, and parameters are printed in shortest-exact form, so
+    ``parse_qasm(circuit_to_qasm(c))`` rebuilds the identical instruction
+    stream — same content fingerprint, bit-identical engine results.  Symbolic
+    (unbound) parameters cannot be serialised.
+    """
+    if circuit.parameters:
+        unbound = ", ".join(sorted(p.name for p in circuit.parameters))
+        raise ValidationError(f"cannot serialise unbound parameters: {unbound}")
+    lines = ["OPENQASM 2.0;", 'include "qelib1.inc";', f"qreg q[{circuit.num_qubits}];"]
+    if circuit.num_clbits > 0:
+        lines.append(f"creg c[{circuit.num_clbits}];")
+    for inst in circuit.instructions:
+        qubits = ", ".join(f"q[{q}]" for q in inst.qubits)
+        if inst.name == "measure":
+            lines.append(f"measure q[{inst.qubits[0]}] -> c[{inst.clbits[0]}];")
+        elif inst.name == "barrier":
+            lines.append(f"barrier {qubits};")
+        else:
+            params = ""
+            if inst.gate.params:
+                params = "(" + ", ".join(_format_param(p) for p in inst.gate.params) + ")"
+            lines.append(f"{inst.name}{params} {qubits};")
+    return "\n".join(lines) + "\n"

@@ -172,7 +172,15 @@ def _instruction_duration(
         return float(inst.gate.params[0])
     if inst.name == "barrier":
         return 0.0
-    physical = [physical_qubits[q] for q in inst.qubits]
+    try:
+        physical = [physical_qubits[q] for q in inst.qubits]
+    except IndexError:
+        # An explicit physical_qubits list shorter than the circuit width
+        # must fail as a typed error, not a bare IndexError.
+        raise TranspilerError(
+            f"instruction '{inst.name}' on qubits {list(inst.qubits)} is outside "
+            f"the {len(physical_qubits)}-entry physical_qubits mapping"
+        ) from None
     return device.gate_duration(inst.name, physical)
 
 

@@ -1,0 +1,646 @@
+"""Unit tests for the external-program frontend (``repro.frontend``).
+
+Pins every supported OpenQASM statement form, verifies every default
+decomposition rule unitary-equivalent to its reference matrix, triggers
+every :class:`ResourceLimits` cap individually, and exercises the JSON wire
+format's strict validation (version gate, unknown fields, precise error
+paths).  The adversarial/round-trip fuzz properties live in
+``test_frontend_fuzz.py``; this file is the example-based complement.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.backends import get_device
+from repro.circuits import QuantumCircuit
+from repro.circuits.gates import (
+    Barrier,
+    Gate,
+    standard_gate,
+    _h_matrix,
+    _p_matrix,
+    _rx_matrix,
+    _rz_matrix,
+    _swap_matrix,
+    _u3_matrix,
+    _x_matrix,
+    _y_matrix,
+)
+from repro.engine import FakeDeviceEngine, NoisyDensityMatrixEngine, StatevectorEngine
+from repro.engine.fingerprint import circuit_fingerprint
+from repro.exceptions import (
+    CircuitError,
+    DecompositionError,
+    IngestError,
+    ParameterError,
+    ParseError,
+    ResourceLimitError,
+    TranspilerError,
+    ValidationError,
+)
+from repro.frontend import (
+    DEFAULT_RULES,
+    Decomposer,
+    DecompositionRule,
+    IngestedProgram,
+    ResourceLimits,
+    circuit_from_json,
+    circuit_to_json,
+    circuit_to_qasm,
+    compile_param_expression,
+    ingest_json,
+    ingest_qasm,
+    parse_qasm,
+    schedule_from_json,
+    schedule_to_json,
+)
+from repro.frontend.decomposer import DEFAULT_NATIVE
+from repro.transpiler.basis import unitaries_equal_up_to_phase
+from repro.transpiler.scheduling import schedule_circuit
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def qasm(body: str) -> str:
+    return HEADER + body
+
+
+# ---------------------------------------------------------------------------
+# Parser: every supported statement form
+# ---------------------------------------------------------------------------
+
+class TestQasmStatements:
+    def test_registers_and_gate(self):
+        circuit = parse_qasm(qasm("qreg q[2];\ncreg c[2];\nh q[0];\ncx q[0], q[1];\n"))
+        assert circuit.num_qubits == 2
+        assert circuit.num_clbits == 2
+        assert [inst.name for inst in circuit.instructions] == ["h", "cx"]
+        assert circuit.instructions[1].qubits == (0, 1)
+
+    def test_multiple_qregs_concatenate_in_order(self):
+        circuit = parse_qasm(qasm("qreg a[2];\nqreg b[3];\nx a[1];\ny b[2];\n"))
+        assert circuit.num_qubits == 5
+        assert circuit.instructions[0].qubits == (1,)
+        assert circuit.instructions[1].qubits == (4,)
+
+    def test_parameter_expressions(self):
+        circuit = parse_qasm(
+            qasm("qreg q[1];\nrx(pi/2) q[0];\nrz(-pi/4) q[0];\n"
+                 "p(3*pi/4) q[0];\nry(sin(0.5)) q[0];\nrx(2^-2) q[0];\n")
+        )
+        params = [inst.gate.params[0] for inst in circuit.instructions]
+        assert params == [
+            math.pi / 2, -(math.pi / 4), (3.0 * math.pi) / 4,
+            math.sin(0.5), math.pow(2.0, -2.0),
+        ]
+
+    def test_u3_multi_parameter(self):
+        circuit = parse_qasm(qasm("qreg q[1];\nu3(0.1, 0.2, 0.3) q[0];\n"))
+        assert circuit.instructions[0].gate.params == (0.1, 0.2, 0.3)
+
+    def test_spec_builtins_U_and_CX_map_to_u3_and_cx(self):
+        # Valid without any include, per the OpenQASM 2.0 spec.
+        circuit = parse_qasm("OPENQASM 2.0;\nqreg q[2];\nU(0.1,0.2,0.3) q[0];\nCX q[0], q[1];\n")
+        assert [inst.name for inst in circuit.instructions] == ["u3", "cx"]
+
+    def test_register_broadcast_single_gate(self):
+        circuit = parse_qasm(qasm("qreg q[3];\nh q;\n"))
+        assert [inst.qubits for inst in circuit.instructions] == [(0,), (1,), (2,)]
+
+    def test_register_broadcast_two_qubit(self):
+        circuit = parse_qasm(qasm("qreg a[2];\nqreg b[2];\ncx a, b;\n"))
+        assert [inst.qubits for inst in circuit.instructions] == [(0, 2), (1, 3)]
+
+    def test_broadcast_register_against_single_qubit(self):
+        circuit = parse_qasm(qasm("qreg q[2];\nqreg t[1];\ncx q, t[0];\n"))
+        assert [inst.qubits for inst in circuit.instructions] == [(0, 2), (1, 2)]
+
+    def test_measure_single_and_register(self):
+        circuit = parse_qasm(
+            qasm("qreg q[2];\ncreg c[2];\nmeasure q[1] -> c[0];\nmeasure q -> c;\n")
+        )
+        assert circuit.measured_qubits() == [(1, 0), (0, 0), (1, 1)]
+
+    def test_barrier_forms(self):
+        circuit = parse_qasm(qasm("qreg q[3];\nbarrier q;\nbarrier q[0], q[2];\n"))
+        assert circuit.instructions[0].qubits == (0, 1, 2)
+        assert circuit.instructions[1].qubits == (0, 2)
+
+    def test_delay_extension(self):
+        circuit = parse_qasm(qasm("qreg q[1];\ndelay(160.0) q[0];\n"))
+        assert circuit.instructions[0].name == "delay"
+        assert circuit.instructions[0].gate.params == (160.0,)
+
+    def test_gate_macro_fixed(self):
+        circuit = parse_qasm(
+            qasm("gate bell a, b { h a; cx a, b; }\nqreg q[2];\nbell q[1], q[0];\n")
+        )
+        assert [(inst.name, inst.qubits) for inst in circuit.instructions] == [
+            ("h", (1,)), ("cx", (1, 0)),
+        ]
+
+    def test_gate_macro_parameterized(self):
+        circuit = parse_qasm(
+            qasm("gate rot(t) a { rz(t/2) a; rx(-t) a; }\nqreg q[1];\nrot(pi) q[0];\n")
+        )
+        assert circuit.instructions[0].gate.params == (math.pi / 2,)
+        assert circuit.instructions[1].gate.params == (-math.pi,)
+
+    def test_macro_calling_macro(self):
+        circuit = parse_qasm(
+            qasm("gate inner a { x a; }\ngate outer a, b { inner a; inner b; }\n"
+                 "qreg q[2];\nouter q[0], q[1];\n")
+        )
+        assert [inst.qubits for inst in circuit.instructions] == [(0,), (1,)]
+
+    def test_macro_with_barrier_body(self):
+        circuit = parse_qasm(
+            qasm("gate g a, b { h a; barrier a, b; h b; }\nqreg q[2];\ng q[0], q[1];\n")
+        )
+        assert [inst.name for inst in circuit.instructions] == ["h", "barrier", "h"]
+
+    def test_comments_and_whitespace(self):
+        circuit = parse_qasm(
+            "// leading comment\nOPENQASM 2.0; // trailing\n"
+            'include "qelib1.inc";\n\n\t qreg q[1];\n x q[0]; // done\n'
+        )
+        assert circuit.instructions[0].name == "x"
+
+    def test_ingest_metadata_counters(self):
+        circuit = parse_qasm(qasm("gate g a { h a; }\nqreg q[1];\ng q[0];\nx q[0];\n"))
+        info = circuit.metadata["ingest"]
+        assert info["macro_definitions"] == 1
+        assert info["macro_expansions"] == 1
+        assert info["raw_instructions"] == 2
+
+
+class TestQasmRejections:
+    @pytest.mark.parametrize(
+        "source, fragment",
+        [
+            ("qreg q[1];", "OPENQASM"),
+            ("OPENQASM 3.0;\nqreg q[1];", "version"),
+            ('OPENQASM 2.0;\ninclude "other.inc";', "qelib1.inc"),
+            (HEADER + "qreg q[1];\nreset q[0];", "reset"),
+            (HEADER + "qreg q[1];\ncreg c[1];\nif (c==1) x q[0];", "if"),
+            (HEADER + "opaque magic a;", "opaque"),
+            (HEADER + "qreg q[1];\nfoo q[0];", "unknown gate"),
+            (HEADER + "qreg q[1];\nh q[3];", "out of range"),
+            (HEADER + "qreg q[1];\nh r[0];", "undeclared"),
+            (HEADER + "qreg q[2];\ncx q[0], q[0];", "duplicate"),
+            (HEADER + "qreg q[1];\nrx() q[0];", "expects 1 parameter"),
+            (HEADER + "qreg q[1];\nrx(1.0, 2.0) q[0];", "parameter"),
+            (HEADER + "qreg q[1];\ncx q[0];", "qubit argument"),
+            (HEADER + "qreg q[1];\nh q[0]", "expected"),
+            (HEADER + "qreg q[0];", "positive"),
+            (HEADER + "qreg q[1];\nqreg q[1];", "already declared"),
+            (HEADER + "qreg q[1];\nrx(1/0) q[0];", "cannot evaluate"),
+            (HEADER + 'include "unterminated', "unterminated"),
+            (HEADER + "qreg q[1];\nx q[0]; \x00", "unexpected character"),
+            (HEADER + "creg c[2];", "no quantum register"),
+            (HEADER + "gate g a { h b; }", "not a qubit parameter"),
+            (HEADER + "gate g a { zz a; }", "unknown gate"),
+            (HEADER + "gate h a { x a; }", "already defined"),
+            (HEADER + "qreg q[2];\ncreg c[1];\nmeasure q -> c;", "maps 2 qubit"),
+        ],
+    )
+    def test_rejected_with_parse_error(self, source, fragment):
+        with pytest.raises(ParseError) as excinfo:
+            parse_qasm(source)
+        assert fragment.lower() in str(excinfo.value).lower()
+        assert excinfo.value.line is not None
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_qasm(HEADER + "qreg q[1];\nbogus q[0];\n")
+        assert excinfo.value.line == 4
+        assert excinfo.value.column == 1
+        assert "line 4, column 1" in str(excinfo.value)
+
+    def test_non_string_input(self):
+        with pytest.raises(ParseError):
+            parse_qasm(b"OPENQASM 2.0;")
+
+
+# ---------------------------------------------------------------------------
+# Emitter round trip
+# ---------------------------------------------------------------------------
+
+class TestEmitter:
+    def test_round_trip_is_content_identical(self):
+        circuit = QuantumCircuit(3, 3, name="native")
+        circuit.h(0)
+        circuit.rx(0.12345678901234567, 1)
+        circuit.rzz(-2.5, 0, 2)
+        circuit.delay(120.0, 1)
+        circuit.barrier(0, 1)
+        circuit.measure_all()
+        rebuilt = parse_qasm(circuit_to_qasm(circuit))
+        assert circuit_fingerprint(rebuilt) == circuit_fingerprint(circuit)
+
+    def test_unbound_parameters_rejected(self):
+        from repro.circuits.parameter import Parameter
+
+        circuit = QuantumCircuit(1)
+        circuit.rx(Parameter("theta"), 0)
+        with pytest.raises(ValidationError, match="theta"):
+            circuit_to_qasm(circuit)
+
+    def test_non_finite_parameter_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.rx(float("nan"), 0)
+        with pytest.raises(ValidationError, match="non-finite"):
+            circuit_to_qasm(circuit)
+
+
+# ---------------------------------------------------------------------------
+# Decomposer: every rule unitary-equivalent to its reference
+# ---------------------------------------------------------------------------
+
+def _controlled(block: np.ndarray, controls: int = 1) -> np.ndarray:
+    dim = block.shape[0] * (2 ** controls)
+    out = np.eye(dim, dtype=complex)
+    out[-block.shape[0]:, -block.shape[0]:] = block
+    return out
+
+
+_THETA, _PHI, _LAM = 0.731, -1.2, 2.41
+
+_RULE_REFERENCES = {
+    "u": ((_THETA, _PHI, _LAM), 1, _u3_matrix(_THETA, _PHI, _LAM)),
+    "u1": ((_LAM,), 1, _p_matrix(_LAM)),
+    "u2": ((_PHI, _LAM), 1, _u3_matrix(math.pi / 2, _PHI, _LAM)),
+    "cy": ((), 2, _controlled(_y_matrix())),
+    "ch": ((), 2, _controlled(_h_matrix())),
+    "crx": ((_LAM,), 2, _controlled(_rx_matrix(_LAM))),
+    "crz": ((_LAM,), 2, _controlled(_rz_matrix(_LAM))),
+    "cp": ((_LAM,), 2, _controlled(_p_matrix(_LAM))),
+    "cu1": ((_LAM,), 2, _controlled(_p_matrix(_LAM))),
+    "cu3": ((_THETA, _PHI, _LAM), 2, _controlled(_u3_matrix(_THETA, _PHI, _LAM))),
+    "ccx": ((), 3, _controlled(_x_matrix(), controls=2)),
+    "cswap": ((), 3, _controlled(_swap_matrix())),
+    "swap": ((), 2, _swap_matrix()),
+    "cz": ((), 2, _controlled(np.diag([1, -1]).astype(complex))),
+}
+
+
+class TestDecomposer:
+    @pytest.mark.parametrize("rule", DEFAULT_RULES, ids=lambda r: r.name)
+    def test_every_default_rule_is_unitary_equivalent(self, rule):
+        params, arity, reference = _RULE_REFERENCES[rule.name]
+        # Shrink the native set so even natively-supported gates (swap, cz)
+        # actually expand through their rule.
+        decomposer = Decomposer(native=sorted(DEFAULT_NATIVE - {rule.name}))
+        circuit = QuantumCircuit(arity)
+        for name, step_params, qubits in decomposer.expand(rule.name, params, tuple(range(arity))):
+            circuit.append(standard_gate(name, *step_params), qubits)
+        assert all(inst.name in DEFAULT_NATIVE for inst in circuit.instructions)
+        assert unitaries_equal_up_to_phase(circuit.to_unitary(), reference)
+
+    def test_every_reference_is_pinned(self):
+        assert {rule.name for rule in DEFAULT_RULES} == set(_RULE_REFERENCES)
+
+    def test_native_gate_passes_through(self):
+        assert Decomposer.default().expand("h", (), (3,)) == [("h", (), (3,))]
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(DecompositionError, match="no decomposition rule"):
+            Decomposer.default().expand("magic", (), (0,))
+
+    def test_wrong_param_count_raises(self):
+        with pytest.raises(DecompositionError, match="parameter"):
+            Decomposer.default().expand("crz", (), (0, 1))
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(DecompositionError, match="qubit"):
+            Decomposer.default().expand("ccx", (), (0, 1))
+
+    def test_rule_cycle_raises(self):
+        looping = (
+            DecompositionRule("a", 1, (), (("b", (), (0,)),)),
+            DecompositionRule("b", 1, (), (("a", (), (0,)),)),
+        )
+        decomposer = Decomposer(rules=looping, native=("x",))
+        with pytest.raises(DecompositionError, match="depth"):
+            decomposer.expand("a", (), (0,))
+
+    def test_duplicate_rule_raises(self):
+        rule = DecompositionRule("dup", 1, (), (("x", (), (0,)),))
+        with pytest.raises(DecompositionError, match="duplicate"):
+            Decomposer(rules=(rule, rule))
+
+    def test_bad_rule_expression_raises(self):
+        rule = DecompositionRule("bad", 1, ("t",), (("rx", ("t +",), (0,)),))
+        with pytest.raises(DecompositionError, match="expression"):
+            Decomposer(rules=(rule,))
+
+    def test_custom_native_set_routes_through_rules(self):
+        decomposer = Decomposer(native=sorted(DEFAULT_NATIVE - {"swap"}))
+        expansion = decomposer.expand("swap", (), (0, 1))
+        assert [step[0] for step in expansion] == ["cx", "cx", "cx"]
+
+    def test_expression_compiler_rejects_unknown_names(self):
+        with pytest.raises(ParseError, match="unknown name"):
+            compile_param_expression("theta + zeta", ("theta",))
+
+
+# ---------------------------------------------------------------------------
+# ResourceLimits: every cap triggers its specific exception
+# ---------------------------------------------------------------------------
+
+class TestResourceLimits:
+    def _limit_error(self, excinfo, name):
+        assert isinstance(excinfo.value, ResourceLimitError)
+        assert excinfo.value.limit_name == name
+
+    def test_max_qubits(self):
+        with pytest.raises(ResourceLimitError) as excinfo:
+            parse_qasm(qasm("qreg q[5];"), limits=ResourceLimits(max_qubits=4))
+        self._limit_error(excinfo, "max_qubits")
+
+    def test_max_clbits(self):
+        with pytest.raises(ResourceLimitError) as excinfo:
+            parse_qasm(qasm("qreg q[1];\ncreg c[9];"), limits=ResourceLimits(max_clbits=8))
+        self._limit_error(excinfo, "max_clbits")
+
+    def test_max_instructions(self):
+        limits = ResourceLimits(max_instructions=3)
+        with pytest.raises(ResourceLimitError) as excinfo:
+            parse_qasm(qasm("qreg q[1];\nx q[0];\nx q[0];\nx q[0];\nx q[0];"), limits=limits)
+        self._limit_error(excinfo, "max_instructions")
+
+    def test_max_depth(self):
+        circuit = QuantumCircuit(1)
+        for _ in range(5):
+            circuit.x(0)
+        with pytest.raises(ResourceLimitError) as excinfo:
+            ResourceLimits(max_depth=4).validate_circuit(circuit)
+        self._limit_error(excinfo, "max_depth")
+
+    def test_max_shots(self):
+        with pytest.raises(ResourceLimitError) as excinfo:
+            ingest_qasm(qasm("qreg q[1];\nx q[0];"), shots=2_000_000)
+        self._limit_error(excinfo, "max_shots")
+
+    def test_invalid_shots_is_validation_error(self):
+        with pytest.raises(ValidationError, match="positive integer"):
+            ResourceLimits().check_shots(0)
+
+    def test_max_macro_depth(self):
+        lines = ["gate g0 a { x a; }"]
+        for level in range(1, 20):
+            lines.append(f"gate g{level} a {{ g{level - 1} a; }}")
+        lines += ["qreg q[1];", "g19 q[0];"]
+        with pytest.raises(ResourceLimitError) as excinfo:
+            parse_qasm(qasm("\n".join(lines)), limits=ResourceLimits(max_macro_depth=8))
+        self._limit_error(excinfo, "max_macro_depth")
+
+    def test_max_expanded_instructions(self):
+        # Exponential blow-up through nested macros must hit the cap, not RAM.
+        lines = ["gate g0 a, b { x a; x b; }"]
+        for level in range(1, 20):
+            lines.append(f"gate g{level} a, b {{ g{level-1} a, b; g{level-1} b, a; }}")
+        lines += ["qreg q[2];", "g19 q[0], q[1];"]
+        limits = ResourceLimits(max_expanded_instructions=10_000, max_macro_depth=64)
+        with pytest.raises(ResourceLimitError) as excinfo:
+            parse_qasm(qasm("\n".join(lines)), limits=limits)
+        self._limit_error(excinfo, "max_expanded_instructions")
+
+    def test_max_source_bytes(self):
+        with pytest.raises(ResourceLimitError) as excinfo:
+            parse_qasm("x" * 100, limits=ResourceLimits(max_source_bytes=10))
+        self._limit_error(excinfo, "max_source_bytes")
+
+    def test_non_finite_parameter_is_validation_error(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            parse_qasm(qasm("qreg q[1];\nrx(1e400) q[0];"))
+
+    def test_unrestricted_passes_wide_circuit(self):
+        circuit = parse_qasm(qasm("qreg q[20];\nh q;"), limits=ResourceLimits.unrestricted())
+        assert circuit.num_qubits == 20
+
+    def test_limit_error_is_ingest_and_validation_error(self):
+        error = ResourceLimitError("x", limit_name="max_qubits", limit=1, actual=2)
+        assert isinstance(error, ValidationError)
+        assert isinstance(error, IngestError)
+
+
+# ---------------------------------------------------------------------------
+# JSON wire format
+# ---------------------------------------------------------------------------
+
+class TestJsonFormat:
+    def _bell(self):
+        circuit = QuantumCircuit(2, 2, name="bell")
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure_all()
+        return circuit
+
+    def test_circuit_round_trip(self):
+        circuit = self._bell()
+        rebuilt = circuit_from_json(circuit_to_json(circuit))
+        assert circuit_fingerprint(rebuilt) == circuit_fingerprint(circuit)
+        assert rebuilt.name == "bell"
+
+    def test_version_mismatch_rejected_clearly(self):
+        document = json.loads(circuit_to_json(self._bell()))
+        document["version"] = 2
+        with pytest.raises(ValidationError) as excinfo:
+            circuit_from_json(document)
+        message = str(excinfo.value)
+        assert "unsupported format version 2" in message
+        assert "supports version 1" in message
+
+    def test_format_mismatch_rejected(self):
+        document = json.loads(circuit_to_json(self._bell()))
+        document["format"] = "repro-schedule"
+        with pytest.raises(ValidationError, match="format"):
+            circuit_from_json(document)
+
+    def test_unknown_field_rejected(self):
+        document = json.loads(circuit_to_json(self._bell()))
+        document["exploit"] = True
+        with pytest.raises(ValidationError, match="unknown field.*exploit"):
+            circuit_from_json(document)
+
+    def test_error_message_carries_instruction_path(self):
+        document = json.loads(circuit_to_json(self._bell()))
+        document["instructions"][1]["qubits"] = [0, 9]
+        with pytest.raises(ValidationError, match=r"instructions\[1\].qubits\[1\]"):
+            circuit_from_json(document)
+
+    def test_not_json_rejected(self):
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            circuit_from_json("{nope")
+
+    def test_non_object_root_rejected(self):
+        with pytest.raises(ValidationError, match="root"):
+            circuit_from_json("[1, 2]")
+
+    def test_bad_gate_name_rejected(self):
+        document = json.loads(circuit_to_json(self._bell()))
+        document["instructions"][0]["gate"] = "warp"
+        with pytest.raises(ValidationError, match="warp"):
+            circuit_from_json(document)
+
+    def test_decomposer_expands_non_native_gates(self):
+        document = {
+            "format": "repro-circuit", "version": 1, "num_qubits": 3,
+            "instructions": [{"gate": "ccx", "qubits": [0, 1, 2]}],
+        }
+        circuit = circuit_from_json(document, decomposer=Decomposer.default())
+        assert circuit.count_ops()["cx"] == 6
+
+    def test_schedule_round_trip_with_device_object(self):
+        device = get_device("fake_casablanca", seed=5)
+        scheduled = schedule_circuit(self._bell(), device)
+        document = schedule_to_json(scheduled)
+        rebuilt = schedule_from_json(document, device=device)
+        assert rebuilt.num_qubits == scheduled.num_qubits
+        assert rebuilt.physical_qubits == scheduled.physical_qubits
+        assert len(rebuilt.timed_instructions) == len(scheduled.timed_instructions)
+        for a, b in zip(rebuilt.sorted_instructions(), scheduled.sorted_instructions()):
+            assert a.instruction == b.instruction
+            assert a.start_ns == b.start_ns and a.duration_ns == b.duration_ns
+
+    def test_schedule_device_by_name(self):
+        scheduled = schedule_circuit(self._bell(), get_device("fake_casablanca"))
+        rebuilt = schedule_from_json(schedule_to_json(scheduled))
+        assert rebuilt.device.name == "fake_casablanca"
+
+    def test_schedule_unknown_device_rejected(self):
+        scheduled = schedule_circuit(self._bell(), get_device("fake_casablanca"))
+        document = json.loads(schedule_to_json(scheduled))
+        document["device"] = "ibmq_made_up"
+        with pytest.raises(ValidationError, match="device"):
+            schedule_from_json(document)
+
+    def test_schedule_negative_timing_rejected(self):
+        scheduled = schedule_circuit(self._bell(), get_device("fake_casablanca"))
+        document = json.loads(schedule_to_json(scheduled))
+        document["instructions"][0]["start_ns"] = -1.0
+        with pytest.raises(ValidationError, match="negative timing"):
+            schedule_from_json(document)
+
+    def test_shots_field_validated(self):
+        document = json.loads(circuit_to_json(self._bell()))
+        document["shots"] = 10**9
+        with pytest.raises(ResourceLimitError):
+            circuit_from_json(document)
+
+
+# ---------------------------------------------------------------------------
+# Ingestion + engine wiring
+# ---------------------------------------------------------------------------
+
+class TestIngestion:
+    SOURCE = qasm("qreg q[2];\ncreg c[2];\nh q[0];\ncx q[0], q[1];\nmeasure q -> c;\n")
+
+    def test_ingest_qasm_runs_on_statevector(self):
+        program = ingest_qasm(self.SOURCE)
+        engine = StatevectorEngine(seed=3)
+        result = engine.run(program)
+        np.testing.assert_allclose(result.probabilities, [0.5, 0.0, 0.0, 0.5], atol=1e-12)
+
+    def test_engine_payload_kinds(self):
+        program = ingest_qasm(self.SOURCE)
+        statevector = StatevectorEngine()
+        fake = FakeDeviceEngine("fake_casablanca", seed=2)
+        assert statevector.program_input == "circuit"
+        assert fake.program_input == "circuit"
+        assert fake.noisy_engine.program_input == "scheduled"
+        assert program.engine_payload(statevector) is program.circuit
+        scheduled = program.engine_payload(fake.noisy_engine)
+        assert scheduled.num_qubits == 2
+
+    def test_ingested_program_equals_native_circuit_bits(self):
+        program = ingest_qasm(self.SOURCE)
+        native = QuantumCircuit(2, 2)
+        native.h(0)
+        native.cx(0, 1)
+        native.measure(0, 0)
+        native.measure(1, 1)
+        engine = FakeDeviceEngine("fake_casablanca", seed=9)
+        mine = engine.run(program)
+        reference = engine.run(native)
+        assert mine.fingerprint == reference.fingerprint
+        assert mine.counts == reference.counts
+
+    def test_submit_accepts_ingested_program(self):
+        engine = StatevectorEngine(seed=4)
+        program = ingest_qasm(self.SOURCE)
+        future = engine.submit(program)
+        np.testing.assert_array_equal(
+            future.result().probabilities, engine.run(program.circuit).probabilities
+        )
+        engine.close()
+
+    def test_ingest_json_schedule_needs_schedule_engine(self):
+        device = get_device("fake_casablanca")
+        scheduled = schedule_circuit(
+            parse_qasm(self.SOURCE), device
+        )
+        program = ingest_json(schedule_to_json(scheduled), device=device)
+        with pytest.raises(ValidationError, match="schedule-level"):
+            program.engine_payload(StatevectorEngine())
+
+    def test_ingest_stats_aggregate(self):
+        from repro.frontend import IngestStats
+
+        stats = IngestStats()
+        stats.record(ingest_qasm(self.SOURCE))
+        stats.record(ingest_qasm(self.SOURCE))
+        payload = stats.as_dict()
+        assert payload["programs"] == 2
+        assert payload["instructions"] == 8
+        assert payload["source_bytes"] > 0
+
+    def test_ingest_unknown_json_format(self):
+        with pytest.raises(ValidationError, match="repro-circuit"):
+            ingest_json('{"format": "qpy", "version": 1}')
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValidationError):
+            IngestedProgram()
+
+
+# ---------------------------------------------------------------------------
+# Exception-hygiene regressions (bugs surfaced by the fuzz harness)
+# ---------------------------------------------------------------------------
+
+class TestExceptionHygiene:
+    def test_gate_matrix_wrong_param_count_is_circuit_error(self):
+        # Regression: Gate("ry", 1, ()) bypasses standard_gate validation and
+        # _cached_matrix used to explode with a bare TypeError.
+        with pytest.raises(CircuitError, match="expects 1 parameter"):
+            Gate("ry", 1, ()).matrix()
+
+    def test_gate_matrix_non_numeric_param_is_parameter_error(self):
+        # Regression: float("junk") used to escape as a bare ValueError.
+        with pytest.raises(ParameterError, match="non-numeric"):
+            Gate("rx", 1, ("junk",)).matrix()
+
+    def test_append_non_integer_qubit_is_circuit_error(self):
+        # Regression: int("q0") used to escape _check_qubits as ValueError.
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError, match="not an integer"):
+            circuit.append(standard_gate("x"), ["q0"])
+
+    def test_append_non_integer_clbit_is_circuit_error(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError, match="not integers"):
+            circuit.measure(0, "c0")
+
+    def test_short_physical_qubits_is_transpiler_error(self):
+        # Regression: a physical_qubits list shorter than the circuit used to
+        # escape scheduling as a bare IndexError.
+        circuit = QuantumCircuit(3)
+        circuit.h(2)
+        with pytest.raises(TranspilerError, match="physical_qubits"):
+            schedule_circuit(circuit, get_device("fake_casablanca"), physical_qubits=[0, 1])

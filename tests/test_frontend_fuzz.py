@@ -1,0 +1,247 @@
+"""Fuzzing harness for the frontend: valid programs round-trip bit-identically,
+corrupted programs always fail with a typed :class:`IngestError`.
+
+Seed conventions (documented in ``docs/testing.md``):
+
+* ``fuzz_seeds(count, offset=2000)`` — random QASM round-trip cases,
+* ``fuzz_seeds(count, offset=2200)`` — corruption / mutation cases,
+* ``fuzz_seeds(count, offset=2400)`` — JSON wire-format cases.
+
+Every failure message embeds the seed (and corruption kind), so any case can
+be replayed standalone::
+
+    PYTHONPATH=src python - <<'EOF'
+    import sys; sys.path.insert(0, "tests")
+    from randomized import random_qasm_case
+    print(random_qasm_case(2042)[0])
+    EOF
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from randomized import (
+    CORRUPTION_KINDS,
+    corrupt_program,
+    fuzz_seeds,
+    random_json_case,
+    random_qasm_case,
+)
+from repro.backends import get_device
+from repro.engine import FakeDeviceEngine, StatevectorEngine
+from repro.engine.fingerprint import circuit_fingerprint
+from repro.exceptions import IngestError, ParseError, ReproError
+from repro.frontend import (
+    ResourceLimits,
+    circuit_from_json,
+    circuit_to_json,
+    circuit_to_qasm,
+    ingest_qasm,
+    parse_qasm,
+    schedule_from_json,
+    schedule_to_json,
+)
+from repro.transpiler.pipeline import transpile
+
+QASM_SEEDS = fuzz_seeds(100, offset=2000)
+CORRUPTION_SEEDS = fuzz_seeds(120, offset=2200)
+JSON_SEEDS = fuzz_seeds(40, offset=2400)
+
+# Parsing untrusted text must stay cheap; a case that takes this long has hit
+# quadratic behaviour or an expansion the limits failed to cap.
+FUZZ_LIMITS = ResourceLimits()
+
+
+# ---------------------------------------------------------------------------
+# Valid programs: parse -> identical instruction stream -> identical bits
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", QASM_SEEDS)
+def test_qasm_parse_matches_reference_circuit(seed):
+    """Parsing must reproduce the independently-built reference circuit
+    instruction for instruction — same gates, params to the last bit."""
+    text, reference = random_qasm_case(seed)
+    circuit = parse_qasm(text, limits=FUZZ_LIMITS)
+    assert circuit_fingerprint(circuit) == circuit_fingerprint(reference), (
+        f"seed {seed}: parsed circuit diverged from reference"
+    )
+
+
+@pytest.mark.parametrize("seed", QASM_SEEDS)
+def test_qasm_emitter_round_trip(seed):
+    """circuit -> QASM text -> circuit is a fixed point (bit-identical)."""
+    _, reference = random_qasm_case(seed)
+    rebuilt = parse_qasm(circuit_to_qasm(reference), limits=FUZZ_LIMITS)
+    assert circuit_fingerprint(rebuilt) == circuit_fingerprint(reference), (
+        f"seed {seed}: emitter round trip diverged"
+    )
+
+
+@pytest.mark.parametrize("seed", QASM_SEEDS[:25])
+def test_ingested_program_bit_identical_on_statevector(seed):
+    """An ingested program and its reference circuit must produce the same
+    sampled bits: same fingerprint => same derived seed => same counts."""
+    text, reference = random_qasm_case(seed)
+    program = ingest_qasm(text, limits=FUZZ_LIMITS)
+    engine = StatevectorEngine(seed=seed)
+    mine = engine.run(program)
+    theirs = engine.run(reference)
+    assert mine.fingerprint == theirs.fingerprint, f"seed {seed}"
+    np.testing.assert_array_equal(mine.probabilities, theirs.probabilities)
+    assert engine.counts(program, shots=128) == engine.counts(reference, shots=128), (
+        f"seed {seed}"
+    )
+
+
+@pytest.mark.parametrize("seed", QASM_SEEDS[25:35])
+def test_ingested_program_bit_identical_on_fake_device(seed):
+    """Same property through the full noisy pipeline (transpile + schedule +
+    noisy simulation), exercising engine_payload's schedule path."""
+    text, reference = random_qasm_case(seed)
+    program = ingest_qasm(text, limits=FUZZ_LIMITS)
+    engine = FakeDeviceEngine("fake_casablanca", seed=seed, shots=64)
+    assert engine.run(program).counts == engine.run(reference).counts, f"seed {seed}"
+
+
+@pytest.mark.parametrize("seed", QASM_SEEDS[35:45])
+def test_ingested_program_submit_parity(seed):
+    """submit() must unwrap ingested programs identically to run()."""
+    text, reference = random_qasm_case(seed)
+    program = ingest_qasm(text, limits=FUZZ_LIMITS)
+    engine = StatevectorEngine(seed=seed)
+    try:
+        future = engine.submit(program)
+        np.testing.assert_array_equal(
+            future.result().probabilities, engine.run(reference).probabilities
+        )
+    finally:
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# Corrupted programs: typed errors only — never a crash, hang, or wrong answer
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", CORRUPTION_SEEDS)
+def test_corrupted_qasm_never_escapes_typed_errors(seed):
+    """Any mutation either still parses cleanly (some mutations are benign,
+    e.g. a swap inside an expression) or raises a typed IngestError. A bare
+    ValueError/KeyError/RecursionError here is a parser bug."""
+    text, _ = random_qasm_case(seed)
+    kind, corrupted = corrupt_program(text, seed)
+    try:
+        parse_qasm(corrupted, limits=FUZZ_LIMITS)
+    except IngestError as error:
+        if isinstance(error, ParseError):
+            assert error.line is not None, (
+                f"seed {seed} kind {kind}: ParseError without line info"
+            )
+    except ReproError as error:  # pragma: no cover - would be a taxonomy bug
+        pytest.fail(f"seed {seed} kind {kind}: non-ingest ReproError {error!r}")
+    except Exception as error:  # pragma: no cover - the bug class we hunt
+        pytest.fail(f"seed {seed} kind {kind}: untyped {type(error).__name__}: {error!r}")
+
+
+@pytest.mark.parametrize("seed", CORRUPTION_SEEDS[:60])
+def test_junk_bytes_always_rejected(seed):
+    """The junk_bytes mutation injects characters outside the grammar, so it
+    must *always* raise — silently accepting it would be a tokenizer hole."""
+    text, _ = random_qasm_case(seed)
+    _, corrupted = corrupt_program(text, seed, kind="junk_bytes")
+    with pytest.raises(IngestError):
+        parse_qasm(corrupted, limits=FUZZ_LIMITS)
+
+
+def test_every_corruption_kind_is_exercised():
+    kinds = {corrupt_program(random_qasm_case(s)[0], s)[0] for s in CORRUPTION_SEEDS}
+    assert kinds == set(CORRUPTION_KINDS)
+
+
+# ---------------------------------------------------------------------------
+# JSON wire format fuzz
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", JSON_SEEDS)
+def test_json_circuit_round_trip(seed):
+    document, circuit = random_json_case(seed)
+    rebuilt = circuit_from_json(document)
+    assert circuit_fingerprint(rebuilt) == circuit_fingerprint(circuit), f"seed {seed}"
+
+
+@pytest.mark.parametrize("seed", JSON_SEEDS[:20])
+def test_json_schedule_round_trip(seed):
+    _, circuit = random_json_case(seed)
+    device = get_device("fake_casablanca")
+    scheduled = transpile(circuit, device).scheduled
+    rebuilt = schedule_from_json(schedule_to_json(scheduled), device=device)
+    assert len(rebuilt.timed_instructions) == len(scheduled.timed_instructions)
+    for mine, theirs in zip(rebuilt.sorted_instructions(), scheduled.sorted_instructions()):
+        assert mine.instruction == theirs.instruction, f"seed {seed}"
+        assert mine.start_ns == theirs.start_ns, f"seed {seed}"
+        assert mine.duration_ns == theirs.duration_ns, f"seed {seed}"
+
+
+@pytest.mark.parametrize("seed", JSON_SEEDS)
+def test_corrupted_json_never_escapes_typed_errors(seed):
+    """Structural mutations of a valid JSON document must produce a typed
+    IngestError or parse cleanly — mirrors the QASM corruption property."""
+    text, _ = random_json_case(seed)
+    _, corrupted = corrupt_program(text, seed)
+    try:
+        circuit_from_json(corrupted)
+    except IngestError:
+        pass
+    except Exception as error:  # pragma: no cover - the bug class we hunt
+        pytest.fail(f"seed {seed}: untyped {type(error).__name__}: {error!r}")
+
+
+@pytest.mark.parametrize("seed", JSON_SEEDS[:20])
+def test_json_field_mutations_rejected(seed):
+    """Surgical field-level corruption (wrong types, out-of-range indices,
+    unknown fields) must fail with a ValidationError naming the path."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    document = json.loads(random_json_case(seed)[0])
+    mutation = rng.choice(["version", "qubit", "gate", "field", "params"])
+    if mutation == "version":
+        document["version"] = 99
+    elif mutation == "qubit" and document["instructions"]:
+        document["instructions"][0]["qubits"] = [document["num_qubits"] + 7]
+    elif mutation == "gate" and document["instructions"]:
+        document["instructions"][0]["gate"] = "not_a_gate"
+    elif mutation == "params" and document["instructions"]:
+        document["instructions"][0]["params"] = ["NaN-ish"]
+    else:
+        document["surprise"] = {"nested": True}
+    with pytest.raises(IngestError):
+        circuit_from_json(document)
+
+
+# ---------------------------------------------------------------------------
+# Generator self-checks (keep the harness honest)
+# ---------------------------------------------------------------------------
+
+def test_generator_is_deterministic():
+    for seed in QASM_SEEDS[:5]:
+        text_a, circuit_a = random_qasm_case(seed)
+        text_b, circuit_b = random_qasm_case(seed)
+        assert text_a == text_b
+        assert circuit_fingerprint(circuit_a) == circuit_fingerprint(circuit_b)
+        assert corrupt_program(text_a, seed) == corrupt_program(text_b, seed)
+
+
+def test_generator_covers_language_features():
+    """Across the seed set, generated programs must collectively use macros,
+    expressions, broadcasts, barriers, delays, and decomposed gates — so the
+    round-trip property actually exercises the whole grammar."""
+    joined = "\n".join(random_qasm_case(seed)[0] for seed in QASM_SEEDS)
+    for feature in ("gate ", "pi", "barrier", "delay(", "measure"):
+        assert feature in joined, f"generator never emits {feature!r}"
+    assert any(
+        gate in joined for gate in ("ccx", "cswap", "cu3", "crx", "ch ")
+    ), "generator never emits a decomposed gate"

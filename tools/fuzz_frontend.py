@@ -1,0 +1,108 @@
+"""Standalone frontend fuzz runner — the CI smoke step and a local soak tool.
+
+Runs the same seeded generators as ``tests/test_frontend_fuzz.py`` but as a
+flat loop with a summary line, so it can be pointed at much larger seed
+ranges than the pytest suite pins::
+
+    PYTHONPATH=src python tools/fuzz_frontend.py                 # CI smoke (default counts)
+    PYTHONPATH=src python tools/fuzz_frontend.py --count 5000    # local soak
+    PYTHONPATH=src python tools/fuzz_frontend.py --offset 7000   # fresh seed block
+
+Checks three properties per round:
+
+1. a seeded valid QASM program parses to a circuit bit-identical to its
+   independently-built reference (fingerprint equality);
+2. the QASM emitter round trip is a fixed point;
+3. a mutated program either parses cleanly or raises a typed
+   :class:`~repro.exceptions.IngestError` — any other exception type is a
+   parser bug and fails the run.
+
+Exits non-zero on the first property violation, printing the seed and
+corruption kind needed to replay it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "tests"))
+
+from randomized import corrupt_program, fuzz_seeds, random_qasm_case  # noqa: E402
+from repro.engine.fingerprint import circuit_fingerprint  # noqa: E402
+from repro.exceptions import IngestError, ParseError  # noqa: E402
+from repro.frontend import ResourceLimits, circuit_to_qasm, parse_qasm  # noqa: E402
+
+
+def run(count: int, corrupt_count: int, offset: int) -> int:
+    limits = ResourceLimits()
+    failures = 0
+    started = time.perf_counter()
+
+    parsed = 0
+    for seed in fuzz_seeds(count, offset=offset):
+        text, reference = random_qasm_case(seed)
+        try:
+            circuit = parse_qasm(text, limits=limits)
+            if circuit_fingerprint(circuit) != circuit_fingerprint(reference):
+                print(f"FAIL seed={seed}: parsed circuit diverged from reference")
+                failures += 1
+                continue
+            rebuilt = parse_qasm(circuit_to_qasm(circuit), limits=limits)
+            if circuit_fingerprint(rebuilt) != circuit_fingerprint(circuit):
+                print(f"FAIL seed={seed}: emitter round trip diverged")
+                failures += 1
+                continue
+        except Exception as error:  # noqa: BLE001 - valid input must never raise
+            print(f"FAIL seed={seed}: valid program raised {type(error).__name__}: {error}")
+            failures += 1
+            continue
+        parsed += 1
+
+    typed = 0
+    clean = 0
+    for seed in fuzz_seeds(corrupt_count, offset=offset + 200):
+        text, _ = random_qasm_case(seed)
+        kind, corrupted = corrupt_program(text, seed)
+        try:
+            parse_qasm(corrupted, limits=limits)
+            clean += 1
+        except IngestError as error:
+            if isinstance(error, ParseError) and error.line is None:
+                print(f"FAIL seed={seed} kind={kind}: ParseError without line info")
+                failures += 1
+                continue
+            typed += 1
+        except Exception as error:  # noqa: BLE001 - the bug class this tool hunts
+            print(
+                f"FAIL seed={seed} kind={kind}: untyped {type(error).__name__}: {error!r}"
+            )
+            failures += 1
+
+    elapsed = time.perf_counter() - started
+    print(
+        f"fuzz_frontend: {parsed}/{count} valid round trips, "
+        f"{typed} typed rejections + {clean} benign mutations of {corrupt_count} "
+        f"corrupted programs, {failures} failures in {elapsed:.1f}s"
+    )
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--count", type=int, default=100, help="valid-program seeds")
+    parser.add_argument("--corrupt-count", type=int, default=150, help="mutation seeds")
+    parser.add_argument(
+        "--offset", type=int, default=2000,
+        help="seed offset (2000 matches the pytest suite; pick another block to soak)",
+    )
+    options = parser.parse_args()
+    return run(options.count, options.corrupt_count, options.offset)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
