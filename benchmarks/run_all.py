@@ -80,7 +80,8 @@ def _h2_tuner_comparison():
     """Time the H2 window-tuner sweep across every execution tier.
 
     Six legs tune from the same compiled schedule: the legacy *sequential*
-    path (no cache, no prefix reuse — what the pre-engine code did), the
+    path (no cache, no prefix or segment reuse — what the pre-engine code
+    did), the
     batched engine path in its *serial*, *thread* and *process* tiers, the
     *pipelined* leg — asynchronous submission over the process tier, where
     the tuner builds window N+1's candidates while window N's execute
@@ -125,7 +126,9 @@ def _h2_tuner_comparison():
             # commutation-aware canonical keying is worth.
             enable_canonicalisation=not exact_keying,
             # The sequential leg re-simulates every evaluation, like the
-            # pre-engine code did.
+            # pre-engine code did — segment replay included, so it stays a
+            # true no-reuse baseline.
+            enable_segment_reuse=batched,
             result_cache_bytes=(256 << 20) if batched else 0,
         )
         estimator = ExpectationEstimator(noise_model, seed=11, engine=engine)
@@ -201,6 +204,15 @@ def _h2_tuner_comparison():
         # their energies agree to float tolerance but not bit for bit; the
         # recorded delta keeps that honest.
         "reuse_fraction": engine.stats.reuse_fraction,
+        # Segment-cache replay counters for the serial canonical leg
+        # (docs/segment_reuse.md): hits are whole checkpoint-aligned segments
+        # served from the content-keyed operator cache instead of re-walking
+        # their instructions.
+        "segment_cache": {
+            "hits": engine.stats.segment_hits,
+            "misses": engine.stats.segment_misses,
+            "hit_rate": engine.stats.segment_hit_rate,
+        },
         "canonicalisation": {
             "reuse_fraction": engine.stats.reuse_fraction,
             "exact_keying_reuse_fraction": exact_engine.stats.reuse_fraction,
@@ -646,6 +658,120 @@ def _ingestion_leg():
     }
 
 
+def _segment_reuse_leg():
+    """A/B the segment-level operator cache on the H2 window-tuner sweep.
+
+    Both legs run the serial tier with canonical keying and prefix reuse on;
+    only ``enable_segment_reuse`` differs.  Replaying a cached segment applies
+    the identical operator arrays in the identical order as re-walking its
+    instructions, so the tuned energies must agree *bit for bit* — the delta
+    recorded here is the acceptance check, not a tolerance.  The reuse
+    fractions quantify what segment replay adds on top of prefix snapshots:
+    window-tuner candidates differing only inside window k share every
+    checkpoint-aligned segment after k (docs/segment_reuse.md).
+    """
+    from repro.engine import NoisyDensityMatrixEngine
+    from repro.simulators import NoiseModel
+    from repro.transpiler import transpile
+    from repro.vaqem import IndependentWindowTuner, TuningBudget
+    from repro.vqe import ExpectationEstimator, get_application
+
+    application = get_application("UCCSD_H2")
+    rng = np.random.default_rng(3)
+    circuit = application.ansatz.bind_parameters(
+        rng.uniform(-0.3, 0.3, application.num_parameters)
+    )
+    circuit.measure_all()
+    device = application.device()
+    compiled = transpile(circuit, device)
+    budget = TuningBudget(dd_resolution=4, gs_resolution=4, max_windows=10)
+
+    def tune(enable_segment_reuse):
+        noise_model = NoiseModel.from_device(device)
+        engine = NoisyDensityMatrixEngine(
+            noise_model, seed=11, enable_segment_reuse=enable_segment_reuse
+        )
+        estimator = ExpectationEstimator(noise_model, seed=11, engine=engine)
+        tuner = IndependentWindowTuner(
+            objective=lambda s: estimator.estimate(s, application.hamiltonian).value,
+            budget=budget,
+            batch_objective=lambda ss: [
+                r.value for r in estimator.estimate_batch(ss, application.hamiltonian)
+            ],
+        )
+        start = time.perf_counter()
+        result = tuner.tune(compiled.scheduled, compiled.idle_windows)
+        elapsed = time.perf_counter() - start
+        stats = engine.stats.as_dict()
+        engine.close()
+        return elapsed, result, stats
+
+    on_seconds, on_result, on_stats = tune(True)
+    off_seconds, off_result, off_stats = tune(False)
+
+    # Randomized segment families (tests/randomized.py:segment_family — the
+    # same generator the tests/test_segments.py differential suite fuzzes):
+    # window-divergent variants plus benign permutations, run with the cache
+    # on and off, checking the final probability vectors bit for bit.
+    import randomized
+
+    fuzz_device = randomized.fuzz_device()
+    families = []
+    for fuzz_seed in randomized.fuzz_seeds(4, offset=900):
+        fuzz_compiled = randomized.random_compiled(fuzz_seed, device=fuzz_device)
+        families.append(randomized.segment_family(fuzz_compiled, fuzz_seed))
+    num_schedules = sum(len(family) for family in families)
+
+    def run_families(enable_segment_reuse):
+        noise_model = NoiseModel.from_device(fuzz_device)
+        engine = NoisyDensityMatrixEngine(
+            noise_model, seed=5, enable_segment_reuse=enable_segment_reuse
+        )
+        start = time.perf_counter()
+        probabilities = [
+            engine.run(scheduled).probabilities
+            for family in families
+            for _, _, scheduled in family
+        ]
+        elapsed = time.perf_counter() - start
+        stats = engine.stats.as_dict()
+        engine.close()
+        return elapsed, probabilities, stats
+
+    fam_on_seconds, fam_on_probs, fam_on_stats = run_families(True)
+    fam_off_seconds, fam_off_probs, _ = run_families(False)
+    families_bit_identical = all(
+        np.array_equal(a, b) for a, b in zip(fam_on_probs, fam_off_probs)
+    )
+
+    return {
+        "segments_on_seconds": on_seconds,
+        "segments_off_seconds": off_seconds,
+        "speedup": off_seconds / on_seconds if on_seconds else float("inf"),
+        "reuse_fraction": on_stats["reuse_fraction"],
+        "reuse_fraction_segments_off": off_stats["reuse_fraction"],
+        "segment_hits": on_stats["segment_hits"],
+        "segment_misses": on_stats["segment_misses"],
+        "segment_hit_rate": on_stats["segment_hit_rate"],
+        "tuned_energy": on_result.tuned_value,
+        # Bitwise, by construction — replay applies the same arrays in the
+        # same order.  Recorded as the delta so a regression is visible in
+        # the trajectory, not just in the test suite.
+        "energies_bit_identical": on_result.tuned_value == off_result.tuned_value,
+        "energy_delta": abs(on_result.tuned_value - off_result.tuned_value),
+        "randomized_families": {
+            "num_families": len(families),
+            "num_schedules": num_schedules,
+            "segments_on_seconds": fam_on_seconds,
+            "segments_off_seconds": fam_off_seconds,
+            "segment_hits": fam_on_stats["segment_hits"],
+            "segment_misses": fam_on_stats["segment_misses"],
+            "reuse_fraction": fam_on_stats["reuse_fraction"],
+            "probabilities_bit_identical": families_bit_identical,
+        },
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -737,6 +863,25 @@ def main() -> None:
             f"{randomized_reuse['speedup']:.2f}x faster"
         )
 
+    # Segment-cache A/B leg (docs/segment_reuse.md): guarded like the others.
+    segment_reuse = None
+    try:
+        segment_reuse = _segment_reuse_leg()
+    except Exception as error:
+        failures["segment_reuse"] = f"{type(error).__name__}: {error}"
+        print(f"[run_all] segment reuse FAILED ({failures['segment_reuse']})")
+    if segment_reuse is not None:
+        print(
+            f"[run_all] segment reuse: on {segment_reuse['segments_on_seconds']:.2f}s "
+            f"(reuse {segment_reuse['reuse_fraction']:.3f}, "
+            f"{segment_reuse['segment_hits']} hits / "
+            f"{segment_reuse['segment_misses']} misses) vs off "
+            f"{segment_reuse['segments_off_seconds']:.2f}s "
+            f"(reuse {segment_reuse['reuse_fraction_segments_off']:.3f}), "
+            f"{segment_reuse['speedup']:.2f}x, bit identical: "
+            f"{segment_reuse['energies_bit_identical']}"
+        )
+
     # Dense vs PTM kernel comparison (docs/ptm.md): guarded like the others.
     ptm_comparison = None
     try:
@@ -793,6 +938,7 @@ def main() -> None:
         "h2_window_tuner": tuner,
         "h2_concurrent_frontends": concurrent,
         "randomized_reuse": randomized_reuse,
+        "segment_reuse": segment_reuse,
         "ptm_kernel_comparison": ptm_comparison,
         "ingestion": ingestion,
     }

@@ -126,6 +126,12 @@ class EngineStats:
     ptm_matmuls: int = 0
     instructions_fused: int = 0
     batch_width: int = 0
+    #: Segment-cache counters (see ``docs/segment_reuse.md``): replays of a
+    #: cached segment's compiled operator stream, and first-time compilations
+    #: that populated the cache.  Instructions covered by replayed segments
+    #: count into ``instructions_reused`` alongside prefix-resumed ones.
+    segment_hits: int = 0
+    segment_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -134,9 +140,15 @@ class EngineStats:
 
     @property
     def reuse_fraction(self) -> float:
-        """Fraction of instruction processing avoided via prefix snapshots."""
+        """Fraction of instruction processing avoided via reuse — prefix
+        snapshots plus segment-cache replays."""
         total = self.instructions_simulated + self.instructions_reused
         return self.instructions_reused / total if total else 0.0
+
+    @property
+    def segment_hit_rate(self) -> float:
+        total = self.segment_hits + self.segment_misses
+        return self.segment_hits / total if total else 0.0
 
     def add_counters(self, delta: Dict[str, int]) -> None:
         """Fold a worker's counter delta into this stats object (by field name).
@@ -169,6 +181,9 @@ class EngineStats:
             "ptm_matmuls": self.ptm_matmuls,
             "instructions_fused": self.instructions_fused,
             "batch_width": self.batch_width,
+            "segment_hits": self.segment_hits,
+            "segment_misses": self.segment_misses,
+            "segment_hit_rate": self.segment_hit_rate,
         }
 
 

@@ -72,6 +72,7 @@ from .fingerprint import (
     observable_fingerprint,
     schedule_hash_chain,
 )
+from .segments import SegmentCache, SegmentRuntime, schedule_segment_keys
 
 
 class _ByteBudgetStore:
@@ -158,6 +159,8 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         expectations_only_ipc: bool = False,
         enable_canonicalisation: bool = True,
         kernel: Optional[str] = None,
+        enable_segment_reuse: bool = True,
+        segment_cache_entries: int = 65536,
     ):
         super().__init__(seed=seed)
         self.noise_model = noise_model
@@ -175,6 +178,15 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
             raise EngineError(f"unknown simulation kernel {kernel!r} (use 'dense' or 'ptm')")
         self.kernel = kernel
         self.enable_prefix_reuse = enable_prefix_reuse
+        #: Segment-level reuse (see ``docs/segment_reuse.md`` and
+        #: :mod:`repro.engine.segments`): each stride-grid segment's compiled
+        #: operator stream is cached by content hash and replayed when *any*
+        #: schedule — whatever its prefix — contains the same segment.
+        #: Replay applies the identical operator arrays in the identical
+        #: order, so results are bit-identical with this on or off; it is
+        #: therefore not part of :meth:`_noise_key`.
+        self.enable_segment_reuse = bool(enable_segment_reuse)
+        self.segment_cache_entries = int(segment_cache_entries)
         #: Process (and key) schedules in the commutation-aware canonical
         #: order (see the module docstring and ``docs/architecture.md``).
         #: Toggling this changes the processing order, so it salts every
@@ -206,6 +218,7 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         self._results = _ByteBudgetStore(result_cache_bytes)
         self._expectations = _LRUCache(expectation_cache_entries)
         self._snapshots = _ByteBudgetStore(snapshot_budget_bytes)
+        self._segments = SegmentCache(self.segment_cache_entries)
         #: Per-object memo of prepared ``(context, chain)`` pairs: one
         #: schedule object is hashed several times per execution (scheduler
         #: conflict detection, shard planning, the expectation cache-first
@@ -263,8 +276,53 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
             )
         except TypeError:  # exotic un-weakref-able stand-ins
             return context, chain
-        self._chain_memo[key] = (reference, noise_key, context, chain)
+        # The trailing single-slot list lazily memoises the schedule's
+        # segment-key walk (see _segment_keys) alongside the chain.
+        self._chain_memo[key] = (reference, noise_key, context, chain, [None])
         return context, chain
+
+    def _segment_keys(
+        self, scheduled: ScheduledCircuit, context: Optional[ScheduleContext] = None
+    ) -> Optional[List[str]]:
+        """The schedule's memoised segment key list, or ``None`` when segment
+        reuse is disabled.
+
+        One key per stride-grid segment of the canonical order (stride = the
+        backend's fusion stride; 1 on the dense kernel), salted with the
+        noise key — see :func:`repro.engine.segments.schedule_segment_keys`.
+        Memoised in the chain memo (same lifetime and invalidation as the
+        hash chain); a racing duplicate computation is benign because the
+        walk is a pure function of its inputs.
+        """
+        if not self.enable_segment_reuse:
+            return None
+        noise_key = self._noise_key()
+        stride = getattr(self._backend, "fusion_stride", 1)
+
+        def _live(entry) -> bool:
+            return entry is not None and entry[0]() is scheduled and entry[1] == noise_key
+
+        entry = self._chain_memo.get(id(scheduled))
+        if not _live(entry):
+            context = self._chain(scheduled)[0]
+            entry = self._chain_memo.get(id(scheduled))
+            if not _live(entry):  # exotic un-weakref-able stand-ins
+                return schedule_segment_keys(
+                    self._simulator, scheduled, context, salt=noise_key, stride=stride
+                )
+        holder = entry[4]
+        if holder[0] is None:
+            holder[0] = schedule_segment_keys(
+                self._simulator, scheduled, entry[2], salt=noise_key, stride=stride
+            )
+        return holder[0]
+
+    def _segment_runtime(
+        self, scheduled: ScheduledCircuit, context: ScheduleContext
+    ) -> Optional[SegmentRuntime]:
+        if not self.enable_segment_reuse:
+            return None
+        return SegmentRuntime(self._segments, self._segment_keys(scheduled, context))
 
     def _checkpoint_interval(self, num_instructions: int, state_bytes: int) -> int:
         """Checkpoint spacing such that one schedule's snapshots stay within
@@ -326,12 +384,15 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
             start_depth = cursor.next_index
             self.stats.instructions_simulated += total - start_depth
 
+        segments = self._segment_runtime(scheduled, context)
         if self.enable_prefix_reuse and total > start_depth:
             interval = self._checkpoint_interval(total, int(cursor.nbytes))
             depth = start_depth
             while depth < total:
                 next_depth = min(total, depth + interval)
-                self._backend.advance(scheduled, cursor, context, stop_index=next_depth)
+                self._backend.advance(
+                    scheduled, cursor, context, stop_index=next_depth, segments=segments
+                )
                 depth = next_depth
                 if depth < total:
                     with self._lock:
@@ -345,7 +406,7 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
                         with self._lock:
                             self._snapshots.put(chain[depth], snapshot, snapshot.nbytes)
         else:
-            self._backend.advance(scheduled, cursor, context)
+            self._backend.advance(scheduled, cursor, context, segments=segments)
         with self._lock:
             if self.kernel == "ptm":
                 # PTM cursors count their own fused-kernel work since creation
@@ -353,6 +414,14 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
                 # double-count a donor's kernels).
                 self.stats.ptm_matmuls += cursor.matmuls
                 self.stats.instructions_fused += cursor.fused
+            # Instructions replayed from the segment cache skipped the
+            # schedule walk (and, on the PTM kernel, the kernel compositions)
+            # — account them as reused, like prefix-resumed instructions.
+            self.stats.segment_hits += cursor.segment_hits
+            self.stats.segment_misses += cursor.segment_misses
+            if cursor.segment_instructions:
+                self.stats.instructions_reused += cursor.segment_instructions
+                self.stats.instructions_simulated -= cursor.segment_instructions
             self._results.put(fingerprint, cursor.state, int(cursor.state.data.nbytes))
         return cursor.state, fingerprint, False
 
@@ -778,19 +847,49 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
                 # Explicit, not env-derived: workers must run the kernel the
                 # parent resolved, whatever their environment says.
                 "kernel": self.kernel,
+                "enable_segment_reuse": self.enable_segment_reuse,
+                "segment_cache_entries": self.segment_cache_entries,
             },
             # The noise key already digests the device calibration and every
             # noise-model flag, so post-construction toggles retire the pool.
             # The IPC mode is part of the key too: workers decide what they
             # export, so a toggled parent needs freshly-configured workers.
+            # Segment reuse never changes values (replay is bit-identical)
+            # but does change per-worker counters, so it keys the pool too.
             cache_key=(
                 f"{self.name}:{self._noise_key()}:{self.seed}:"
-                f"{self.enable_prefix_reuse}:{self.expectations_only_ipc}"
+                f"{self.enable_prefix_reuse}:{self.expectations_only_ipc}:"
+                f"{self.enable_segment_reuse}"
             ),
         )
 
     def _shard_chain(self, kind: str, scheduled: ScheduledCircuit) -> Sequence[str]:
         return self._chain(scheduled)[1]
+
+    def _shard_segment_keys(self, kind: str, scheduled: ScheduledCircuit):
+        """Segment keys for process-tier shard planning (see
+        :func:`repro.engine.parallel.plan_shards`): items whose segments
+        already sit in a worker's cache cost that worker almost nothing, so
+        the planner weighs each item by its *novel* segments."""
+        return self._segment_keys(scheduled)
+
+    def _begin_shard(self) -> None:
+        """Worker-side hook invoked by :func:`repro.engine.parallel._execute_shard`
+        at the start of every shard.  Resets the reuse caches (prefix
+        snapshots and segment records) so a shard's stats delta is a pure
+        function of shard content: persistent worker processes would
+        otherwise carry reuse state from earlier shards, and because the pool
+        does not assign shards to workers deterministically, counters like
+        the segment hit/miss split or a sibling shard's prefix resume would
+        depend on placement luck.  :func:`~repro.engine.parallel.plan_shards`
+        already groups prefix- and segment-sharing items into the *same*
+        shard, so within-shard reuse — the planned kind — is untouched; only
+        the accidental cross-shard warmth goes.  Result and expectation
+        caches stay: their entries are complete answers keyed by full
+        content, and the planner never splits content-identical items."""
+        with self._lock:
+            self._snapshots.clear()
+            self._segments.clear()
 
     def _worker_execute(self, kind: str, item, kwargs):
         from .parallel import CacheRecord
@@ -851,6 +950,7 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
             self._results.clear()
             self._expectations.clear()
             self._snapshots.clear()
+            self._segments.clear()
 
 
 # ----------------------------------------------------------------------------

@@ -14,8 +14,11 @@ picture):
 a worker process as an :class:`EngineWorkerSpec` — the engine class plus its
 (picklable) constructor arguments, tagged with a stable ``cache_key``.  Each
 worker process builds its engine once, in the pool initializer, and keeps it
-alive across shards, so worker-side caches and prefix snapshots stay warm for
-the whole sweep.  Work ships as :class:`ShardTask` objects carrying the
+alive across shards, so worker-side result caches stay warm for the whole
+sweep.  Reuse caches (prefix snapshots, segment records) are reset at shard
+start via the engine's ``_begin_shard`` hook: shard-to-worker placement is
+not deterministic, and carrying reuse state across shards would make the
+stats counters depend on which worker happened to run a sibling shard.  Work ships as :class:`ShardTask` objects carrying the
 serialized schedule content (deduplicated per content fingerprint) and comes
 back as a :class:`ShardOutcome`: the per-item results, the worker's new cache
 entries (:class:`CacheRecord`) and its stats counters delta.
@@ -133,44 +136,78 @@ def common_prefix_length(a: Sequence[str], b: Sequence[str]) -> int:
     return limit
 
 
-def plan_shards(chains: Sequence[Sequence[str]], num_shards: int) -> List[List[int]]:
-    """Group batch items into shards that keep prefix-reuse chains together.
+def plan_shards(
+    chains: Sequence[Sequence[str]],
+    num_shards: int,
+    segment_keys: Optional[Sequence[Optional[Sequence[str]]]] = None,
+) -> List[List[int]]:
+    """Group batch items into shards that keep reuse opportunities together.
 
     ``chains[i]`` is item *i*'s hash chain (``chain[k]`` identifies its first
     ``k`` processing steps; see :mod:`repro.engine.fingerprint`).  Items are
     sorted by chain so shared prefixes become contiguous, then cut into at
     most ``num_shards`` contiguous groups balanced by marginal cost: the
-    first item of a shard costs its full chain length (the worker simulates
-    it from scratch), every later item only the steps beyond the prefix it
-    shares with its predecessor (the worker resumes from a checkpoint).
-    Content-identical items have zero marginal cost and are never split
-    across shards.  Returns the shards as lists of original item indices;
-    every shard is non-empty.
+    first item of a shard costs its full simulation (the worker starts with
+    cold caches), every later item only the work its predecessors have not
+    already warmed.  Content-identical items have zero marginal cost and are
+    never split across shards.  Returns the shards as lists of original item
+    indices; every shard is non-empty.
+
+    Without ``segment_keys`` the marginal cost is the chain length beyond the
+    prefix shared with the sorted predecessor (a checkpoint resume).  With
+    ``segment_keys`` — item *i*'s segment content keys, from the engine's
+    ``_shard_segment_keys`` hook (see :mod:`repro.engine.segments`) — the
+    marginal cost is the number of segment keys not yet seen in the sorted
+    order: a worker computes each distinct segment once however the prefixes
+    line up, so *novel segments*, not chain overhang, is what an item really
+    costs.  Any ``None`` entry disables the segment costing (mixed batches
+    fall back to chains).
     """
     count = len(chains)
     if count == 0:
         return []
     num_shards = max(1, min(int(num_shards), count))
     order = sorted(range(count), key=lambda i: tuple(chains[i]))
+    use_segments = (
+        segment_keys is not None
+        and len(segment_keys) == count
+        and all(keys is not None for keys in segment_keys)
+    )
 
     marginal: List[int] = []
-    for position, index in enumerate(order):
-        if position == 0:
-            marginal.append(len(chains[index]))
-        else:
-            previous = chains[order[position - 1]]
-            shared = common_prefix_length(chains[index], previous)
-            marginal.append(max(1, len(chains[index]) - shared) if shared < len(chains[index]) else 0)
+    if use_segments:
+        seen: set = set()
+        for position, index in enumerate(order):
+            keys = segment_keys[index]
+            if position and tuple(chains[index]) == tuple(chains[order[position - 1]]):
+                marginal.append(0)  # content-identical: never split
+            else:
+                marginal.append(sum(1 for key in keys if key not in seen))
+            seen.update(keys)
+    else:
+        for position, index in enumerate(order):
+            if position == 0:
+                marginal.append(len(chains[index]))
+            else:
+                previous = chains[order[position - 1]]
+                shared = common_prefix_length(chains[index], previous)
+                marginal.append(max(1, len(chains[index]) - shared) if shared < len(chains[index]) else 0)
     total = sum(marginal) or 1
     target = total / num_shards
+
+    def full_cost(index: int) -> float:
+        # The first item of a shard pays its full simulation cost: the new
+        # worker has no checkpoint or segment cache for anything the sort
+        # placed before it.
+        if use_segments:
+            return float(len(set(segment_keys[index])))
+        return float(len(chains[index]))
 
     shards: List[List[int]] = []
     current: List[int] = []
     current_cost = 0.0
     for position, index in enumerate(order):
-        # The first item of a shard pays its full simulation cost: the new
-        # worker has no checkpoint for the prefix the sort placed before it.
-        cost = len(chains[index]) if not current else marginal[position]
+        cost = full_cost(index) if not current else marginal[position]
         boundary_allowed = (
             current
             and len(shards) < num_shards - 1
@@ -180,7 +217,7 @@ def plan_shards(chains: Sequence[Sequence[str]], num_shards: int) -> List[List[i
         if boundary_allowed:
             shards.append(current)
             current = [index]
-            current_cost = float(len(chains[index]))
+            current_cost = full_cost(index)
         else:
             current.append(index)
             current_cost += cost
@@ -300,6 +337,13 @@ def _execute_shard(task: ShardTask) -> ShardOutcome:
     engine = _WORKER_ENGINE
     if engine is None:  # pragma: no cover - defensive; initializer always ran
         raise EngineError("worker process was not initialised with an engine spec")
+    # Reset per-shard reuse caches (prefix snapshots, segment records) so the
+    # shard's counter delta depends only on shard content, never on which
+    # pooled worker process happened to run earlier shards.  Without this the
+    # reuse counters would vary with shard->worker placement.
+    begin_shard = getattr(engine, "_begin_shard", None)
+    if begin_shard is not None:
+        begin_shard()
     before = _stats_snapshot(engine)
     results: List[Tuple[int, Any]] = []
     records: List[CacheRecord] = []
@@ -504,7 +548,17 @@ def process_map(
     if not pending:
         return results
 
-    shards = plan_shards([chains[i] for i in pending], plan.workers)
+    # Segment-aware shard costing, when the engine exposes segment keys
+    # (``None`` — no hook, or segment reuse disabled — falls back to chains).
+    keys_of = getattr(engine, "_shard_segment_keys", None)
+    segment_keys = None
+    if keys_of is not None:
+        segment_keys = [keys_of(kind, items[index]) for index in pending]
+        if any(keys is None for keys in segment_keys):
+            segment_keys = None
+    shards = plan_shards(
+        [chains[i] for i in pending], plan.workers, segment_keys=segment_keys
+    )
     pool, pool_key = engine._acquire_process_pool(spec, plan.workers)
     try:
         futures = []

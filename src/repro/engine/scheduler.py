@@ -14,20 +14,24 @@ The serial tier always has one slot; the thread and process tiers default to
 two and are configurable through ``engine.scheduler_slots``.  Slot limits
 bound the engine-side concurrency no matter how many frontends submit.
 
-**Dependency detection.**  Two batches *conflict* when their schedule hash
-chains overlap — i.e. they contain items sharing a simulated prefix (or the
-identical schedule outright), so running them concurrently would duplicate
-the simulation work the prefix-reuse checkpoints otherwise save.  The chains
-digest the *canonical* processing order (:mod:`repro.engine.canonical`), so
-two batches whose schedules commute into the same deep prefix conflict even
-when their instruction lists were assembled in different orders — while
-schedules that merely collide textually (same device, same shallow
-state-prep) do not.  Conflicting batches serialize: a batch is only
-dispatched when no currently-running batch shares a chain entry with it.
-Disjoint batches — the common case for independent frontends — overlap
-freely.  The chain *root* (which encodes device/layout context shared by
-every schedule of a device) is excluded, so "same device" alone never
-serializes anything.
+**Dependency detection — item-level edges.**  An *item* conflicts with a
+running one when their schedule hash chains overlap — they share a deep
+simulated prefix (or are the identical schedule outright), so running them
+concurrently would duplicate the simulation work the prefix-reuse
+checkpoints otherwise save.  The chains digest the *canonical* processing
+order (:mod:`repro.engine.canonical`), so two schedules that commute into
+the same deep prefix conflict even when their instruction lists were
+assembled in different orders — while schedules that merely collide
+textually (same device, same shallow state-prep) do not.  Crucially the
+edges are **per item, not per batch**: when a queued batch shares only some
+items with what is running, the non-conflicting items dispatch immediately
+as a partial *slice* and the rest remain queued at the head of their
+submitter's queue until the conflicting work completes.  Two batches sharing
+exactly one schedule therefore overlap on everything else, where the
+whole-batch conflict rule this replaced (PR 4) serialized them entirely.
+The chain *root* (which encodes device/layout context shared by every
+schedule of a device) is excluded, so "same device" alone never serializes
+anything.
 
 **Fairness and priority.**  Batches queue per *submitter* (an identity the
 frontends pass; anonymous submissions group by submitting thread) and each
@@ -69,7 +73,7 @@ from ..exceptions import EngineError
 from .futures import DEFAULT_MAX_PENDING, EngineFuture
 from .parallel import resolve_parallelism
 
-__all__ = ["BatchJob", "BatchScheduler", "DEFAULT_SLOTS"]
+__all__ = ["BatchJob", "BatchScheduler", "DEFAULT_SLOTS", "item_fingerprints", "job_fingerprints"]
 
 #: Sentinel for "no round-robin position yet" (submitter keys are arbitrary
 #: hashable values, so ``None`` would be ambiguous).
@@ -106,23 +110,32 @@ def job_chains(engine, kind: str, items: Sequence[Any]) -> List[List[str]]:
 CONFLICT_DEPTH_FRACTION = 0.5
 
 
-def job_fingerprints(chains: Sequence[Sequence[str]]) -> FrozenSet[str]:
-    """The dependency-detection key of one batch.
+def item_fingerprints(chain: Sequence[str]) -> FrozenSet[str]:
+    """The dependency-detection key of one item.
 
-    For each item chain, the entries at depth ``> CONFLICT_DEPTH_FRACTION``
-    of the chain (always including the full fingerprint, so content-identical
-    schedules conflict regardless of length).  The depth-0 root — device and
-    layout context shared by *every* schedule of a device — never counts.
+    The chain entries at depth ``> CONFLICT_DEPTH_FRACTION`` of the chain
+    (always including the full fingerprint, so content-identical schedules
+    conflict regardless of length).  The depth-0 root — device and layout
+    context shared by *every* schedule of a device — never counts.
     Single-entry chains (e.g. the identity fallback) are kept whole.
+    """
+    if len(chain) <= 1:
+        return frozenset(chain)
+    depth = len(chain) - 1  # instructions; chain[0] is the root
+    first = max(1, int(depth * CONFLICT_DEPTH_FRACTION) + 1)
+    return frozenset(chain[first:])
+
+
+def job_fingerprints(chains: Sequence[Sequence[str]]) -> FrozenSet[str]:
+    """The union of a batch's per-item dependency keys.
+
+    Scheduling itself uses the per-item keys (:func:`item_fingerprints`) so
+    only genuinely conflicting items wait; the union remains the whole-batch
+    summary (tests and diagnostics compare batches with it).
     """
     fingerprints: set = set()
     for chain in chains:
-        if len(chain) <= 1:
-            fingerprints.update(chain)
-            continue
-        depth = len(chain) - 1  # instructions; chain[0] is the root
-        first = max(1, int(depth * CONFLICT_DEPTH_FRACTION) + 1)
-        fingerprints.update(chain[first:])
+        fingerprints.update(item_fingerprints(chain))
     return frozenset(fingerprints)
 
 
@@ -141,7 +154,8 @@ class BatchJob:
         "tier",
         "chains",
         "fingerprints",
-        "thread_ident",
+        "item_fingerprints",
+        "pending",
     )
 
     def __init__(
@@ -166,17 +180,51 @@ class BatchJob:
         self.futures = futures
         self.submitter = submitter
         self.priority = int(priority)
-        #: The tier whose slot this job occupies while running (resolved at
-        #: submit time; engines that degrade process -> thread inside
-        #: ``_dispatch_batch`` still account against the requested tier).
+        #: The tier whose slot each dispatched slice of this job occupies
+        #: while running (resolved at submit time; engines that degrade
+        #: process -> thread inside ``_dispatch_batch`` still account against
+        #: the requested tier).
         self.tier = tier
         #: Per-item hash chains, computed once at submit; the process tier
         #: reuses them instead of re-hashing every item.
         self.chains = chains
+        #: Union of the per-item keys — the whole-batch summary.
         self.fingerprints = fingerprints
-        #: Ident of the worker thread executing this job (``None`` until
-        #: dispatched); lets :meth:`BatchScheduler.shutdown` recognise a
-        #: shutdown issued from inside one of its own jobs.
+        #: Per-item dependency keys; the scheduler's conflict edges are
+        #: between individual items, so a batch sharing only some items with
+        #: running work dispatches the rest immediately.
+        self.item_fingerprints: List[FrozenSet[str]] = [
+            item_fingerprints(chain) for chain in chains
+        ]
+        #: Indices not yet dispatched (in submission order).  A partially
+        #: dispatched job stays at the head of its submitter's queue until
+        #: this empties, preserving per-submitter FIFO and backpressure
+        #: accounting.
+        self.pending: List[int] = list(range(len(self.items)))
+
+
+class _RunningSlice:
+    """One dispatched portion of a job: the indices executing together.
+
+    A fully-runnable job dispatches as a single slice (the common case);
+    item-level conflicts split a job into several slices over time.  Each
+    slice occupies one slot of its job's tier while running and contributes
+    its items' dependency keys to conflict detection.
+    """
+
+    __slots__ = ("job", "indices", "fingerprints", "tier", "thread_ident")
+
+    def __init__(self, job: BatchJob, indices: Sequence[int]):
+        self.job = job
+        self.indices = list(indices)
+        keys: set = set()
+        for index in self.indices:
+            keys.update(job.item_fingerprints[index])
+        self.fingerprints: FrozenSet[str] = frozenset(keys)
+        self.tier = job.tier
+        #: Ident of the worker thread executing this slice (``None`` until
+        #: running); lets :meth:`BatchScheduler.shutdown` recognise a
+        #: shutdown issued from inside one of its own workers.
         self.thread_ident: Optional[int] = None
 
 
@@ -291,18 +339,31 @@ class BatchScheduler:
     # Scheduling (all under self._condition)
     # ------------------------------------------------------------------
     def _slots_in_use(self, tier: str) -> int:
-        return sum(1 for job in self._running if job.tier == tier)
+        return sum(1 for running in self._running if running.tier == tier)
 
-    def _conflicts_with_running(self, job: BatchJob) -> bool:
-        return any(job.fingerprints & running.fingerprints for running in self._running)
+    def _runnable_indices(self, job: BatchJob) -> List[int]:
+        """The job's pending items whose dependency keys are disjoint from
+        every running slice — the portion that may dispatch right now."""
+        if not self._running:
+            return list(job.pending)
+        indices = []
+        for index in job.pending:
+            keys = job.item_fingerprints[index]
+            if any(keys & running.fingerprints for running in self._running):
+                continue
+            indices.append(index)
+        return indices
 
-    def _pick_locked(self) -> Optional[BatchJob]:
-        """The next runnable batch, or ``None``.
+    def _pick_locked(self) -> Optional[_RunningSlice]:
+        """The next runnable slice, or ``None``.
 
         Only queue *heads* are considered (per-submitter FIFO); a head is
-        runnable when its tier has a free slot and it conflicts with no
-        running batch.  Among runnable heads the highest priority wins, ties
-        broken round-robin from the cursor.
+        runnable when its tier has a free slot and at least one of its
+        pending items conflicts with no running slice.  Among runnable heads
+        the highest priority wins, ties broken round-robin from the cursor.
+        The winner's runnable items dispatch together as one slice; any
+        conflicting remainder stays at the head of its queue (still counted
+        by backpressure) until later picks drain it.
         """
         keys = list(self._queues.keys())
         if not keys:
@@ -315,57 +376,64 @@ class BatchScheduler:
             start = 0
         best_key = None
         best_rank = None
+        best_indices: Optional[List[int]] = None
         for offset in range(len(keys)):
             key = keys[(start + offset) % len(keys)]
             job = self._queues[key][0]
             if self._slots_in_use(job.tier) >= self.slot_limit(job.tier):
                 continue
-            if self._conflicts_with_running(job):
+            indices = self._runnable_indices(job)
+            if not indices:
                 continue
             rank = (-job.priority, offset)
             if best_rank is None or rank < best_rank:
-                best_key, best_rank = key, rank
+                best_key, best_rank, best_indices = key, rank, indices
         if best_key is None:
             return None
-        job = self._queues[best_key].popleft()
+        job = self._queues[best_key][0]
+        dispatched = set(best_indices)
+        job.pending = [index for index in job.pending if index not in dispatched]
+        if not job.pending:
+            self._queues[best_key].popleft()
+            self._queued -= 1
+            if not self._queues[best_key]:
+                del self._queues[best_key]
         # Remember the pick and its successor-at-pick-time: even if the
         # picked queue (or the successor's) empties and is deleted, the
         # rotation resumes at the right neighbour instead of skipping it.
         self._last_key = best_key
         self._next_key = keys[(keys.index(best_key) + 1) % len(keys)]
-        if not self._queues[best_key]:
-            del self._queues[best_key]
-        return job
+        return _RunningSlice(job, best_indices)
 
     def _dispatch_locked(self) -> None:
-        """Dispatch every currently-runnable batch onto a worker thread."""
+        """Dispatch every currently-runnable slice onto a worker thread."""
         while True:
-            job = self._pick_locked()
-            if job is None:
+            running = self._pick_locked()
+            if running is None:
                 return
-            self._queued -= 1
-            self._running.append(job)
+            self._running.append(running)
             threading.Thread(
-                target=self._run_job, args=(job,), name=self._name, daemon=True
+                target=self._run_job, args=(running,), name=self._name, daemon=True
             ).start()
-            # Wake backpressure waiters: a queue position just freed up.
+            # Wake backpressure waiters: a queue position may have freed up.
             self._condition.notify_all()
 
     # ------------------------------------------------------------------
-    def _run_job(self, job: BatchJob) -> None:
-        job.thread_ident = threading.get_ident()
+    def _run_job(self, running: _RunningSlice) -> None:
+        running.thread_ident = threading.get_ident()
         try:
-            self._execute(job)
+            self._execute(running)
         finally:
             with self._condition:
-                self._running.remove(job)
+                self._running.remove(running)
                 self._condition.notify_all()
                 self._dispatch_locked()
 
-    def _execute(self, job: BatchJob) -> None:
-        # Prune items whose futures were cancelled before the batch started;
+    def _execute(self, running: _RunningSlice) -> None:
+        job = running.job
+        # Prune items whose futures were cancelled before the slice started;
         # everything else transitions to RUNNING and is no longer cancellable.
-        live = [index for index, future in enumerate(job.futures) if future._set_running()]
+        live = [index for index in running.indices if job.futures[index]._set_running()]
         if not live:
             return
         engine = self._engine_ref()
@@ -421,13 +489,16 @@ class BatchScheduler:
             if not wait:
                 for queue in self._queues.values():
                     for job in queue:
-                        for future in job.futures:
-                            future._mark_cancelled()
+                        # Only never-dispatched items cancel; a partially
+                        # dispatched head's running slice resolves its own
+                        # futures.
+                        for index in job.pending:
+                            job.futures[index]._mark_cancelled()
                 self._queues.clear()
                 self._queued = 0
                 return not self._running
             current = threading.get_ident()
-            if any(job.thread_ident == current for job in self._running):
+            if any(running.thread_ident == current for running in self._running):
                 # Shutdown from inside one of our own worker threads (an
                 # ``engine.close()`` in a done-callback): waiting would
                 # deadlock on the very batch the callback belongs to — and on

@@ -51,7 +51,12 @@ import numpy as np
 from ..exceptions import SimulationError
 from .density_matrix import DensityMatrix
 from .noise_model import ChannelOp, NoiseModel
-from .noisy_simulator import NoisySimulator, ScheduleContext, SimOp
+from .noisy_simulator import (
+    NoisySimulator,
+    ScheduleContext,
+    SimOp,
+    _segment_last_time_updates,
+)
 
 _PAULIS_1Q = (
     np.eye(2, dtype=complex),
@@ -435,10 +440,21 @@ class PTMCursor:
 
     ``matmuls`` / ``fused`` count work done *since this cursor was created or
     copied* — the engine folds them into its stats and snapshot copies start
-    from zero, so resumed legs never double-count.
+    from zero, so resumed legs never double-count.  The ``segment_*``
+    counters track segment-cache outcomes of segmented advances (see
+    :mod:`repro.engine.segments`) under the same contract.
     """
 
-    __slots__ = ("state", "last_time", "next_index", "matmuls", "fused")
+    __slots__ = (
+        "state",
+        "last_time",
+        "next_index",
+        "matmuls",
+        "fused",
+        "segment_hits",
+        "segment_misses",
+        "segment_instructions",
+    )
 
     def __init__(
         self,
@@ -451,6 +467,9 @@ class PTMCursor:
         self.next_index = next_index
         self.matmuls = 0
         self.fused = 0
+        self.segment_hits = 0
+        self.segment_misses = 0
+        self.segment_instructions = 0
 
     def copy(self) -> "PTMCursor":
         return PTMCursor(self.state.copy(), dict(self.last_time), self.next_index)
@@ -498,9 +517,44 @@ class PTMEvolver:
         cursor: PTMCursor,
         context: Optional[ScheduleContext] = None,
         stop_index: Optional[int] = None,
+        segments=None,
     ) -> PTMCursor:
+        """Process instructions ``cursor.next_index .. stop_index`` in place.
+
+        ``segments`` — a :class:`repro.engine.segments.SegmentRuntime` with
+        one key per fusion-stride block — enables segment-level reuse: each
+        *whole* stride block's fused kernels are recorded in / replayed from
+        the shared segment cache.  Off-grid resumes or stops fall back to the
+        plain walk for the partial block (segment records always cover whole
+        blocks), so arbitrary stop indices stay valid.  Replay applies the
+        identical composed kernels in the identical order — and re-counts
+        ``matmuls``/``fused`` as the cold walk would — so states and work
+        counters are bit-identical with ``segments`` on or off.
+        """
         context = context or self.prepare(scheduled)
         stop = len(context.ordered) if stop_index is None else min(stop_index, len(context.ordered))
+        if segments is None:
+            return self._advance_plain(scheduled, cursor, context, stop)
+        stride = self.fusion_stride
+        total = len(context.ordered)
+        while cursor.next_index < stop:
+            block_start = (cursor.next_index // stride) * stride
+            block_end = min(block_start + stride, total)
+            if cursor.next_index != block_start or stop < block_end:
+                self._advance_plain(scheduled, cursor, context, min(stop, block_end))
+            else:
+                self._advance_block(
+                    scheduled, cursor, context, block_start, block_end, segments
+                )
+        return cursor
+
+    def _advance_plain(
+        self,
+        scheduled,
+        cursor: PTMCursor,
+        context: ScheduleContext,
+        stop: int,
+    ) -> PTMCursor:
         state = cursor.state
         stride = self.fusion_stride
         pending: Optional[np.ndarray] = None
@@ -527,6 +581,74 @@ class PTMEvolver:
         if pending is not None:
             state.apply_ptm(pending, pending_positions)
             cursor.matmuls += 1
+        cursor.next_index = stop
+        return cursor
+
+    def _advance_block(
+        self,
+        scheduled,
+        cursor: PTMCursor,
+        context: ScheduleContext,
+        start: int,
+        stop: int,
+        segments,
+    ) -> PTMCursor:
+        """Segment-cached walk of one whole fusion-stride block.
+
+        The cold path runs the standard fusion loop confined to the block
+        (fused runs never cross block boundaries, so confinement changes
+        nothing) while recording each flushed ``(kernel, positions, fused)``
+        triple; the warm path replays the triples.  Both apply the same
+        arrays in the same order.
+        """
+        cache = segments.cache
+        key = segments.keys[start // self.fusion_stride]
+        record, claim = cache.acquire(key)
+        state = cursor.state
+        if record is None:
+            ops = []
+            try:
+                pending: Optional[np.ndarray] = None
+                pending_positions: Optional[Tuple[int, ...]] = None
+                run_fused = 0
+                for op in self._simulator.schedule_ops(
+                    scheduled, context, cursor.last_time, start, stop
+                ):
+                    ptm = sim_op_ptm(op)
+                    if pending is not None and op.positions != pending_positions:
+                        state.apply_ptm(pending, pending_positions)
+                        cursor.matmuls += 1
+                        ops.append((pending, pending_positions, run_fused))
+                        pending = None
+                    if pending is None:
+                        pending = ptm
+                        pending_positions = op.positions
+                        run_fused = 0
+                    else:
+                        pending = ptm @ pending
+                        cursor.fused += 1
+                        run_fused += 1
+                if pending is not None:
+                    state.apply_ptm(pending, pending_positions)
+                    cursor.matmuls += 1
+                    ops.append((pending, pending_positions, run_fused))
+            except BaseException:
+                cache.abandon(key, claim)
+                raise
+            updates: List[Tuple[int, float]] = []
+            for index in range(start, stop):
+                updates.extend(_segment_last_time_updates(context.ordered[index]))
+            cache.fulfil(key, claim, tuple(ops), tuple(updates), stop - start)
+            cursor.segment_misses += 1
+        else:
+            for ptm, positions, run_fused in record.ops:
+                state.apply_ptm(ptm, positions)
+                cursor.matmuls += 1
+                cursor.fused += run_fused
+            for position, end_ns in record.last_time:
+                cursor.last_time[position] = end_ns
+            cursor.segment_hits += 1
+            cursor.segment_instructions += record.instructions
         cursor.next_index = stop
         return cursor
 

@@ -225,6 +225,64 @@ def benign_permutation(scheduled: ScheduledCircuit, seed: int) -> ScheduledCircu
     return out
 
 
+def segment_family(
+    compiled: TranspileResult,
+    seed: int,
+    max_variants: int = 6,
+) -> List[Tuple[str, object, ScheduledCircuit]]:
+    """Segment-sharing candidates of one compiled schedule, labelled.
+
+    The segment-reuse differential harness (``tests/test_segments.py``,
+    the ``segment_reuse`` leg of ``benchmarks/run_all.py``) needs families
+    whose members share *checkpoint-aligned segments* rather than just
+    prefixes: window-tuner candidates that diverge inside exactly one idle
+    window and are untouched everywhere else, so every canonical segment not
+    overlapping that window carries identical content before and after the
+    edit.  Returns ``(label, window, scheduled)`` triples, base first:
+
+    - ``("base", None, ...)`` — the compiled schedule itself;
+    - ``("dd", window, ...)`` / ``("gs", window, ...)`` — one DD insertion
+      or gate move inside ``window``, the single point of divergence;
+    - ``("perm_base", None, ...)`` / ``("perm_dd"|"perm_gs", window, ...)``
+      — benign permutations (:func:`benign_permutation`) of the base and the
+      first variant: same content, reassembled instruction list, so
+      canonicalisation maps them to the identical canonical order and their
+      segment keys must match their source's bit for bit.
+
+    Deterministic per ``(compiled, seed)`` like everything in this module.
+    """
+    rng = np.random.default_rng(seed)
+    members: List[Tuple[str, object, ScheduledCircuit]] = [
+        ("base", None, compiled.scheduled)
+    ]
+    windows = list(compiled.idle_windows)
+    rng.shuffle(windows)
+    for window in windows:
+        if len(members) > max_variants:
+            break
+        capacity = max_sequences_in_window(window, compiled.scheduled, "xy4")
+        if capacity > 0:
+            count = int(rng.integers(1, capacity + 1))
+            members.append(
+                (
+                    "dd",
+                    window,
+                    insert_dd_sequences(compiled.scheduled, window, DDConfig("xy4", count)),
+                )
+            )
+        if movable_gate(compiled.scheduled, window) is not None:
+            position = float(rng.uniform(0.0, 1.0))
+            members.append(
+                ("gs", window, reschedule_gate(compiled.scheduled, window, GSConfig(position)))
+            )
+    members = members[: max_variants + 1]
+    for index, (label, window, scheduled) in enumerate(members[:2]):
+        members.append(
+            (f"perm_{label}", window, benign_permutation(scheduled, seed + index))
+        )
+    return members
+
+
 def fuzz_seeds(count: int, offset: int = 0) -> List[int]:
     """The canonical fuzz seed list (documented in ``docs/testing.md``)."""
     return [1000 + offset + index for index in range(count)]

@@ -156,13 +156,18 @@ class TestDensityEngineParity:
     def test_prefix_reuse_matches_cold_runs(self, device_noise, candidate_schedules):
         _, schedules = candidate_schedules
         warm = NoisyDensityMatrixEngine(device_noise)
-        cold = NoisyDensityMatrixEngine(device_noise, enable_prefix_reuse=False)
+        # The cold baseline disables *both* reuse axes (prefix snapshots and
+        # segment replay) so it genuinely re-simulates every instruction.
+        cold = NoisyDensityMatrixEngine(
+            device_noise, enable_prefix_reuse=False, enable_segment_reuse=False
+        )
         for scheduled in schedules:
             assert np.array_equal(
                 warm.density_matrix(scheduled).data, cold.density_matrix(scheduled).data
             )
         assert warm.stats.instructions_reused > 0
         assert cold.stats.instructions_reused == 0
+        assert cold.stats.segment_hits == 0 and cold.stats.segment_misses == 0
 
     def test_expectation_batch_equals_sequential(self, device_noise, candidate_schedules, tfim4):
         _, schedules = candidate_schedules

@@ -4,8 +4,9 @@ Covers the policies ``docs/scheduler.md`` promises:
 
 * per-tier slots — independent batches overlap up to the tier's slot limit,
   the serial tier never overlaps;
-* dependency detection — batches whose schedule hash chains overlap
-  serialize, disjoint ones run concurrently, and the chain root (shared
+* dependency detection — item-level edges: only items whose deep hash-chain
+  entries overlap a running slice wait; batches sharing one item overlap on
+  the rest, disjoint ones run concurrently, and the chain root (shared
   device/layout context) never counts as a conflict;
 * fairness — round-robin across submitters keeps a saturating submitter from
   starving an occasional one; a priority hint overrides round-robin order;
@@ -212,6 +213,93 @@ class TestSlotPolicy:
         assert engine.max_active == 2
 
 
+class TestItemLevelDependencies:
+    """Conflicts are item-level edges, not whole-batch keys: a batch sharing
+    one item with a running batch dispatches everything else immediately and
+    holds back only the conflicting item (``docs/scheduler.md``)."""
+
+    SHARED = ("root", "s1", "s2", "s3", "shared-tail")
+
+    def test_batches_sharing_one_item_overlap_on_the_rest(self):
+        engine = _ProbeEngine()
+        scheduler = BatchScheduler(engine, name="test-scheduler")
+        gate_a, gate_b = threading.Event(), threading.Event()
+        engine.gates["A1"] = gate_a
+        engine.gates["B1"] = gate_b
+        futures = _submit(
+            scheduler, "A1", [self.SHARED, ("root", "a-1"), ("root", "a-2")]
+        )
+        assert engine.wait_started(1)
+        futures += _submit(
+            scheduler, "B1", [self.SHARED, ("root", "b-1"), ("root", "b-2")]
+        )
+        # B's disjoint items dispatch while A runs — no whole-batch
+        # serialization despite the shared item...
+        assert engine.wait_started(2)
+        assert engine.started == ["A1", "B1"]
+        # ...but the shared item itself waits, even after B's partial slice
+        # completes, until A releases its edge.
+        gate_b.set()
+        assert not engine.wait_started(3, timeout=0.25)
+        gate_a.set()
+        gather(futures)
+        scheduler.shutdown()
+        # The residual (the shared item) dispatched as a second B1 slice.
+        assert engine.started == ["A1", "B1", "B1"]
+        assert engine.max_active == 2
+
+    def test_partially_dispatched_batch_keeps_submitter_fifo(self):
+        """A batch is the head of its submitter's queue until *fully*
+        dispatched: a later batch from the same submitter cannot leapfrog the
+        held-back residual even when slots are free and its items are
+        disjoint."""
+        engine = _ProbeEngine()
+        scheduler = BatchScheduler(
+            engine, slots={"thread": 3, "process": 3}, name="test-scheduler"
+        )
+        gate_a, gate_b = threading.Event(), threading.Event()
+        engine.gates["A1"] = gate_a
+        engine.gates["B1"] = gate_b
+        engine.gates["B2"] = gate_b
+        futures = _submit(scheduler, "A1", [self.SHARED], submitter="A")
+        assert engine.wait_started(1)
+        futures += _submit(
+            scheduler, "B1", [self.SHARED, ("root", "b-1")], submitter="B"
+        )
+        assert engine.wait_started(2)  # B1's disjoint item overlaps A1
+        futures += _submit(scheduler, "B2", [("root", "c-1")], submitter="B")
+        # A slot is free and B2 conflicts with nothing, but B1's residual
+        # holds the head of B's queue.
+        gate_b.set()
+        assert not engine.wait_started(3, timeout=0.25)
+        assert engine.started == ["A1", "B1"]
+        gate_a.set()
+        gather(futures)
+        scheduler.shutdown()
+        assert engine.started[:2] == ["A1", "B1"]
+        assert sorted(engine.started[2:]) == ["B1", "B2"]
+
+    def test_conflicting_items_never_run_concurrently(self):
+        """Whatever the interleaving, two slices carrying the same deep item
+        are never simultaneously active (the parity tests check values; this
+        pins the mutual exclusion itself)."""
+        engine = _ProbeEngine()
+        scheduler = BatchScheduler(engine, name="test-scheduler")
+        gate = threading.Event()
+        engine.gates["A1"] = gate
+        futures = _submit(scheduler, "A1", [self.SHARED])
+        assert engine.wait_started(1)
+        futures += _submit(scheduler, "B1", [self.SHARED])
+        futures += _submit(scheduler, "C1", [self.SHARED])
+        assert not engine.wait_started(2, timeout=0.25)
+        gate.set()
+        gather(futures)
+        scheduler.shutdown()
+        assert engine.max_active == 1
+        assert engine.started[0] == "A1"
+        assert sorted(engine.started[1:]) == ["B1", "C1"]
+
+
 class TestFairnessAndPriority:
     def _single_slot_scheduler(self, engine):
         return BatchScheduler(
@@ -319,6 +407,23 @@ def two_frontend_workloads(device):
             schedules.append(reschedule_gate(compiled.scheduled, window, GSConfig(0.5)))
         families.append(schedules)
     return families
+
+
+@pytest.fixture(scope="module")
+def overlapping_workloads(device):
+    """Two families sharing exactly one schedule (the base): what two
+    frontends sweeping different windows of one compiled circuit submit."""
+    ansatz = efficient_su2(4, reps=2, entanglement="circular")
+    rng = np.random.default_rng(55)
+    bound = ansatz.bind_parameters(
+        rng.uniform(-math.pi, math.pi, ansatz.num_parameters)
+    )
+    bound.measure_all()
+    compiled = transpile(bound, device)
+    base = compiled.scheduled
+    first = [base, reschedule_gate(base, compiled.idle_windows[0], GSConfig(0.3))]
+    second = [base, reschedule_gate(base, compiled.idle_windows[1], GSConfig(0.7))]
+    return [first, second]
 
 
 class TestJobFingerprints:
@@ -450,6 +555,32 @@ class TestConcurrentFrontendParity:
                 r.value for r in reference_estimator.estimate_batch(family, tfim4)
             ]
             assert values == blocking
+        shared.close()
+        reference_engine.close()
+
+    @pytest.mark.parametrize("tier", ("thread", "process"))
+    def test_overlapping_batches_bit_identical_to_serial_drain(
+        self, device_noise, overlapping_workloads, tfim4, tier
+    ):
+        """Item-level edges under racing completions: the two frontends'
+        batches share exactly one item (the base schedule), so the scheduler
+        overlaps them on the candidates and serializes only the base — and
+        the values still match a serial drain bit for bit on the thread and
+        process tiers."""
+        shared = NoisyDensityMatrixEngine(device_noise, seed=3)
+        workloads = [[family] for family in overlapping_workloads]
+        concurrent = _run_frontends_concurrently(shared, workloads, tfim4, tier=tier)
+        reference_engine = NoisyDensityMatrixEngine(device_noise, seed=3)
+        reference_estimator = ExpectationEstimator(
+            device_noise, seed=9, engine=reference_engine
+        )
+        for family, values in zip(overlapping_workloads, concurrent):
+            blocking = [
+                r.value for r in reference_estimator.estimate_batch(family, tfim4)
+            ]
+            assert values == blocking
+        # Both frontends agree on the shared base schedule exactly.
+        assert concurrent[0][0] == concurrent[1][0]
         shared.close()
         reference_engine.close()
 
