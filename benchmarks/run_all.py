@@ -33,8 +33,10 @@ os.environ.setdefault("REPRO_BENCH_SMOKE", "1")
 BENCH_DIR = Path(__file__).resolve().parent
 sys.path.insert(0, str(BENCH_DIR))
 # The randomized-schedule leg shares its generator with the fuzz test suites
-# (one source for fuzz cases and benchmark inputs; see docs/testing.md).
+# (one source for fuzz cases and benchmark inputs; see docs/testing.md), and
+# the service-load leg reuses the load generator's runner.
 sys.path.insert(0, str(BENCH_DIR.parent / "tests"))
+sys.path.insert(0, str(BENCH_DIR.parent / "tools"))
 
 import numpy as np
 
@@ -928,6 +930,38 @@ def main() -> None:
             f"{ingestion['counts_agreement_fraction']:.2f}"
         )
 
+    # Service-tier load leg (docs/service.md): N synthetic tenants against
+    # one served engine, open-loop arrivals, shared program pool so the
+    # fleet store sees cross-tenant duplicates.
+    service_load = None
+    try:
+        import load_gen
+
+        service_load = load_gen.run_load(
+            num_tenants=2,
+            duration_seconds=2.0 if vaqem_shared.smoke_mode() else 10.0,
+            rate_per_tenant=20.0,
+            seed=2026,
+            kernel=os.environ.get("REPRO_ENGINE_KERNEL") or None,
+        )
+        if service_load["unexpected_errors"]:
+            raise RuntimeError(
+                f"unexpected service errors: {service_load['unexpected_errors'][:3]}"
+            )
+    except Exception as error:
+        failures["service_load"] = f"{type(error).__name__}: {error}"
+        print(f"[run_all] service load FAILED ({failures['service_load']})")
+    if service_load is not None:
+        print(
+            f"[run_all] service load ({service_load['tenants']} tenants x "
+            f"{service_load['duration_seconds']:.0f}s): "
+            f"{service_load['throughput_rps']:.1f} rps, "
+            f"p50 {service_load['latency_ms']['p50']:.1f} ms, "
+            f"p99 {service_load['latency_ms']['p99']:.1f} ms, "
+            f"rejections {sum(service_load['rejections'].values())}, "
+            f"dedupe hit-rate {service_load['dedupe_hit_rate']:.2f}"
+        )
+
     payload = {
         "mode": "smoke" if vaqem_shared.smoke_mode() else "default",
         "python": platform.python_version(),
@@ -941,6 +975,7 @@ def main() -> None:
         "segment_reuse": segment_reuse,
         "ptm_kernel_comparison": ptm_comparison,
         "ingestion": ingestion,
+        "service_load": service_load,
     }
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -561,6 +561,16 @@ class ExecutionEngine(abc.ABC):
     def _release_process_pool(self, key) -> None:
         self._pools.release(key)
 
+    def _retire_process_pool(self, key) -> None:
+        """Evict a broken pool (dead worker processes) from the registry.
+
+        The failing batch still releases its reference afterwards; the point
+        is that no *later* batch can acquire the dead executor — it builds a
+        fresh pool instead, so a single worker crash stays a single batch's
+        typed failure rather than poisoning the engine permanently.
+        """
+        self._pools.retire(key)
+
     def close(self) -> None:
         """Release pooled resources (drains the batch scheduler, joins any
         process-pool workers).

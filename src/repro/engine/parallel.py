@@ -52,7 +52,7 @@ import dataclasses
 import os
 import threading
 import weakref
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -444,6 +444,9 @@ class ProcessPoolRegistry:
     def __init__(self):
         self._lock = threading.Lock()
         self._entries: Dict[Tuple[str, int], _PoolEntry] = {}
+        #: Broken pools evicted by :meth:`retire` while batches still held
+        #: references; they drain through :meth:`release`.
+        self._retired: List[Tuple[Tuple[str, int], _PoolEntry]] = []
 
     def acquire(self, spec: EngineWorkerSpec, workers: int) -> Tuple[ProcessPoolExecutor, Tuple[str, int]]:
         """An executor for ``spec``, plus the key to :meth:`release` it with."""
@@ -482,11 +485,43 @@ class ProcessPoolRegistry:
         doomed: Optional[ProcessPoolHandle] = None
         with self._lock:
             entry = self._entries.get(key)
+            if entry is not None:
+                entry.in_use = max(0, entry.in_use - 1)
+                if entry.retired and entry.in_use == 0:
+                    doomed = self._entries.pop(key).handle
+            else:
+                # The pool may have been retired out of the live mapping
+                # (broken workers); drop this batch's reference and join the
+                # dead pool once the last concurrent batch lets go.
+                for position, (retired_key, retired) in enumerate(self._retired):
+                    if retired_key == key and retired.in_use > 0:
+                        retired.in_use -= 1
+                        if retired.in_use == 0:
+                            doomed = retired.handle
+                            del self._retired[position]
+                        break
+        if doomed is not None:
+            doomed.shutdown()
+
+    def retire(self, key: Tuple[str, int]) -> None:
+        """Evict a broken pool so the next batch builds fresh workers.
+
+        Called when a worker process died mid-shard (the executor is broken
+        and every future submission to it would fail).  The entry leaves the
+        live mapping immediately — a concurrent or subsequent ``acquire`` can
+        never hand the dead executor out again — while batches still holding
+        references drain through :meth:`release` as usual.  Idempotent.
+        """
+        doomed: Optional[ProcessPoolHandle] = None
+        with self._lock:
+            entry = self._entries.pop(key, None)
             if entry is None:
                 return
-            entry.in_use = max(0, entry.in_use - 1)
-            if entry.retired and entry.in_use == 0:
-                doomed = self._entries.pop(key).handle
+            if entry.in_use == 0:
+                doomed = entry.handle
+            else:
+                entry.retired = True
+                self._retired.append((key, entry))
         if doomed is not None:
             doomed.shutdown()
 
@@ -584,6 +619,14 @@ def process_map(
             engine._absorb_stats(outcome.stats_delta)
             for index, value in outcome.results:
                 results[index] = value
+    except BrokenExecutor:
+        # A worker process died mid-shard.  The executor is permanently
+        # broken; without eviction the registry would keep handing the dead
+        # pool to every later batch with this configuration.  Retire it so
+        # the next batch initialises fresh workers, then let the error reach
+        # the caller as this batch's (typed) failure.
+        engine._retire_process_pool(pool_key)
+        raise
     finally:
         engine._release_process_pool(pool_key)
     return results

@@ -61,6 +61,50 @@ class RuntimeSessionError(ReproError):
     """Raised when a runtime session violates its constraints (e.g. time cap)."""
 
 
+class ServiceError(ReproError):
+    """Base class of every error raised by the engine-as-a-service tier
+    (:mod:`repro.service`).
+
+    The service contract mirrors the frontend's: every failure a remote
+    tenant can trigger — malformed envelopes, admission rejections, server
+    shutdown — surfaces as exactly this taxonomy, serialised over the wire by
+    exception class name and re-raised client-side as the same type, so
+    callers handle local and remote failures with one ``except`` clause.
+    """
+
+
+class ServiceProtocolError(ServiceError):
+    """Raised for malformed service requests: bodies that are not JSON, bad
+    envelopes (missing tenant, empty program list), unknown paths or methods,
+    oversized payloads.  Maps to HTTP 400-class statuses."""
+
+
+class AdmissionError(ServiceError):
+    """Base of the admission-control rejections (rate limit, queue depth,
+    shutdown).  ``retry_after`` is the server's hint, in seconds, for when a
+    retry is likely to be admitted (``None`` when retrying is pointless)."""
+
+    def __init__(self, message: str, retry_after: float = None):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class RateLimitError(AdmissionError):
+    """Raised when a tenant exceeds its token-bucket request rate (HTTP 429).
+    Carries ``retry_after``: the bucket's time-to-next-token."""
+
+
+class QueueDepthError(AdmissionError):
+    """Raised when a tenant's (or the fleet's) bounded queue depth is full
+    (HTTP 503) — the service-tier mapping of the scheduler's
+    ``max_pending_batches`` backpressure, rejecting instead of blocking."""
+
+
+class ServiceShutdownError(AdmissionError):
+    """Raised for submissions arriving while the server is draining for
+    shutdown (HTTP 503).  In-flight requests complete; new ones get this."""
+
+
 class IngestError(ReproError):
     """Base class of every error raised while ingesting *untrusted* external
     programs (OpenQASM text, JSON circuit/schedule documents).

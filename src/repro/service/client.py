@@ -1,0 +1,151 @@
+"""Synchronous client for the engine service.
+
+:class:`ServiceClient` speaks the v1 protocol over plain
+:mod:`http.client` — one connection per request (the server answers with
+``Connection: close``), no third-party dependency.  Server-side rejections
+come back as the same typed exceptions an in-process caller would see
+(:mod:`repro.exceptions`), reconstructed from the error payload's ``class``
+field with the HTTP status attached as ``error.status``.
+
+Programs may be passed as parsed wire-format dicts, JSON text, or the
+in-memory objects (:class:`~repro.ir.QuantumCircuit`,
+:class:`~repro.ir.ScheduledCircuit`) — the latter are serialized through the
+frontend's own writers, so what goes over the wire is exactly what
+:func:`~repro.frontend.ingest_json` round-trips.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..exceptions import ServiceError, ServiceProtocolError
+from .protocol import SERVICE_PROTOCOL, raise_for_error
+
+
+def _as_document(program: Any) -> Dict[str, Any]:
+    """Normalize any accepted program form into a wire-format dict."""
+    if isinstance(program, dict):
+        return program
+    if isinstance(program, (str, bytes)):
+        try:
+            parsed = json.loads(program)
+        except ValueError as error:
+            raise ServiceProtocolError(f"program text is not valid JSON: {error}") from error
+        if not isinstance(parsed, dict):
+            raise ServiceProtocolError(
+                f"program text must encode a JSON object, got {type(parsed).__name__}"
+            )
+        return parsed
+    if hasattr(program, "timed_instructions"):  # ScheduledCircuit
+        from ..frontend import schedule_to_json
+
+        return json.loads(schedule_to_json(program))
+    if hasattr(program, "instructions") and hasattr(program, "num_qubits"):  # QuantumCircuit
+        from ..frontend import circuit_to_json
+
+        return json.loads(circuit_to_json(program))
+    raise ServiceProtocolError(
+        f"cannot serialize a {type(program).__name__} as a program document"
+    )
+
+
+def _as_terms(observable: Any) -> List[List[Union[str, float]]]:
+    """Normalize a PauliSum or ``[(label, coeff), ...]`` into wire terms."""
+    if hasattr(observable, "terms"):
+        pairs: Iterable = observable.terms()
+    else:
+        pairs = observable
+    terms = []
+    for pair in pairs:
+        label, coefficient = pair
+        terms.append([str(label), float(coefficient)])
+    if not terms:
+        raise ServiceProtocolError("observable: expected at least one term")
+    return terms
+
+
+class ServiceClient:
+    """A tenant's handle on one engine server."""
+
+    def __init__(self, host: str, port: int, tenant: str, timeout: float = 120.0):
+        self.host = host
+        self.port = int(port)
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: Optional[bytes] = None) -> Tuple[int, Any]:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"Content-Type": "application/json"} if body is not None else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        finally:
+            connection.close()
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError as error:
+            raise ServiceError(
+                f"service returned HTTP {status} with an unparseable body: {error}"
+            ) from error
+        if status >= 400:
+            raise_for_error(status, payload)
+        return status, payload
+
+    # ------------------------------------------------------------------
+    def submit(self, programs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Submit pre-built program entries; returns the per-program results.
+
+        Each entry is a protocol-level object: ``{"op", "program", "shots",
+        "observable"}`` with ``op`` defaulting to ``"run"``.  Use :meth:`run`
+        / :meth:`expectation` for the common single-program cases.
+        """
+        envelope = {
+            "protocol": SERVICE_PROTOCOL,
+            "tenant": self.tenant,
+            "programs": programs,
+        }
+        _, payload = self._request(
+            "POST", "/v1/submit", json.dumps(envelope).encode("utf-8")
+        )
+        results = payload.get("results")
+        if not isinstance(results, list) or len(results) != len(programs):
+            raise ServiceError(
+                f"service answered with {results!r} for {len(programs)} programs"
+            )
+        return results
+
+    def run(self, program: Any, shots: Optional[int] = None) -> Dict[str, Any]:
+        """Execute one program; returns its serialized result payload."""
+        entry: Dict[str, Any] = {"op": "run", "program": _as_document(program)}
+        if shots is not None:
+            entry["shots"] = shots
+        return self.submit([entry])[0]
+
+    def expectation(self, program: Any, observable: Any, shots: Optional[int] = None) -> float:
+        """Expectation value of ``observable`` after ``program``."""
+        entry: Dict[str, Any] = {
+            "op": "expectation",
+            "program": _as_document(program),
+            "observable": _as_terms(observable),
+        }
+        if shots is not None:
+            entry["shots"] = shots
+        return float(self.submit([entry])[0]["value"])
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/metrics")[1]
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")[1]
+
+    def close(self) -> None:
+        """Connections are per-request; kept for interface symmetry."""
+
+
+__all__ = ["ServiceClient"]

@@ -692,6 +692,49 @@ class TestEngineClose:
         assert all(future.done() for future in futures)
         gather(futures)
 
+    def test_shutdown_during_partial_slice_drains_residual_items(self):
+        """``close()`` while a batch is only *partially* dispatched must not
+        drop the residual items.
+
+        Batch B shares one item with a running batch A, so B dispatches a
+        partial ``_RunningSlice`` (the disjoint item) while the conflicting
+        item stays pending.  A shutdown issued in exactly that state has to
+        wait for A, then dispatch B's residual as a second slice, and only
+        then return — every future resolves, nothing is abandoned.
+        """
+        engine = _ProbeEngine()
+        scheduler = BatchScheduler(engine, name="test-scheduler")
+        gate_a, gate_b = threading.Event(), threading.Event()
+        engine.gates["A1"] = gate_a
+        engine.gates["B1"] = gate_b
+        shared = [("root", "x", "x-deep")]
+        futures = _submit(scheduler, "A1", shared)
+        assert engine.wait_started(1)
+        # B's first item conflicts with A's running slice; its second is
+        # disjoint and dispatches immediately as a partial slice.
+        futures += _submit(scheduler, "B1", shared + [("root", "y", "y-deep")])
+        assert engine.wait_started(2)
+
+        outcome = {}
+        done = threading.Event()
+
+        def close_now():
+            outcome["drained"] = scheduler.shutdown(wait=True)
+            done.set()
+
+        closer = threading.Thread(target=close_now)
+        closer.start()
+        assert not done.wait(0.25)  # blocked on the in-flight slices
+        gate_b.set()  # B's partial slice finishes; its residual still waits on A
+        assert not done.wait(0.25)
+        gate_a.set()
+        assert done.wait(10)
+        closer.join(timeout=10)
+        assert outcome["drained"] is True
+        gather(futures)  # every item resolved — the residual was not dropped
+        assert engine.finished.count("B1") == 2  # residual ran as a second slice
+        assert engine.finished.count("A1") == 1
+
     def test_close_from_done_callback_does_not_deadlock(self, logical_circuits_sched, tfim4, device_noise):
         engine = NoisyDensityMatrixEngine(device_noise, seed=7)
         closed = threading.Event()

@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""Open-loop load generator for the engine service tier.
+
+Spins up an :class:`~repro.service.EngineServer` on an ephemeral port, then
+drives it with N synthetic tenants whose requests arrive as independent
+seeded Poisson processes — open loop: arrival times are drawn ahead of time
+and each request fires on schedule in its own thread, whether or not earlier
+requests have completed, so server-side queueing shows up as latency and
+admission rejections instead of silently throttling the offered load.
+
+All tenants draw from one shared program pool, so identical schedules hit
+the fleet-wide result store across tenants — the dedupe hit-rate the smoke
+gate asserts on.
+
+Usage::
+
+    PYTHONPATH=src python tools/load_gen.py --smoke      # CI gate (~10 s)
+    PYTHONPATH=src python tools/load_gen.py --tenants 8 --duration 30 --rate 40
+
+``--smoke`` runs 2 tenants for a few seconds and **fails** (exit 1) unless:
+no unexpected errors occurred (admission rejections are expected and typed),
+the fleet dedupe hit-rate is positive, and every counter — per-tenant,
+fleet, and deterministic ``EngineStats`` — is monotone between a mid-run and
+a final metrics snapshot.
+
+The result dict doubles as the ``service_load`` leg of
+``BENCH_engine.json`` (see ``benchmarks/run_all.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+import numpy as np
+
+from repro.backends import fake_casablanca
+from repro.circuits import efficient_su2
+from repro.engine import NoisyDensityMatrixEngine
+from repro.exceptions import AdmissionError
+from repro.frontend import schedule_to_json
+from repro.service import EngineServer, ServiceClient, ServiceConfig, TenantPolicy
+from repro.service.metrics import percentile
+from repro.simulators import NoiseModel
+from repro.transpiler import transpile
+
+
+def _program_pool(device, size: int, seed: int) -> List[dict]:
+    """``size`` distinct scheduled programs, shared by every tenant."""
+    rng = np.random.default_rng(seed)
+    documents = []
+    for index in range(size):
+        ansatz = efficient_su2(2, reps=1, entanglement="linear")
+        bound = ansatz.bind_parameters(
+            rng.uniform(-np.pi, np.pi, ansatz.num_parameters)
+        )
+        bound.measure_all()
+        bound.name = f"load-{index}"
+        documents.append(json.loads(schedule_to_json(transpile(bound, device).scheduled)))
+    return documents
+
+
+def _flatten_counters(tree: Any, prefix: str = "") -> Dict[str, int]:
+    """Every integer counter in a nested metrics payload, keyed by path."""
+    flat: Dict[str, int] = {}
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            flat.update(_flatten_counters(value, f"{prefix}{key}."))
+    elif isinstance(tree, bool):
+        pass
+    elif isinstance(tree, int):
+        flat[prefix[:-1]] = tree
+    return flat
+
+
+def _counters_monotone(before: dict, after: dict) -> List[str]:
+    """Counter paths that went backwards between two metrics snapshots."""
+    first, second = _flatten_counters(before), _flatten_counters(after)
+    return sorted(
+        path for path, value in first.items() if second.get(path, value) < value
+    )
+
+
+def run_load(
+    num_tenants: int = 4,
+    duration_seconds: float = 10.0,
+    rate_per_tenant: float = 20.0,
+    seed: int = 2026,
+    kernel: Optional[str] = None,
+    pool_size: int = 3,
+    max_concurrent: int = 64,
+) -> Dict[str, Any]:
+    """Run the load shape against a fresh server; returns the metrics leg."""
+    device = fake_casablanca()
+    engine_kwargs = {"seed": 97}
+    if kernel is not None:
+        engine_kwargs["kernel"] = kernel
+    engine = NoisyDensityMatrixEngine(NoiseModel.from_device(device), **engine_kwargs)
+    config = ServiceConfig(
+        default_policy=TenantPolicy(
+            rate_per_second=rate_per_tenant, burst=max(4, int(rate_per_tenant))
+        )
+    )
+    documents = _program_pool(device, pool_size, seed)
+
+    lock = threading.Lock()
+    latencies: List[float] = []
+    rejections: Dict[str, int] = {}
+    unexpected: List[str] = []
+    completed = 0
+    sent = 0
+    gate = threading.Semaphore(max_concurrent)
+
+    with EngineServer(engine, config, own_engine=True) as server:
+        observer = ServiceClient(server.host, server.port, tenant="load-observer")
+
+        def fire(tenant_name: str, document: dict) -> None:
+            nonlocal completed
+            client = ServiceClient(server.host, server.port, tenant=tenant_name)
+            started = time.monotonic()
+            try:
+                client.run(document)
+            except AdmissionError as error:
+                with lock:
+                    name = type(error).__name__
+                    rejections[name] = rejections.get(name, 0) + 1
+                return
+            except Exception as error:  # noqa: BLE001 - recorded, judged later
+                with lock:
+                    unexpected.append(f"{tenant_name}: {type(error).__name__}: {error}")
+                return
+            finally:
+                gate.release()
+            with lock:
+                completed += 1
+                latencies.append(time.monotonic() - started)
+
+        def tenant_worker(index: int) -> None:
+            nonlocal sent
+            rng = np.random.default_rng(seed + 1000 + index)
+            tenant_name = f"tenant-{index:02d}"
+            clock_zero = time.monotonic()
+            elapsed = 0.0
+            threads = []
+            while True:
+                elapsed += rng.exponential(1.0 / rate_per_tenant)
+                if elapsed >= duration_seconds:
+                    break
+                wait = clock_zero + elapsed - time.monotonic()
+                if wait > 0:
+                    time.sleep(wait)
+                document = documents[int(rng.integers(len(documents)))]
+                gate.acquire()
+                with lock:
+                    sent += 1
+                thread = threading.Thread(target=fire, args=(tenant_name, document))
+                thread.start()
+                threads.append(thread)
+            for thread in threads:
+                thread.join()
+
+        workers = [
+            threading.Thread(target=tenant_worker, args=(index,))
+            for index in range(num_tenants)
+        ]
+        run_started = time.monotonic()
+        for worker in workers:
+            worker.start()
+        time.sleep(duration_seconds / 2)
+        mid_metrics = observer.metrics()
+        for worker in workers:
+            worker.join()
+        elapsed = time.monotonic() - run_started
+        final_metrics = observer.metrics()
+
+    regressions = _counters_monotone(mid_metrics, final_metrics)
+    sorted_latencies = sorted(latencies)
+    store = final_metrics["fleet"]["store"]
+    return {
+        "tenants": num_tenants,
+        "duration_seconds": duration_seconds,
+        "rate_per_tenant": rate_per_tenant,
+        "kernel": kernel or os.environ.get("REPRO_ENGINE_KERNEL", "dense"),
+        "pool_size": pool_size,
+        "requests_sent": sent,
+        "completed": completed,
+        "rejections": rejections,
+        "unexpected_errors": unexpected,
+        "throughput_rps": completed / elapsed if elapsed > 0 else 0.0,
+        "latency_ms": {
+            "count": len(sorted_latencies),
+            "p50": percentile(sorted_latencies, 0.50) * 1e3,
+            "p99": percentile(sorted_latencies, 0.99) * 1e3,
+        },
+        "fleet_store": store,
+        "dedupe_hit_rate": store["hit_rate"],
+        "engine_stats": final_metrics["fleet"]["engine_stats"],
+        "per_tenant": final_metrics["tenants"],
+        "counter_regressions": regressions,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=10.0, help="seconds of offered load")
+    parser.add_argument("--rate", type=float, default=20.0, help="arrivals/s per tenant")
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument(
+        "--kernel", default=os.environ.get("REPRO_ENGINE_KERNEL") or None,
+        help="simulation kernel (default: REPRO_ENGINE_KERNEL or engine default)",
+    )
+    parser.add_argument("--pool-size", type=int, default=3, dest="pool_size")
+    parser.add_argument("--output", help="write the result JSON here")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: 2 tenants, short run, assert no unexpected errors, "
+        "positive dedupe hit-rate, monotone counters",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.tenants = 2
+        args.duration = min(args.duration, 8.0)
+
+    result = run_load(
+        num_tenants=args.tenants,
+        duration_seconds=args.duration,
+        rate_per_tenant=args.rate,
+        seed=args.seed,
+        kernel=args.kernel,
+        pool_size=args.pool_size,
+    )
+    print(
+        f"[load_gen] {result['tenants']} tenants x {result['duration_seconds']:.0f}s "
+        f"@{result['rate_per_tenant']:.0f}/s: {result['completed']}/{result['requests_sent']} "
+        f"completed ({result['throughput_rps']:.1f} rps), "
+        f"p50 {result['latency_ms']['p50']:.1f} ms, p99 {result['latency_ms']['p99']:.1f} ms, "
+        f"rejections {result['rejections'] or '{}'}, "
+        f"dedupe hit-rate {result['dedupe_hit_rate']:.2f}"
+    )
+    if args.output:
+        Path(args.output).write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print(f"[load_gen] wrote {args.output}")
+
+    if args.smoke:
+        failures = []
+        if result["unexpected_errors"]:
+            failures.append(f"unexpected errors: {result['unexpected_errors'][:5]}")
+        if result["completed"] == 0:
+            failures.append("no request completed")
+        if result["dedupe_hit_rate"] <= 0.0:
+            failures.append("fleet dedupe hit-rate was zero")
+        if result["counter_regressions"]:
+            failures.append(f"counters went backwards: {result['counter_regressions']}")
+        if failures:
+            for failure in failures:
+                print(f"[load_gen] SMOKE FAIL: {failure}")
+            return 1
+        print("[load_gen] smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
