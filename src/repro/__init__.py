@@ -44,13 +44,17 @@ from .circuits import (
     efficient_su2,
     hahn_echo_microbenchmark,
     idle_window_microbenchmark,
+    qaoa_ansatz,
     uccsd_like_ansatz,
 )
 from .operators import (
     PauliString,
     PauliSum,
     h2_hamiltonian,
+    lih_hamiltonian,
     lithium_ion_hamiltonian,
+    maxcut_hamiltonian,
+    ring_maxcut_hamiltonian,
     tfim_hamiltonian,
 )
 from .backends import (
@@ -75,8 +79,15 @@ from .engine import (
 )
 from .transpiler import ScheduledCircuit, TranspileResult, find_idle_windows, transpile
 from .mitigation import DDConfig, GSConfig, MeasurementMitigator, insert_dd_sequences, uniform_dd
-from .optimizers import COBYLA, SPSA, NelderMead
-from .vqe import VQE, ExpectationEstimator, VQAApplication, build_applications, get_application
+from .optimizers import COBYLA, SPSA, BatchObjective, NelderMead
+from .vqe import (
+    VQE,
+    AdaptiveShotCollector,
+    ExpectationEstimator,
+    VQAApplication,
+    build_applications,
+    get_application,
+)
 from .vaqem import (
     STANDARD_STRATEGIES,
     IndependentWindowTuner,
@@ -115,9 +126,10 @@ __all__ = [
     "IngestError", "ParseError", "ValidationError", "ResourceLimitError", "DecompositionError",
     # circuits
     "QuantumCircuit", "Parameter", "ParameterVector", "efficient_su2", "uccsd_like_ansatz",
-    "hahn_echo_microbenchmark", "idle_window_microbenchmark",
+    "qaoa_ansatz", "hahn_echo_microbenchmark", "idle_window_microbenchmark",
     # operators
     "PauliString", "PauliSum", "tfim_hamiltonian", "h2_hamiltonian", "lithium_ion_hamiltonian",
+    "lih_hamiltonian", "maxcut_hamiltonian", "ring_maxcut_hamiltonian",
     # backends
     "DeviceModel", "CalibrationDrift", "fake_casablanca", "fake_jakarta", "fake_guadalupe",
     "fake_montreal", "get_device",
@@ -131,9 +143,10 @@ __all__ = [
     # mitigation
     "DDConfig", "GSConfig", "insert_dd_sequences", "uniform_dd", "MeasurementMitigator",
     # optimizers
-    "SPSA", "NelderMead", "COBYLA",
+    "SPSA", "NelderMead", "COBYLA", "BatchObjective",
     # vqe
-    "VQE", "ExpectationEstimator", "VQAApplication", "build_applications", "get_application",
+    "VQE", "ExpectationEstimator", "AdaptiveShotCollector", "VQAApplication",
+    "build_applications", "get_application",
     # vaqem
     "VAQEMPipeline", "VAQEMRunResult", "VAQEMConfig", "TuningBudget", "IndependentWindowTuner",
     "STANDARD_STRATEGIES",

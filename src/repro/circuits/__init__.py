@@ -9,6 +9,7 @@ from .library import (
     ghz_circuit,
     hahn_echo_microbenchmark,
     idle_window_microbenchmark,
+    qaoa_ansatz,
     two_local,
     uccsd_like_ansatz,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "efficient_su2",
     "two_local",
     "uccsd_like_ansatz",
+    "qaoa_ansatz",
     "hahn_echo_microbenchmark",
     "idle_window_microbenchmark",
     "ghz_circuit",

@@ -182,6 +182,58 @@ def uccsd_like_ansatz(num_qubits: int = 4, name: str = "uccsd_h2") -> QuantumCir
     return circuit
 
 
+def qaoa_ansatz(
+    num_qubits: int,
+    edges: Sequence[Tuple[int, int]],
+    reps: int = 1,
+    weights: Optional[Sequence[float]] = None,
+    name: Optional[str] = None,
+) -> QuantumCircuit:
+    """The QAOA ansatz for a MaxCut-style ZZ cost Hamiltonian.
+
+    ``reps`` alternating layers on a uniform-superposition start state:
+
+    * cost layer ``exp(-i gamma_p w_e Z_a Z_b)`` per edge, compiled to the
+      standard ``CX - Rz(2 gamma w) - CX`` block, then
+    * mixer layer ``exp(-i beta_p X_q)`` = ``Rx(2 beta)`` on every qubit.
+
+    Two parameters per layer (``gamma_p``, ``beta_p``), so ``2 * reps`` in
+    total — the compact parameter space is what makes QAOA a useful contrast
+    to the SU2 ansatz in the optimizer benchmarks.  The edge list (and
+    optional weights) must match the cost Hamiltonian being minimised, e.g.
+    :func:`repro.operators.hamiltonians.maxcut_hamiltonian` on the same graph.
+    """
+    if num_qubits < 2:
+        raise CircuitError("the QAOA ansatz needs at least two qubits")
+    if reps < 1:
+        raise CircuitError("qaoa_ansatz requires reps >= 1")
+    if not edges:
+        raise CircuitError("the QAOA ansatz needs at least one edge")
+    if weights is None:
+        weights = [1.0] * len(edges)
+    if len(weights) != len(edges):
+        raise CircuitError("weights must match edges one-to-one")
+    for a, b in edges:
+        if not (0 <= a < num_qubits and 0 <= b < num_qubits) or a == b:
+            raise CircuitError(f"invalid edge ({a}, {b}) for {num_qubits} qubits")
+    gammas = ParameterVector("gamma", reps)
+    betas = ParameterVector("beta", reps)
+    circuit = QuantumCircuit(num_qubits, name=name or f"qaoa_{num_qubits}q_{reps}p")
+    for q in range(num_qubits):
+        circuit.h(q)
+    for layer in range(reps):
+        for (a, b), weight in zip(edges, weights):
+            circuit.cx(a, b)
+            circuit.rz(2.0 * weight * gammas[layer], b)
+            circuit.cx(a, b)
+        for q in range(num_qubits):
+            circuit.rx(2.0 * betas[layer], q)
+    circuit.metadata.update(
+        {"ansatz": "qaoa", "reps": reps, "num_edges": len(edges), "num_parameters": 2 * reps}
+    )
+    return circuit
+
+
 def hahn_echo_microbenchmark(
     delay_ns: float = 28440.0,
     echo_position: float = 0.5,

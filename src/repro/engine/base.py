@@ -265,8 +265,13 @@ class ExecutionEngine(abc.ABC):
         """Execute one circuit and return its :class:`EngineResult`."""
 
     @abc.abstractmethod
-    def expectation(self, circuit, observable, shots: Optional[int] = None) -> float:
-        """Estimate ``<observable>`` for one circuit."""
+    def expectation(
+        self, circuit, observable, shots: Optional[int] = None, seed: Optional[int] = None
+    ) -> float:
+        """Estimate ``<observable>`` for one circuit.
+
+        ``seed`` overrides the engine seeding contract for this call only
+        (engines without sampling randomness accept and ignore it)."""
 
     # ------------------------------------------------------------------
     def run_batch(
@@ -304,12 +309,19 @@ class ExecutionEngine(abc.ABC):
         shots: Optional[int] = None,
         max_workers: Optional[int] = None,
         parallelism: Optional[str] = None,
+        seed: Optional[int] = None,
     ) -> List[float]:
         """Estimate ``<observable>`` for many circuits, order-stably.
 
         ``parallelism`` / ``max_workers`` behave as on :meth:`run_batch`.
+        An explicit ``seed`` overrides the content-derived sampling seed for
+        every item of the batch — exactly like passing the same ``seed`` to
+        element-wise :meth:`expectation` calls (callers wanting independent
+        per-round randomness, e.g. the adaptive shot collector, derive a
+        distinct seed per batch via
+        :func:`repro.engine.fingerprint.derive_seed`).
         """
-        kwargs = {"observable": observable, "shots": shots}
+        kwargs = {"observable": observable, "shots": shots, "seed": seed}
         return self._dispatch_batch("expectation", circuits, kwargs, max_workers, parallelism)
 
     # ------------------------------------------------------------------
@@ -357,9 +369,13 @@ class ExecutionEngine(abc.ABC):
         parallelism: Optional[str] = None,
         submitter: Any = None,
         priority: int = 0,
+        seed: Optional[int] = None,
     ) -> List[EngineFuture]:
-        """Asynchronous :meth:`expectation_batch`: futures resolving to floats."""
-        kwargs = {"observable": observable, "shots": shots}
+        """Asynchronous :meth:`expectation_batch`: futures resolving to floats.
+
+        ``seed`` behaves exactly as on the blocking :meth:`expectation_batch`.
+        """
+        kwargs = {"observable": observable, "shots": shots, "seed": seed}
         return self._submit_job(
             "expectation", circuits, kwargs, max_workers, parallelism, submitter, priority
         )
@@ -475,7 +491,9 @@ class ExecutionEngine(abc.ABC):
         if kind == "run":
             return self.run(item)
         if kind == "expectation":
-            return self.expectation(item, kwargs["observable"], shots=kwargs["shots"])
+            return self.expectation(
+                item, kwargs["observable"], shots=kwargs["shots"], seed=kwargs.get("seed")
+            )
         raise EngineError(f"engine {self.name!r} does not implement batch kind {kind!r}")
 
     # ------------------------------------------------------------------

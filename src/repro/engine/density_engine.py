@@ -586,13 +586,16 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         mitigator=None,
         max_workers: Optional[int] = None,
         parallelism: Optional[str] = None,
+        seed: Optional[int] = None,
     ) -> List[float]:
         """Batched ``<observable>``; equals element-wise :meth:`expectation`.
 
         ``parallelism`` / ``max_workers`` select the execution tier exactly as
-        on :meth:`~repro.engine.base.ExecutionEngine.run_batch`.
+        on :meth:`~repro.engine.base.ExecutionEngine.run_batch`.  ``seed``
+        overrides the content-derived sampling seed for every item, exactly
+        like passing it to element-wise :meth:`expectation` calls.
         """
-        kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator}
+        kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator, "seed": seed}
         return self._dispatch_batch("expectation", circuits, kwargs, max_workers, parallelism)
 
     def expectation_batch_full(
@@ -603,14 +606,15 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         mitigator=None,
         max_workers: Optional[int] = None,
         parallelism: Optional[str] = None,
+        seed: Optional[int] = None,
     ) -> List[ExpectationData]:
         """Batched :meth:`expectation_full` (value plus per-group diagnostics).
 
         This is the path :class:`~repro.vqe.expectation.ExpectationEstimator`
-        batches through; it honours the same tier knobs as
+        batches through; it honours the same tier and ``seed`` knobs as
         :meth:`expectation_batch`.
         """
-        kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator}
+        kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator, "seed": seed}
         return self._dispatch_batch("expectation_full", circuits, kwargs, max_workers, parallelism)
 
     # ------------------------------------------------------------------
@@ -626,13 +630,15 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         parallelism: Optional[str] = None,
         submitter=None,
         priority: int = 0,
+        seed: Optional[int] = None,
     ):
         """Asynchronous :meth:`expectation_batch` (futures resolving to floats).
 
         ``submitter`` / ``priority`` feed the engine's slot scheduler exactly
-        as on :meth:`~repro.engine.base.ExecutionEngine.submit_batch`.
+        as on :meth:`~repro.engine.base.ExecutionEngine.submit_batch`; ``seed``
+        behaves as on the blocking :meth:`expectation_batch`.
         """
-        kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator}
+        kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator, "seed": seed}
         return self._submit_job(
             "expectation", circuits, kwargs, max_workers, parallelism, submitter, priority
         )
@@ -647,13 +653,15 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         parallelism: Optional[str] = None,
         submitter=None,
         priority: int = 0,
+        seed: Optional[int] = None,
     ):
         """Asynchronous :meth:`expectation_batch_full` (futures resolving to
         :class:`~repro.engine.base.ExpectationData`); the path
         :meth:`ExpectationEstimator.submit_batch
         <repro.vqe.expectation.ExpectationEstimator.submit_batch>` and the
-        pipelined window tuner route through."""
-        kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator}
+        pipelined window tuner route through.  ``seed`` behaves as on the
+        blocking :meth:`expectation_batch`."""
+        kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator, "seed": seed}
         return self._submit_job(
             "expectation_full", circuits, kwargs, max_workers, parallelism, submitter, priority
         )
@@ -677,7 +685,8 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         if len(items) < 2:
             return None
         data = self._expectation_batch_ptm(
-            items, kwargs["observable"], kwargs["shots"], kwargs.get("mitigator")
+            items, kwargs["observable"], kwargs["shots"], kwargs.get("mitigator"),
+            kwargs.get("seed"),
         )
         if data is None:
             return None
@@ -691,6 +700,7 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         observable: PauliSum,
         shots: Optional[int],
         mitigator,
+        seed: Optional[int] = None,
     ) -> Optional[List[ExpectationData]]:
         num_logical = observable.num_qubits
         prepared = []
@@ -704,9 +714,9 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
             prepared.append(self._chain(item))
             mappings.append(clbit_to_position)
 
-        cacheable = self._expectation_cacheable(shots, None)
+        cacheable = self._expectation_cacheable(shots, seed)
         keys = [
-            self._expectation_key(prep[1][-1], observable, shots, mitigator, None)
+            self._expectation_key(prep[1][-1], observable, shots, mitigator, seed)
             for prep in prepared
         ]
         results: List[Optional[ExpectationData]] = [None] * len(items)
@@ -739,7 +749,7 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         if pending:
             self._measure_pending_batched(
                 items, prepared, mappings, keys, pending, results,
-                observable, shots, mitigator, cacheable,
+                observable, shots, mitigator, cacheable, seed,
             )
         for index in duplicates:
             with self._lock:
@@ -750,6 +760,7 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
     def _measure_pending_batched(
         self, items, prepared, mappings, keys, pending, results,
         observable: PauliSum, shots, mitigator, cacheable: bool,
+        seed: Optional[int] = None,
     ) -> None:
         """Compute the not-yet-cached rows of an expectation batch, batching
         the measurement stage across rows with equal (size, positions)."""
@@ -766,7 +777,7 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
         if shots is not None:
             for index in pending:
                 rngs[index] = self._sampling_rng(
-                    None, "expectation", *map(str, keys[index][:4])
+                    seed, "expectation", *map(str, keys[index][:4])
                 )
         h_matrix = Gate("h", 1).matrix()
         y_matrix = h_matrix @ Gate("sdg", 1).matrix()
@@ -822,11 +833,13 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
             return self.run(item)
         if kind == "expectation":
             return self.expectation(
-                item, kwargs["observable"], shots=kwargs["shots"], mitigator=kwargs.get("mitigator")
+                item, kwargs["observable"], shots=kwargs["shots"],
+                mitigator=kwargs.get("mitigator"), seed=kwargs.get("seed"),
             )
         if kind == "expectation_full":
             return self.expectation_full(
-                item, kwargs["observable"], shots=kwargs["shots"], mitigator=kwargs.get("mitigator")
+                item, kwargs["observable"], shots=kwargs["shots"],
+                mitigator=kwargs.get("mitigator"), seed=kwargs.get("seed"),
             )
         return super()._serial_call(kind, item, kwargs)
 
@@ -911,9 +924,10 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
                 state = self._results.get(fingerprint)
             if state is not None:
                 records.append(CacheRecord("result", fingerprint, state, int(state.data.nbytes)))
-        if expectation_kind and self._expectation_cacheable(kwargs["shots"], None):
+        if expectation_kind and self._expectation_cacheable(kwargs["shots"], kwargs.get("seed")):
             key = self._expectation_key(
-                fingerprint, kwargs["observable"], kwargs["shots"], kwargs.get("mitigator"), None
+                fingerprint, kwargs["observable"], kwargs["shots"],
+                kwargs.get("mitigator"), kwargs.get("seed"),
             )
             with self._lock:
                 data = self._expectations.get(key)
@@ -927,10 +941,11 @@ class NoisyDensityMatrixEngine(ExecutionEngine):
             if kind == "run":
                 return fingerprint in self._results
             if kind in ("expectation", "expectation_full"):
-                if not self._expectation_cacheable(kwargs["shots"], None):
+                if not self._expectation_cacheable(kwargs["shots"], kwargs.get("seed")):
                     return False
                 key = self._expectation_key(
-                    fingerprint, kwargs["observable"], kwargs["shots"], kwargs.get("mitigator"), None
+                    fingerprint, kwargs["observable"], kwargs["shots"],
+                    kwargs.get("mitigator"), kwargs.get("seed"),
                 )
                 return self._expectations.get(key) is not None
         return False

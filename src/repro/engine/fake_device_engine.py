@@ -154,6 +154,7 @@ class FakeDeviceEngine(ExecutionEngine):
         observable: PauliSum,
         shots=_DEFAULT_SHOTS,
         mitigator=None,
+        seed: Optional[int] = None,
     ) -> float:
         """``<observable>`` measured on the noisy device execution.
 
@@ -161,14 +162,15 @@ class FakeDeviceEngine(ExecutionEngine):
         ``circuit.measure_all()`` before submitting, as on real hardware).
         Like :meth:`run`, sampling uses the engine's configured ``shots`` by
         default; pass ``shots=None`` explicitly for the exact
-        (infinite-shot) value.
+        (infinite-shot) value.  An explicit ``seed`` overrides the engine
+        seeding contract for this call only.
         """
         if shots is _DEFAULT_SHOTS:
             shots = self.shots
         circuit = self._resolve_program(circuit)
         compiled = self.transpile(circuit)
         return self._noisy.expectation(
-            compiled.scheduled, observable, shots=shots, mitigator=mitigator
+            compiled.scheduled, observable, shots=shots, mitigator=mitigator, seed=seed
         )
 
     def expectation_batch(
@@ -179,17 +181,19 @@ class FakeDeviceEngine(ExecutionEngine):
         mitigator=None,
         max_workers: Optional[int] = None,
         parallelism: Optional[str] = None,
+        seed: Optional[int] = None,
     ):
         """Batched ``<observable>``; equals element-wise :meth:`expectation`.
 
         Overrides the base implementation so the configured-``shots`` default
         applies to the batch path too (the base class would pass an explicit
         ``shots=None``).  ``parallelism`` / ``max_workers`` select the
-        execution tier exactly as on :meth:`run_batch`.
+        execution tier exactly as on :meth:`run_batch`; ``seed`` applies to
+        every item, as on element-wise calls.
         """
         if shots is _DEFAULT_SHOTS:
             shots = self.shots
-        kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator}
+        kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator, "seed": seed}
         return self._dispatch_batch("expectation", circuits, kwargs, max_workers, parallelism)
 
     def submit_expectation_batch(
@@ -202,13 +206,14 @@ class FakeDeviceEngine(ExecutionEngine):
         parallelism: Optional[str] = None,
         submitter=None,
         priority: int = 0,
+        seed: Optional[int] = None,
     ):
         """Asynchronous :meth:`expectation_batch`; the configured-``shots``
         default applies exactly as on the blocking path, and ``submitter`` /
         ``priority`` feed the engine's slot scheduler."""
         if shots is _DEFAULT_SHOTS:
             shots = self.shots
-        kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator}
+        kwargs = {"observable": observable, "shots": shots, "mitigator": mitigator, "seed": seed}
         return self._submit_job(
             "expectation", circuits, kwargs, max_workers, parallelism, submitter, priority
         )
@@ -221,7 +226,8 @@ class FakeDeviceEngine(ExecutionEngine):
             return self.run(item)
         if kind == "expectation":
             return self.expectation(
-                item, kwargs["observable"], shots=kwargs["shots"], mitigator=kwargs.get("mitigator")
+                item, kwargs["observable"], shots=kwargs["shots"],
+                mitigator=kwargs.get("mitigator"), seed=kwargs.get("seed"),
             )
         return super()._serial_call(kind, item, kwargs)
 
@@ -277,9 +283,12 @@ class FakeDeviceEngine(ExecutionEngine):
                 state = self._noisy._results.get(schedule_fp)
             if state is not None:
                 records.append(CacheRecord("result", schedule_fp, state, int(state.data.nbytes)))
-        if kind == "expectation" and self._noisy._expectation_cacheable(kwargs["shots"], None):
+        if kind == "expectation" and self._noisy._expectation_cacheable(
+            kwargs["shots"], kwargs.get("seed")
+        ):
             key = self._noisy._expectation_key(
-                schedule_fp, kwargs["observable"], kwargs["shots"], kwargs.get("mitigator"), None
+                schedule_fp, kwargs["observable"], kwargs["shots"],
+                kwargs.get("mitigator"), kwargs.get("seed"),
             )
             with self._noisy._lock:
                 data = self._noisy._expectations.get(key)
@@ -297,10 +306,11 @@ class FakeDeviceEngine(ExecutionEngine):
             if kind == "run":
                 return schedule_fp in self._noisy._results
             if kind == "expectation":
-                if not self._noisy._expectation_cacheable(kwargs["shots"], None):
+                if not self._noisy._expectation_cacheable(kwargs["shots"], kwargs.get("seed")):
                     return False
                 key = self._noisy._expectation_key(
-                    schedule_fp, kwargs["observable"], kwargs["shots"], kwargs.get("mitigator"), None
+                    schedule_fp, kwargs["observable"], kwargs["shots"],
+                    kwargs.get("mitigator"), kwargs.get("seed"),
                 )
                 return self._noisy._expectations.get(key) is not None
         return False

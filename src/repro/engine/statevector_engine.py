@@ -117,9 +117,13 @@ class StatevectorEngine(ExecutionEngine):
 
     # ------------------------------------------------------------------
     def expectation(
-        self, circuit: QuantumCircuit, observable: PauliSum, shots: Optional[int] = None
+        self,
+        circuit: QuantumCircuit,
+        observable: PauliSum,
+        shots: Optional[int] = None,
+        seed: Optional[int] = None,
     ) -> float:
-        """Exact ``<psi|H|psi>`` (the ideal engine ignores ``shots``)."""
+        """Exact ``<psi|H|psi>`` (the ideal engine ignores ``shots``/``seed``)."""
         from ..exceptions import SimulationError
 
         circuit = self._resolve_program(circuit)

@@ -4,8 +4,12 @@ from .pauli import MeasurementGroup, PauliString, PauliSum
 from .hamiltonians import (
     h2_exact_ground_energy,
     h2_hamiltonian,
+    lih_exact_ground_energy,
+    lih_hamiltonian,
     lithium_ion_exact_ground_energy,
     lithium_ion_hamiltonian,
+    maxcut_hamiltonian,
+    ring_maxcut_hamiltonian,
     tfim_exact_ground_energy,
     tfim_hamiltonian,
 )
@@ -18,6 +22,10 @@ __all__ = [
     "tfim_exact_ground_energy",
     "h2_hamiltonian",
     "h2_exact_ground_energy",
+    "lih_hamiltonian",
+    "lih_exact_ground_energy",
     "lithium_ion_hamiltonian",
     "lithium_ion_exact_ground_energy",
+    "maxcut_hamiltonian",
+    "ring_maxcut_hamiltonian",
 ]

@@ -1,6 +1,6 @@
 """Classical optimizers for variational parameter tuning."""
 
-from .base import OptimizationResult, Optimizer, TrackingObjective
+from .base import BatchObjective, OptimizationResult, Optimizer, TrackingObjective
 from .scipy_optimizers import COBYLA, NelderMead, ScipyOptimizer
 from .spsa import SPSA
 
@@ -8,6 +8,7 @@ __all__ = [
     "Optimizer",
     "OptimizationResult",
     "TrackingObjective",
+    "BatchObjective",
     "SPSA",
     "ScipyOptimizer",
     "NelderMead",

@@ -2,6 +2,12 @@
 
 from .applications import VQAApplication, application_names, build_applications, get_application
 from .expectation import ExpectationEstimator, ExpectationResult, ideal_expectation
+from .shot_collector import (
+    AdaptiveShotCollector,
+    CollectionResult,
+    GroupEstimate,
+    allocate_shots,
+)
 from .vqe import VQE, VQEResult
 
 __all__ = [
@@ -10,6 +16,10 @@ __all__ = [
     "ExpectationEstimator",
     "ExpectationResult",
     "ideal_expectation",
+    "AdaptiveShotCollector",
+    "CollectionResult",
+    "GroupEstimate",
+    "allocate_shots",
     "VQAApplication",
     "build_applications",
     "get_application",

@@ -37,6 +37,10 @@ from ..operators.pauli import PauliSum
 from ..simulators.noise_model import NoiseModel
 from ..transpiler.scheduling import ScheduledCircuit
 
+#: Sentinel distinguishing "use the estimator's configured shots" from an
+#: explicit ``shots=None`` (exact infinite-shot) override.
+_DEFAULT_SHOTS = object()
+
 
 @dataclass
 class ExpectationResult:
@@ -119,6 +123,8 @@ class ExpectationEstimator:
         hamiltonian: PauliSum,
         max_workers: Optional[int] = None,
         parallelism: Optional[str] = None,
+        shots=_DEFAULT_SHOTS,
+        seed: Optional[int] = None,
     ) -> List[ExpectationResult]:
         """Estimate ``<H>`` for many schedules through the engine's batch path.
 
@@ -130,17 +136,24 @@ class ExpectationEstimator:
         ``parallelism="serial" | "thread" | "process"`` and ``max_workers``
         select the engine's execution tier (see
         :meth:`~repro.engine.base.ExecutionEngine.run_batch`); results are
-        identical across tiers.
+        identical across tiers.  ``shots`` / ``seed`` override the
+        estimator's configured shot count and the content-derived sampling
+        seed *for this batch only* — the adaptive shot collector uses both to
+        give every collection round its own budget and independent
+        randomness (an engine-cached sampled value is otherwise bit-identical
+        on repeat calls).
         """
         data = self.engine.expectation_batch_full(
             schedules,
             hamiltonian,
-            shots=self.shots,
+            shots=self.shots if shots is _DEFAULT_SHOTS else shots,
             mitigator=self.mitigator,
             max_workers=max_workers,
             parallelism=parallelism,
+            seed=seed,
         )
-        return [self._to_result(item) for item in data]
+        effective = self.shots if shots is _DEFAULT_SHOTS else shots
+        return [self._to_result(item, effective) for item in data]
 
     def submit_batch(
         self,
@@ -149,6 +162,8 @@ class ExpectationEstimator:
         max_workers: Optional[int] = None,
         parallelism: Optional[str] = None,
         priority: int = 0,
+        shots=_DEFAULT_SHOTS,
+        seed: Optional[int] = None,
     ) -> List["EngineFuture"]:
         """Asynchronous :meth:`estimate_batch`: one future per schedule.
 
@@ -159,29 +174,36 @@ class ExpectationEstimator:
         are served round-robin and their independent batches overlap up to
         the engine's per-tier slots, while this estimator's own batches stay
         FIFO.  ``priority`` (higher first) nudges the scheduler between
-        runnable batches of different submitters.  The resolved values are
-        bit-identical to a blocking :meth:`estimate_batch` call on any tier;
-        the caller can keep building further schedules while these execute —
-        the pipelined window tuner does exactly that.
+        runnable batches of different submitters.  ``shots`` / ``seed``
+        override the configured shot count and sampling seed for this batch,
+        as on :meth:`estimate_batch`.  The resolved values are bit-identical
+        to a blocking :meth:`estimate_batch` call on any tier; the caller can
+        keep building further schedules while these execute — the pipelined
+        window tuner and the adaptive shot collector do exactly that.
         """
+        effective = self.shots if shots is _DEFAULT_SHOTS else shots
         futures = self.engine.submit_expectation_batch_full(
             schedules,
             hamiltonian,
-            shots=self.shots,
+            shots=effective,
             mitigator=self.mitigator,
             max_workers=max_workers,
             parallelism=parallelism,
             submitter=self,
             priority=priority,
+            seed=seed,
         )
-        return [future.map(self._to_result) for future in futures]
+        return [
+            future.map(lambda data, shots=effective: self._to_result(data, shots))
+            for future in futures
+        ]
 
-    def _to_result(self, data: ExpectationData) -> ExpectationResult:
+    def _to_result(self, data: ExpectationData, shots=_DEFAULT_SHOTS) -> ExpectationResult:
         return ExpectationResult(
             value=data.value,
             group_values=list(data.group_values),
             distributions=list(data.distributions),
-            shots_per_group=self.shots,
+            shots_per_group=self.shots if shots is _DEFAULT_SHOTS else shots,
         )
 
 

@@ -21,7 +21,7 @@ from ..engine.statevector_engine import StatevectorEngine
 from ..exceptions import VQEError
 from ..mitigation.mem import MeasurementMitigator
 from ..operators.pauli import PauliSum
-from ..optimizers.base import OptimizationResult, Optimizer
+from ..optimizers.base import BatchObjective, OptimizationResult, Optimizer
 from ..optimizers.spsa import SPSA
 from ..simulators.noise_model import NoiseModel
 from ..transpiler.pipeline import TranspileResult, transpile
@@ -130,13 +130,64 @@ class VQE:
 
         return objective
 
+    def ideal_batch_objective(self) -> BatchObjective:
+        """A :class:`~repro.optimizers.base.BatchObjective` over the ideal engine.
+
+        ``evaluate_batch`` binds every point and submits the whole batch
+        through the engine's asynchronous
+        :meth:`~repro.engine.base.ExecutionEngine.submit_expectation_batch`,
+        so a batch-aware optimizer (SPSA's ``±c_k·Δ`` pairs) pipelines all of
+        a step's circuits through the slot scheduler in one submission.
+        Exact expectations carry no randomness, so values are bit-identical
+        to element-wise :meth:`ideal_objective` calls.
+        """
+        return _IdealBatchObjective(self)
+
+    def noisy_batch_objective_factory(
+        self,
+        device: DeviceModel,
+        noise_model: Optional[NoiseModel] = None,
+        shots: Optional[int] = None,
+        use_mem: bool = False,
+        physical_qubits: Optional[Sequence[int]] = None,
+        engine: Optional[NoisyDensityMatrixEngine] = None,
+    ) -> BatchObjective:
+        """A :class:`~repro.optimizers.base.BatchObjective` on the noisy backend.
+
+        Like :meth:`noisy_objective_factory` but batch-capable: every point of
+        a batch is transpiled and the resulting schedules are submitted as one
+        :meth:`~repro.vqe.expectation.ExpectationEstimator.submit_batch` call,
+        so simulation of early points overlaps transpilation-free dispatch of
+        the rest through the engine's slot scheduler.  Sampling randomness
+        follows the *content-derived* engine seeding contract (not the
+        estimator's stateful generator), so single-point calls, batches, and
+        every execution tier agree bit for bit; with ``shots=None`` the
+        values also equal the serial :meth:`noisy_objective_factory` path.
+        """
+        if noise_model is None and engine is not None:
+            noise_model = engine.noise_model
+        noise_model = noise_model or NoiseModel.from_device(device)
+        engine = engine or NoisyDensityMatrixEngine(noise_model, seed=self.seed)
+        return _NoisyBatchObjective(
+            self, device, noise_model, engine, shots, use_mem, physical_qubits
+        )
+
     # ------------------------------------------------------------------
     # Drivers
     # ------------------------------------------------------------------
-    def run_ideal(self, initial_point: Optional[Sequence[float]] = None) -> VQEResult:
-        """Tune angles against the ideal simulator (the paper's default)."""
+    def run_ideal(
+        self, initial_point: Optional[Sequence[float]] = None, batched: bool = False
+    ) -> VQEResult:
+        """Tune angles against the ideal simulator (the paper's default).
+
+        ``batched=True`` hands the optimizer the batch-capable objective
+        (:meth:`ideal_batch_objective`); batch-aware optimizers then submit
+        each step's evaluations as one engine batch.  Values are identical
+        either way — exact expectations carry no randomness.
+        """
         point = np.asarray(initial_point, dtype=float) if initial_point is not None else self.initial_point()
-        result = self.optimizer.minimize(self.ideal_objective, point)
+        objective = self.ideal_batch_objective() if batched else self.ideal_objective
+        result = self.optimizer.minimize(objective, point)
         return self._to_vqe_result(result, "ideal")
 
     def run_noisy(
@@ -146,9 +197,19 @@ class VQE:
         shots: Optional[int] = None,
         use_mem: bool = False,
         initial_point: Optional[Sequence[float]] = None,
+        batched: bool = False,
     ) -> VQEResult:
-        """Tune angles directly against the noisy machine model."""
-        objective = self.noisy_objective_factory(device, noise_model, shots, use_mem)
+        """Tune angles directly against the noisy machine model.
+
+        ``batched=True`` routes evaluations through
+        :meth:`noisy_batch_objective_factory` (engine-batched submissions with
+        content-derived sampling seeds) instead of the per-call serial
+        objective.
+        """
+        if batched:
+            objective = self.noisy_batch_objective_factory(device, noise_model, shots, use_mem)
+        else:
+            objective = self.noisy_objective_factory(device, noise_model, shots, use_mem)
         point = np.asarray(initial_point, dtype=float) if initial_point is not None else self.initial_point()
         result = self.optimizer.minimize(objective, point)
         return self._to_vqe_result(result, "noisy")
@@ -262,3 +323,85 @@ class VQE:
             num_evaluations=result.num_evaluations,
             execution_mode=mode,
         )
+
+
+class _IdealBatchObjective:
+    """Batch-capable ideal objective (see :meth:`VQE.ideal_batch_objective`)."""
+
+    def __init__(self, vqe: VQE):
+        self._vqe = vqe
+
+    def __call__(self, parameters: Sequence[float]) -> float:
+        return self.evaluate_batch([np.asarray(parameters, dtype=float)])[0]
+
+    def evaluate_batch(self, points: Sequence[np.ndarray]) -> List[float]:
+        circuits = [self._vqe.bind(p) for p in points]
+        futures = self._vqe.engine.submit_expectation_batch(
+            circuits, self._vqe.hamiltonian, submitter=self
+        )
+        return [float(future.result()) for future in futures]
+
+
+class _NoisyBatchObjective:
+    """Batch-capable noisy objective (see :meth:`VQE.noisy_batch_objective_factory`).
+
+    The estimator (and, with MEM, the mitigator) is built lazily on the first
+    evaluation — the mitigator needs a transpiled schedule to read the
+    measured layout, which is identical for every point of a trajectory.
+    Sampling randomness is content-derived (`seed=None` estimator, seeded
+    engine), so values are independent of batching and execution tier.
+    """
+
+    def __init__(
+        self,
+        vqe: VQE,
+        device: DeviceModel,
+        noise_model: NoiseModel,
+        engine: NoisyDensityMatrixEngine,
+        shots: Optional[int],
+        use_mem: bool,
+        physical_qubits: Optional[Sequence[int]],
+    ):
+        self._vqe = vqe
+        self._device = device
+        self._noise_model = noise_model
+        self._engine = engine
+        self._shots = shots
+        self._use_mem = use_mem
+        self._physical_qubits = physical_qubits
+        self._estimator: Optional[ExpectationEstimator] = None
+
+    def __call__(self, parameters: Sequence[float]) -> float:
+        return self.evaluate_batch([np.asarray(parameters, dtype=float)])[0]
+
+    def _transpile(self, parameters: np.ndarray) -> TranspileResult:
+        circuit = self._vqe.bind(parameters)
+        circuit.measure_all()
+        return transpile(circuit, self._device, physical_qubits=self._physical_qubits)
+
+    def _ensure_estimator(self, result: TranspileResult) -> ExpectationEstimator:
+        if self._estimator is None:
+            mitigator: Optional[MeasurementMitigator] = None
+            if self._use_mem:
+                measured = result.scheduled.measured_positions()
+                ordered = [pos for pos, _ in sorted(measured, key=lambda pair: pair[1])]
+                mitigator = MeasurementMitigator.from_device(
+                    self._device,
+                    [result.scheduled.physical_qubit(pos) for pos in ordered],
+                )
+            self._estimator = ExpectationEstimator(
+                self._noise_model, shots=self._shots, mitigator=mitigator, engine=self._engine
+            )
+        return self._estimator
+
+    def evaluate_batch(self, points: Sequence[np.ndarray]) -> List[float]:
+        schedules = []
+        estimator: Optional[ExpectationEstimator] = None
+        for parameters in points:
+            result = self._transpile(np.asarray(parameters, dtype=float))
+            estimator = self._ensure_estimator(result)
+            schedules.append(result.scheduled)
+        if estimator is None:
+            return []
+        futures = estimator.submit_batch(schedules, self._vqe.hamiltonian)
+        return [float(future.result().value) for future in futures]

@@ -143,11 +143,23 @@ class TestVQE:
         assert np.allclose(vqe.initial_point(), vqe.initial_point())
 
     def test_evaluate_trajectory_ideal(self):
+        # Non-blocking SPSA reports the final probe mean — an O(c_k) proxy
+        # for f(optimal_parameters), not a re-measurement (the hidden third
+        # evaluation it used to spend; docs/algorithms.md) — so the exact
+        # replay agrees only loosely.
         ansatz = efficient_su2(4, reps=1, entanglement="circular")
         vqe = VQE(ansatz, tfim_hamiltonian(4), SPSA(maxiter=5, seed=1), seed=1)
         result = vqe.run_ideal()
         trajectory = vqe.evaluate_trajectory_ideal([result.optimal_parameters])
-        assert trajectory[0] == pytest.approx(result.optimal_value, abs=1e-9)
+        assert trajectory[0] == pytest.approx(result.optimal_value, abs=0.5)
+        # With blocking the reported value *is* the accepted candidate's
+        # measurement, so the replay matches exactly.
+        blocked_vqe = VQE(
+            ansatz, tfim_hamiltonian(4), SPSA(maxiter=5, seed=1, blocking=True), seed=1
+        )
+        blocked = blocked_vqe.run_ideal()
+        replay = blocked_vqe.evaluate_trajectory_ideal([blocked.optimal_parameters])
+        assert replay[0] == pytest.approx(blocked.optimal_value, abs=1e-12)
 
     def test_noisy_objective_factory(self, device):
         ansatz = efficient_su2(2, reps=1, entanglement="linear")

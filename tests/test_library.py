@@ -12,6 +12,7 @@ from repro.circuits import (
     ghz_circuit,
     hahn_echo_microbenchmark,
     idle_window_microbenchmark,
+    qaoa_ansatz,
     two_local,
     uccsd_like_ansatz,
 )
@@ -103,6 +104,58 @@ class TestUCCSD:
         reference = sim.probabilities(ansatz.bind_parameters([0.0, 0.0, 0.0]))
         excited = sim.probabilities(ansatz.bind_parameters([0.3, -0.2, 0.5]))
         assert not np.allclose(reference, excited)
+
+
+class TestQAOA:
+    RING4 = [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+    def test_two_parameters_per_layer(self):
+        assert qaoa_ansatz(4, self.RING4, reps=1).num_parameters == 2
+        assert qaoa_ansatz(4, self.RING4, reps=3).num_parameters == 6
+
+    def test_zero_angles_give_uniform_superposition(self):
+        ansatz = qaoa_ansatz(4, self.RING4, reps=2)
+        probs = StatevectorSimulator().probabilities(
+            ansatz.bind_parameters([0.0] * ansatz.num_parameters)
+        )
+        assert np.allclose(probs, 1.0 / 16.0)
+
+    def test_p1_ring_expectation_known_value(self):
+        # The p=1 QAOA optimum for MaxCut on a ring cuts 3/4 of the edges in
+        # expectation (Farhi et al.): <H> = -4.5 on the 6-ring, attained at
+        # (gamma, beta) = (pi/8, 3*pi/8) in this circuit's angle convention.
+        from repro.operators import ring_maxcut_hamiltonian
+        from repro.vqe import VQE
+
+        edges = [(i, (i + 1) % 6) for i in range(6)]
+        hamiltonian = ring_maxcut_hamiltonian(6)
+        vqe = VQE(qaoa_ansatz(6, edges, reps=1), hamiltonian, seed=1)
+        value = vqe.ideal_objective([math.pi / 8, 3 * math.pi / 8])
+        assert value == pytest.approx(-4.5, abs=1e-9)
+
+    def test_weighted_edges_change_the_state(self):
+        sim = StatevectorSimulator()
+        plain = qaoa_ansatz(3, [(0, 1), (1, 2)], reps=1)
+        weighted = qaoa_ansatz(3, [(0, 1), (1, 2)], reps=1, weights=[2.0, 0.5])
+        angles = [0.4, 0.3]
+        assert not np.allclose(
+            sim.probabilities(plain.bind_parameters(angles)),
+            sim.probabilities(weighted.bind_parameters(angles)),
+        )
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(CircuitError):
+            qaoa_ansatz(1, [(0, 0)])
+        with pytest.raises(CircuitError):
+            qaoa_ansatz(4, [])
+        with pytest.raises(CircuitError):
+            qaoa_ansatz(4, self.RING4, reps=0)
+        with pytest.raises(CircuitError):
+            qaoa_ansatz(4, [(0, 4)])
+        with pytest.raises(CircuitError):
+            qaoa_ansatz(4, [(2, 2)])
+        with pytest.raises(CircuitError):
+            qaoa_ansatz(4, self.RING4, weights=[1.0])
 
 
 class TestMicrobenchmarks:

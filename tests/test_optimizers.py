@@ -20,6 +20,22 @@ def noisy_quadratic_factory(scale, seed=0):
     return objective
 
 
+class BatchQuadratic:
+    """A BatchObjective-protocol quadratic that counts batch submissions."""
+
+    def __init__(self):
+        self.batch_calls = 0
+        self.batch_sizes = []
+
+    def __call__(self, parameters):
+        return quadratic(parameters)
+
+    def evaluate_batch(self, points):
+        self.batch_calls += 1
+        self.batch_sizes.append(len(points))
+        return [quadratic(p) for p in points]
+
+
 class TestTrackingObjective:
     def test_records_every_evaluation(self):
         tracked = TrackingObjective(quadratic)
@@ -41,6 +57,22 @@ class TestTrackingObjective:
         with pytest.raises(OptimizerError):
             TrackingObjective(quadratic).best()
 
+    def test_evaluate_batch_falls_back_to_elementwise(self):
+        tracked = TrackingObjective(quadratic)
+        values = tracked.evaluate_batch([np.array([0.0]), np.array([1.5])])
+        assert values == pytest.approx([quadratic([0.0]), 0.0])
+        assert tracked.num_evaluations == 2
+        assert len(tracked.points) == 2
+
+    def test_evaluate_batch_uses_batch_objective(self):
+        inner = BatchQuadratic()
+        tracked = TrackingObjective(inner)
+        values = tracked.evaluate_batch([np.array([1.0]), np.array([2.0])])
+        assert inner.batch_calls == 1
+        assert inner.batch_sizes == [2]
+        assert values == pytest.approx([0.25, 0.25])
+        assert tracked.num_evaluations == 2
+
 
 class TestSPSA:
     def test_invalid_configuration(self):
@@ -48,18 +80,48 @@ class TestSPSA:
             SPSA(maxiter=0)
         with pytest.raises(OptimizerError):
             SPSA(resamplings=0)
+        with pytest.raises(OptimizerError):
+            SPSA(calibration_evaluations=0)
 
     def test_converges_on_quadratic(self):
         result = SPSA(maxiter=150, seed=1).minimize(quadratic, [4.0, -2.0])
         assert result.optimal_value < 0.05
         assert np.allclose(result.optimal_parameters, [1.5, 1.5], atol=0.3)
 
-    def test_history_and_evaluation_count(self):
-        optimizer = SPSA(maxiter=30, seed=2)
+    def test_no_hidden_third_evaluation(self):
+        # Regression: Spall's SPSA costs exactly two evaluations per iteration
+        # (per resampling) when blocking is off — the candidate point must NOT
+        # be evaluated.  An earlier version silently spent 3 evals/iteration.
+        for maxiter, resamplings in [(30, 1), (20, 3), (7, 2)]:
+            optimizer = SPSA(maxiter=maxiter, seed=2, resamplings=resamplings)
+            result = optimizer.minimize(quadratic, [3.0])
+            assert result.num_evaluations == 1 + 2 * resamplings * maxiter
+            assert len(result.history) == maxiter + 1
+
+    def test_blocking_evaluates_candidate(self):
+        # With blocking the candidate must be evaluated to decide acceptance:
+        # one extra evaluation per iteration (explicit allowed_increase, so no
+        # calibration evaluations).
+        result = SPSA(maxiter=25, seed=2, blocking=True, allowed_increase=0.5).minimize(
+            quadratic, [3.0]
+        )
+        assert result.num_evaluations == 1 + 3 * 25
+
+    def test_blocking_noise_calibration_cost(self):
+        # Default allowed_increase=None calibrates from extra initial-point
+        # evaluations; a deterministic objective calibrates to zero allowance.
+        optimizer = SPSA(maxiter=10, seed=2, blocking=True, calibration_evaluations=4)
         result = optimizer.minimize(quadratic, [3.0])
-        # One initial evaluation plus three per iteration (two gradient samples + candidate).
-        assert result.num_evaluations == 1 + 3 * 30
-        assert len(result.history) == 31
+        assert result.num_evaluations == 1 + 4 + 3 * 10
+        assert result.metadata["allowed_increase"] == pytest.approx(0.0)
+
+    def test_blocking_noise_calibration_scales_with_noise(self):
+        optimizer = SPSA(maxiter=5, seed=2, blocking=True, calibration_evaluations=8)
+        result = optimizer.minimize(noisy_quadratic_factory(0.2, seed=9), [3.0])
+        allowance = result.metadata["allowed_increase"]
+        # 2x the sample stddev of the initial-point evaluations: the noise
+        # scale is 0.2, so the allowance lands near 0.4 (loose bounds).
+        assert 0.05 < allowance < 1.5
 
     def test_deterministic_for_fixed_seed(self):
         a = SPSA(maxiter=25, seed=3).minimize(quadratic, [2.0, 2.0])
@@ -67,9 +129,36 @@ class TestSPSA:
         assert np.allclose(a.optimal_parameters, b.optimal_parameters)
         assert a.history == b.history
 
+    def test_batched_objective_identical_to_serial(self):
+        # The BatchObjective path must be bit-identical to element-wise
+        # evaluation: same trajectory, same history, same result.
+        serial = SPSA(maxiter=40, seed=11).minimize(quadratic, [2.5, -1.0])
+        batch_objective = BatchQuadratic()
+        batched = SPSA(maxiter=40, seed=11).minimize(batch_objective, [2.5, -1.0])
+        assert batch_objective.batch_calls == 40  # one submission per iteration
+        assert batch_objective.batch_sizes == [2] * 40
+        assert batched.history == serial.history
+        assert np.array_equal(batched.optimal_parameters, serial.optimal_parameters)
+        assert batched.optimal_value == serial.optimal_value
+
     def test_tolerates_noisy_objective(self):
         result = SPSA(maxiter=200, seed=4).minimize(noisy_quadratic_factory(0.05), [4.0])
         assert abs(result.optimal_parameters[0] - 1.5) < 0.5
+
+    def test_returns_last_point_not_noisy_argmin(self):
+        # Under shot noise the argmin over recorded values is biased
+        # optimistic; SPSA must report the last accepted point instead.
+        tracked_values = []
+
+        def noisy(x, rng=np.random.default_rng(21)):
+            value = quadratic(x) + float(rng.normal(0, 0.3))
+            tracked_values.append(value)
+            return value
+
+        result = SPSA(maxiter=60, seed=21).minimize(noisy, [3.0])
+        assert result.optimal_value > min(tracked_values)
+        # The reported point is the final iterate of the trajectory.
+        assert result.optimal_parameters == pytest.approx(result.parameter_history[-1], abs=0.2)
 
     def test_blocking_rejects_bad_steps(self):
         result = SPSA(maxiter=40, seed=5, blocking=True, allowed_increase=0.0).minimize(
@@ -79,6 +168,26 @@ class TestSPSA:
         diffs = np.diff(result.history)
         assert (diffs <= 1e-12).all()
 
+    def test_blocking_reports_convergence_honestly(self):
+        # An allowance of -inf rejects every candidate: the optimizer must not
+        # claim convergence, and the metadata must say zero steps accepted.
+        result = SPSA(maxiter=15, seed=5, blocking=True, allowed_increase=-np.inf).minimize(
+            quadratic, [3.0]
+        )
+        assert result.converged is False
+        assert result.metadata["accepted_steps"] == 0
+        assert "0/15" in result.message
+        assert np.array_equal(result.optimal_parameters, [3.0])
+
+    def test_blocking_accepted_fraction_in_metadata(self):
+        result = SPSA(maxiter=40, seed=5, blocking=True, allowed_increase=0.0).minimize(
+            quadratic, [3.0]
+        )
+        fraction = result.metadata["accepted_fraction"]
+        assert 0.0 < fraction <= 1.0
+        assert result.metadata["accepted_steps"] == round(fraction * 40)
+        assert result.converged is True
+
     def test_callback_invoked(self):
         calls = []
         SPSA(maxiter=5, seed=6, callback=lambda i, p, v: calls.append(i)).minimize(quadratic, [0.0])
@@ -86,7 +195,7 @@ class TestSPSA:
 
     def test_resamplings_average_gradient(self):
         result = SPSA(maxiter=20, seed=7, resamplings=3).minimize(quadratic, [3.0])
-        assert result.num_evaluations == 1 + (2 * 3 + 1) * 20
+        assert result.num_evaluations == 1 + 2 * 3 * 20
 
     def test_empty_initial_point(self):
         with pytest.raises(OptimizerError):

@@ -1,0 +1,202 @@
+"""Tests for the adaptive Pauli-term shot collector."""
+
+import numpy as np
+import pytest
+
+from repro.engine import NoisyDensityMatrixEngine
+from repro.exceptions import VQEError
+from repro.operators import h2_hamiltonian, lih_hamiltonian, tfim_hamiltonian
+from repro.vqe import AdaptiveShotCollector, ExpectationEstimator, allocate_shots
+
+
+class TestAllocateShots:
+    def test_totals_are_exact_for_arbitrary_weights(self):
+        # Property: largest-remainder rounding never loses or invents a shot,
+        # for any weight vector and any budget.
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            num_groups = int(rng.integers(1, 12))
+            budget = int(rng.integers(0, 5000))
+            weights = rng.uniform(0.0, 10.0, size=num_groups)
+            allocations = allocate_shots(budget, weights)
+            assert sum(allocations) == max(budget, 0)
+            assert all(shots >= 0 for shots in allocations)
+
+    def test_high_weight_groups_get_at_least_uniform_share(self):
+        # Property: a group whose weight is >= the mean weight receives at
+        # least the uniform share budget // num_groups.
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            num_groups = int(rng.integers(2, 10))
+            budget = int(rng.integers(num_groups, 4000))
+            weights = rng.uniform(0.0, 5.0, size=num_groups)
+            mean_weight = float(np.mean(weights))
+            allocations = allocate_shots(budget, weights)
+            uniform_share = budget // num_groups
+            for weight, shots in zip(weights, allocations):
+                if weight >= mean_weight:
+                    assert shots >= uniform_share
+
+    def test_proportionality(self):
+        allocations = allocate_shots(100, [3.0, 1.0])
+        assert allocations == [75, 25]
+
+    def test_zero_weights_fall_back_to_uniform(self):
+        assert allocate_shots(9, [0.0, 0.0, 0.0]) == [3, 3, 3]
+
+    def test_zero_budget(self):
+        assert allocate_shots(0, [1.0, 2.0]) == [0, 0]
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(VQEError):
+            allocate_shots(10, [])
+
+
+@pytest.fixture(scope="module")
+def h2_workload(device):
+    """A measured, scheduled H2-scale circuit plus its seeded estimator."""
+    import math
+
+    from repro.circuits import efficient_su2
+    from repro.simulators import NoiseModel
+    from repro.transpiler import transpile
+
+    hamiltonian = h2_hamiltonian()
+    ansatz = efficient_su2(4, reps=1, entanglement="linear")
+    rng = np.random.default_rng(9)
+    bound = ansatz.bind_parameters(rng.uniform(-math.pi, math.pi, ansatz.num_parameters))
+    bound.measure_all()
+    compiled = transpile(bound, device)
+    noise_model = NoiseModel.from_device(device)
+    engine = NoisyDensityMatrixEngine(noise_model, seed=11)
+    estimator = ExpectationEstimator(noise_model, engine=engine)
+    return estimator, compiled.scheduled, hamiltonian, engine
+
+
+class TestAdaptiveShotCollector:
+    def test_total_shots_equal_budget(self, h2_workload):
+        estimator, scheduled, hamiltonian, _ = h2_workload
+        result = AdaptiveShotCollector(
+            estimator, scheduled, hamiltonian, total_shots=2048, round_shots=256, seed=1
+        ).collect()
+        assert result.shots_used == 2048
+        assert sum(result.shots_per_group) == 2048
+        assert sum(sum(allocation) for allocation in result.round_allocations) == 2048
+
+    def test_budget_not_divisible_by_round(self, h2_workload):
+        estimator, scheduled, hamiltonian, _ = h2_workload
+        result = AdaptiveShotCollector(
+            estimator, scheduled, hamiltonian, total_shots=1000, round_shots=300, seed=1
+        ).collect()
+        assert result.shots_used == 1000
+        assert sum(result.shots_per_group) == 1000
+
+    def test_high_variance_groups_get_at_least_uniform_share(self, h2_workload):
+        # After the warm-up, Neyman allocation must grant every group with
+        # above-average sampled stddev at least its uniform share per round.
+        estimator, scheduled, hamiltonian, _ = h2_workload
+        result = AdaptiveShotCollector(
+            estimator, scheduled, hamiltonian, total_shots=4096, round_shots=512, seed=1
+        ).collect()
+        num_groups = len(result.groups)
+        stddevs = [np.sqrt(group.variance) for group in result.groups]
+        mean_stddev = float(np.mean(stddevs))
+        uniform_total = sum(
+            sum(allocation) // num_groups for allocation in result.round_allocations
+        )
+        for stddev, shots in zip(stddevs, result.shots_per_group):
+            if stddev >= mean_stddev:
+                assert shots >= uniform_total
+
+    def test_reproducible_for_fixed_seed(self, h2_workload):
+        estimator, scheduled, hamiltonian, _ = h2_workload
+        kwargs = dict(total_shots=1024, round_shots=256, seed=5)
+        a = AdaptiveShotCollector(estimator, scheduled, hamiltonian, **kwargs).collect()
+        b = AdaptiveShotCollector(estimator, scheduled, hamiltonian, **kwargs).collect()
+        assert a.value == b.value
+        assert a.stderr == b.stderr
+        assert a.round_allocations == b.round_allocations
+
+    def test_seed_changes_the_samples(self, h2_workload):
+        estimator, scheduled, hamiltonian, _ = h2_workload
+        a = AdaptiveShotCollector(
+            estimator, scheduled, hamiltonian, total_shots=1024, round_shots=256, seed=5
+        ).collect()
+        b = AdaptiveShotCollector(
+            estimator, scheduled, hamiltonian, total_shots=1024, round_shots=256, seed=6
+        ).collect()
+        assert a.value != b.value
+
+    def test_estimate_near_exact_noisy_value(self, h2_workload):
+        estimator, scheduled, hamiltonian, engine = h2_workload
+        exact = engine.expectation(scheduled, hamiltonian)
+        result = AdaptiveShotCollector(
+            estimator, scheduled, hamiltonian, total_shots=8192, seed=2
+        ).collect()
+        # Within five standard errors of the exact noisy expectation.
+        assert abs(result.value - exact) < 5 * max(result.stderr, 1e-3)
+
+    def test_target_stderr_stops_early(self, h2_workload):
+        estimator, scheduled, hamiltonian, _ = h2_workload
+        result = AdaptiveShotCollector(
+            estimator,
+            scheduled,
+            hamiltonian,
+            total_shots=1_000_000,
+            round_shots=2048,
+            target_stderr=0.05,
+            seed=3,
+        ).collect()
+        assert result.stderr <= 0.05
+        assert result.shots_used < 1_000_000
+
+    def test_circuits_executed_counts_submissions(self, h2_workload):
+        estimator, scheduled, hamiltonian, _ = h2_workload
+        result = AdaptiveShotCollector(
+            estimator, scheduled, hamiltonian, total_shots=1024, round_shots=256, seed=4
+        ).collect()
+        nonzero = sum(
+            1
+            for allocation in result.round_allocations
+            for shots in allocation
+            if shots > 0
+        )
+        assert result.circuits_executed == nonzero
+
+    def test_lih_allocation_is_nonuniform(self, device):
+        # The LiH surrogate's groups have strongly unequal variances; the
+        # collector must exploit that rather than splitting evenly.
+        import math
+
+        from repro.circuits import efficient_su2
+        from repro.simulators import NoiseModel
+        from repro.transpiler import transpile
+
+        hamiltonian = lih_hamiltonian()
+        ansatz = efficient_su2(6, reps=1, entanglement="circular")
+        rng = np.random.default_rng(5)
+        bound = ansatz.bind_parameters(
+            rng.uniform(-math.pi, math.pi, ansatz.num_parameters)
+        )
+        bound.measure_all()
+        compiled = transpile(bound, device)
+        noise_model = NoiseModel.from_device(device)
+        engine = NoisyDensityMatrixEngine(noise_model, seed=11)
+        estimator = ExpectationEstimator(noise_model, engine=engine)
+        result = AdaptiveShotCollector(
+            estimator, compiled.scheduled, hamiltonian, total_shots=4096, seed=1
+        ).collect()
+        assert sum(result.shots_per_group) == 4096
+        assert max(result.shots_per_group) > 2 * min(result.shots_per_group)
+
+    def test_invalid_configuration(self, h2_workload):
+        estimator, scheduled, hamiltonian, _ = h2_workload
+        with pytest.raises(VQEError):
+            AdaptiveShotCollector(estimator, scheduled, hamiltonian, total_shots=0)
+        with pytest.raises(VQEError):
+            AdaptiveShotCollector(
+                estimator, scheduled, hamiltonian, total_shots=100, round_shots=2
+            )
+        identity_only = tfim_hamiltonian(4) * 0.0
+        with pytest.raises(VQEError):
+            AdaptiveShotCollector(estimator, scheduled, identity_only, total_shots=100)
